@@ -1,0 +1,199 @@
+package explainit
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"explainit/internal/core"
+	"explainit/internal/experiments"
+	"explainit/internal/linalg"
+	"explainit/internal/regress"
+	"explainit/internal/simulator"
+	"explainit/internal/stats"
+	ts "explainit/internal/timeseries"
+	"explainit/internal/tsdb"
+)
+
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. The heavyweight sweeps (Table 6 / Figure 10) run at reduced
+// scale here; `go run ./cmd/experiments` runs them at full scale.
+
+func benchReport(b *testing.B, run func() (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Lines) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+func BenchmarkTable2ScorerCost(b *testing.B)     { benchReport(b, experiments.Table2) }
+func BenchmarkTable3FaultInjection(b *testing.B) { benchReport(b, experiments.Table3) }
+func BenchmarkTable4Namenode(b *testing.B)       { benchReport(b, experiments.Table4) }
+func BenchmarkTable5WeeklySpikes(b *testing.B)   { benchReport(b, experiments.Table5) }
+func BenchmarkTable6Scorers(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Table6(0.4) })
+}
+func BenchmarkFigure5PacketDropTimeline(b *testing.B) { benchReport(b, experiments.Figure5) }
+func BenchmarkFigure6FixDistribution(b *testing.B)    { benchReport(b, experiments.Figure6) }
+func BenchmarkFigure7PeriodicSpikes(b *testing.B)     { benchReport(b, experiments.Figure7) }
+func BenchmarkFigure8WeeklySpikes(b *testing.B)       { benchReport(b, experiments.Figure8) }
+func BenchmarkFigure9RAIDIntervention(b *testing.B)   { benchReport(b, experiments.Figure9) }
+func BenchmarkFigure10ScoreTime(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure10(0.25) })
+}
+func BenchmarkFigure12NullR2(b *testing.B)    { benchReport(b, experiments.Figure12) }
+func BenchmarkFigure13RidgeNull(b *testing.B) { benchReport(b, experiments.Figure13) }
+
+// Ablation benches for the design choices DESIGN.md calls out (dense
+// arrays, broadcast join, projection vs PCA, dual ridge, CV folds).
+func BenchmarkAblations(b *testing.B) { benchReport(b, experiments.Ablations) }
+
+// Micro-benchmarks for the hot paths behind the tables.
+
+func benchmarkScorer(b *testing.B, scorer core.Scorer, n, p int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	x := linalg.GaussianMatrix(rng, n, p)
+	y := linalg.GaussianMatrix(rng, n, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scorer.Score(x, y, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScorerCorrMean(b *testing.B) { benchmarkScorer(b, &core.CorrScorer{}, 1440, 80) }
+func BenchmarkScorerCorrMax(b *testing.B) {
+	benchmarkScorer(b, &core.CorrScorer{UseMax: true}, 1440, 80)
+}
+func BenchmarkScorerL2(b *testing.B) { benchmarkScorer(b, &core.L2Scorer{Seed: 1}, 1440, 80) }
+func BenchmarkScorerL2Wide(b *testing.B) {
+	benchmarkScorer(b, &core.L2Scorer{Seed: 1}, 480, 2000) // dual-form path
+}
+func BenchmarkScorerL2P50(b *testing.B) {
+	benchmarkScorer(b, &core.L2Scorer{ProjectDim: 50, Seed: 1}, 1440, 800)
+}
+func BenchmarkScorerConditional(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := linalg.GaussianMatrix(rng, 720, 40)
+	y := linalg.GaussianMatrix(rng, 720, 1)
+	z := linalg.GaussianMatrix(rng, 720, 5)
+	s := &core.L2Scorer{Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Score(x, y, z, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRidgeFitPrimal(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := linalg.GaussianMatrix(rng, 1440, 100)
+	y := linalg.GaussianMatrix(rng, 1440, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regress.FitRidge(x, y, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRidgeFitDual(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := linalg.GaussianMatrix(rng, 300, 3000)
+	y := linalg.GaussianMatrix(rng, 300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regress.FitRidge(x, y, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrelationMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := linalg.GaussianMatrix(rng, 1440, 200)
+	y := linalg.GaussianMatrix(rng, 1440, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.CorrelationMatrix(x, y)
+	}
+}
+
+func BenchmarkEngineRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	n := 480
+	mk := func(name string, cols int) *core.Family {
+		f := &core.Family{Name: name, Columns: make([]string, cols), Matrix: linalg.GaussianMatrix(rng, n, cols)}
+		for j := range f.Columns {
+			f.Columns[j] = name + "/" + string(rune('a'+j%26))
+		}
+		return f
+	}
+	target := mk("target", 1)
+	candidates := make([]*core.Family, 40)
+	for i := range candidates {
+		candidates[i] = mk("fam"+string(rune('A'+i%26))+string(rune('a'+i/26)), 8)
+	}
+	eng := &core.Engine{Scorer: &core.L2Scorer{Seed: 1}, KeepAll: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Rank(core.Request{Target: target, Candidates: candidates}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSDBIngest(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tags := ts.Tags{"host": "dn-1", "type": "read"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := tsdb.New()
+		for j := 0; j < 10000; j++ {
+			db.Put("disk", tags, at.Add(time.Duration(j)*time.Minute), float64(j))
+		}
+	}
+}
+
+func BenchmarkSimulatorGenerate(b *testing.B) {
+	cfg := simulator.DefaultCaseStudyConfig()
+	cfg.Nuisance = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := simulator.CaseStudyPacketDrop(cfg)
+		if len(sc.Series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+func BenchmarkEndToEndExplain(b *testing.B) {
+	cfg := simulator.DefaultCaseStudyConfig()
+	cfg.Nuisance = 10
+	sc := simulator.CaseStudyPacketDrop(cfg)
+	c := New()
+	for _, s := range sc.Series {
+		for _, smp := range s.Samples {
+			c.Put(s.Name, Tags(s.Tags), smp.TS, smp.Value)
+		}
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Explain(ExplainOptions{Target: sc.Target, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures from the
+// simulator and prints paper-style rows.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -list      # list available experiments
+//	experiments -run NAME  # run one (e.g. table6, figure12)
+//	experiments -scale 0.5 # shrink the table6/figure10 sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"explainit/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	run := flag.String("run", "", "run a single experiment by name")
+	scale := flag.Float64("scale", 1, "scale factor for the table6/figure10 sweeps")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.Name, r.Desc)
+		}
+		return
+	}
+	if *run != "" {
+		runner, ok := experiments.Find(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		if err := execute(runner, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, runner := range experiments.All() {
+		if err := execute(runner, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func execute(runner experiments.Runner, scale float64) error {
+	var rep *experiments.Report
+	var err error
+	switch runner.Name {
+	case "table6":
+		rep, err = experiments.Table6(scale)
+	case "figure10":
+		rep, err = experiments.Figure10(scale)
+	default:
+		rep, err = runner.Run()
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", runner.Name, err)
+	}
+	fmt.Println(rep.String())
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command expgen generates synthetic incident datasets from the simulator
+// and writes them as CSV in the connector's interchange schema, so the
+// explainit CLI (or any external tool) can analyse them.
+//
+// Usage:
+//
+//	expgen -scenario packetdrop > incident.csv
+//	expgen -scenario namenode -fixed
+//	expgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"explainit/internal/connector"
+	"explainit/internal/simulator"
+	"explainit/internal/tsdb"
+)
+
+func main() {
+	scenario := flag.String("scenario", "packetdrop", "scenario to generate: packetdrop, conditioning, namenode, raid, table6-N")
+	fixed := flag.Bool("fixed", false, "generate the post-fix variant (conditioning, namenode)")
+	seed := flag.Int64("seed", 1, "random seed")
+	nuisance := flag.Int("nuisance", 20, "number of distractor families")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("packetdrop    §5.1 packet-drop injection (target runtime_pipeline_0)")
+		fmt.Println("conditioning  §5.2 load-confounded hypervisor drops (-fixed for post-fix)")
+		fmt.Println("namenode      §5.3 periodic GetContentSummary scan (-fixed for post-fix)")
+		fmt.Println("raid          §5.4 weekly RAID consistency check (one month)")
+		fmt.Println("table6-N      evaluation scenario N in 1..11")
+		return
+	}
+
+	cfg := simulator.DefaultCaseStudyConfig()
+	cfg.Seed = *seed
+	cfg.Nuisance = *nuisance
+
+	var sc *simulator.Scenario
+	switch {
+	case *scenario == "packetdrop":
+		sc = simulator.CaseStudyPacketDrop(cfg)
+	case *scenario == "conditioning":
+		sc = simulator.CaseStudyConditioning(cfg, *fixed)
+	case *scenario == "namenode":
+		sc = simulator.CaseStudyNamenode(cfg, *fixed)
+	case *scenario == "raid":
+		cfg.DayPeriod = 96
+		cfg.T = 4 * 7 * cfg.DayPeriod
+		sc = simulator.CaseStudyRAID(cfg, simulator.RAIDDefault)
+	case len(*scenario) > 7 && (*scenario)[:7] == "table6-":
+		var n int
+		if _, err := fmt.Sscanf(*scenario, "table6-%d", &n); err != nil || n < 1 || n > 11 {
+			fmt.Fprintln(os.Stderr, "table6-N needs N in 1..11")
+			os.Exit(2)
+		}
+		sc = simulator.Table6Scenario(simulator.Table6Specs()[n-1])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", *scenario)
+		os.Exit(2)
+	}
+
+	db := tsdb.New()
+	for _, s := range sc.Series {
+		db.PutSeries(s)
+	}
+	n, err := connector.WriteCSV(db, os.Stdout, tsdb.Query{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows (%d series); target family: %s\n",
+		n, db.NumSeries(), sc.Target)
+}

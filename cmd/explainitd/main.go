@@ -1,0 +1,35 @@
+// Command explainitd is the scoring worker daemon: it serves hypothesis-
+// scoring RPCs so a coordinator can fan hypotheses out across machines —
+// the role the paper's per-executor Python scikit kernels play (§4).
+//
+// Start one per core or per machine:
+//
+//	explainitd -listen :9101
+//
+// and point a coordinator's cluster.Dial at the addresses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"explainit/internal/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9101", "address to serve scoring RPCs on")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explainitd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "explainitd: serving hypothesis scoring on %s\n", l.Addr())
+	if err := cluster.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "explainitd:", err)
+		os.Exit(1)
+	}
+}

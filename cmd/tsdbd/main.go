@@ -1,0 +1,72 @@
+// Command tsdbd serves the in-memory time series database over HTTP
+// (OpenTSDB-style /api/put and /api/query endpoints), optionally restoring
+// from and periodically persisting to a snapshot file. It is the
+// stand-alone "external data source" the analysis engine's connectors talk
+// to (Figure 4 of the paper).
+//
+//	tsdbd -listen :4242 -snapshot /var/lib/explainit/tsdb.snap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"explainit/internal/tsdb"
+	"explainit/internal/tsdbhttp"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4242", "address to serve the HTTP API on")
+	snapshot := flag.String("snapshot", "", "snapshot file to restore from and persist to")
+	interval := flag.Duration("snapshot-interval", time.Minute, "how often to persist the snapshot")
+	flag.Parse()
+
+	db := tsdb.New()
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			n, lerr := db.Load(f)
+			f.Close()
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, "tsdbd: restoring snapshot:", lerr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "tsdbd: restored %d samples (%d series)\n", n, db.NumSeries())
+		}
+		go persistLoop(db, *snapshot, *interval)
+	}
+
+	fmt.Fprintf(os.Stderr, "tsdbd: serving on http://%s\n", *listen)
+	if err := http.ListenAndServe(*listen, tsdbhttp.NewHandler(db)); err != nil {
+		fmt.Fprintln(os.Stderr, "tsdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func persistLoop(db *tsdb.DB, path string, interval time.Duration) {
+	for range time.Tick(interval) {
+		if err := persistOnce(db, path); err != nil {
+			fmt.Fprintln(os.Stderr, "tsdbd: snapshot:", err)
+		}
+	}
+}
+
+func persistOnce(db *tsdb.DB, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,133 @@
+// Causaldiscovery demonstrates the extended toolkit around the core
+// ranking loop: ingesting log messages as counting time series, suggesting
+// the anomalous window automatically, discovering local causal structure
+// with conditional-independence tests (§3.3's chains/forks/colliders),
+// checking significance under multiple-testing correction (Appendix A.2),
+// fusing the rankings of several scorers, and rendering the
+// observed-vs-predicted overlay an operator uses to trust a score (§D).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"time"
+
+	"explainit"
+)
+
+func main() {
+	c := explainit.New()
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(4))
+	const n = 600
+
+	// A chain: periodic full-table scans -> db latency -> runtime, plus an
+	// independent memory-pressure cause, a bystander, and error logs that
+	// fire during the scans.
+	var logs strings.Builder
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * time.Minute)
+		scan := 0.0
+		if i%120 >= 80 && i%120 < 105 {
+			scan = 3
+		}
+		dbLatency := 1.5*scan + 0.2*rng.NormFloat64()
+		memPressure := 2 * rng.NormFloat64()
+		runtime := 2*dbLatency + memPressure + 0.2*rng.NormFloat64()
+
+		c.Put("scan_count", nil, at, scan+0.1*rng.NormFloat64())
+		c.Put("db_latency", nil, at, dbLatency)
+		c.Put("mem_pressure", nil, at, memPressure+0.1*rng.NormFloat64())
+		c.Put("runtime", nil, at, 20+runtime)
+		c.Put("bystander", nil, at, rng.NormFloat64())
+
+		if scan > 0 && i%3 == 0 {
+			logs.WriteString(at.Format(time.RFC3339))
+			logs.WriteString(" slow query 4512 ms on table events\n")
+		}
+	}
+	if _, templates, err := c.LoadLogs(strings.NewReader(logs.String())); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("ingested logs into %d template series\n", templates)
+	}
+
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Let the engine find the anomalous window for us (Figure 2).
+	lo, hi, ok, err := c.SuggestExplainRange("runtime", 2.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("suggested range to explain: %s .. %s\n\n",
+			lo.Format("15:04"), hi.Format("15:04"))
+	}
+
+	// 2. Discover the local causal structure around the runtime.
+	st, err := c.DiscoverStructure("runtime", nil, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("local causal structure around runtime:")
+	for _, e := range st.Neighbours {
+		role := "adjacent"
+		if e.Cause {
+			role = "CAUSE (collider-oriented)"
+		}
+		fmt.Printf("  %-22s score %.2f  %s\n", e.Family, e.Score, role)
+	}
+	for fam, sep := range st.Removed {
+		if len(sep) > 0 {
+			fmt.Printf("  %-22s pruned: explained away by %v\n", fam, sep)
+		}
+	}
+
+	// 3. Rank with two scorers and fuse the results.
+	merged, err := c.ExplainMulti([]explainit.ExplainOptions{
+		{Target: "runtime", Scorer: explainit.CorrMax, Seed: 1},
+		{Target: "runtime", Scorer: explainit.L2, Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfused ranking (CorrMax + L2, reciprocal-rank fusion):")
+	for i, m := range merged {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-22s rrf %.4f (in %d/2 rankings, best rank %d)\n",
+			i+1, m.Family, m.Score, m.Queries, m.BestRank)
+	}
+
+	// 4. Significance under Bonferroni.
+	adj, err := c.ExplainAdjusted(explainit.ExplainOptions{Target: "runtime", Seed: 1},
+		explainit.CorrectionBonferroni, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBonferroni-adjusted significance (alpha = 0.01):")
+	for i, row := range adj.Rows {
+		if i >= 5 {
+			break
+		}
+		mark := " "
+		if adj.Significant[i] {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-22s score %.2f adj-p %.1e\n", mark, row.Family, row.Score, adj.AdjustedPValues[i])
+	}
+
+	// 5. The visual check before acting on the top hypothesis.
+	overlay, err := c.Overlay("runtime", "db_latency", nil, 90, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(overlay)
+}

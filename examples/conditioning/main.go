@@ -1,0 +1,77 @@
+// Conditioning reproduces case study §5.2 (Figure 6): production load
+// drives both pipeline runtime and most infrastructure metrics, hiding a
+// hypervisor packet-drop issue. Conditioning the ranking on the observed
+// input size disentangles the two sources of variation and surfaces the
+// network-stack evidence — the paper's central demonstration of why a
+// causal (not merely correlational) framework matters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"explainit"
+	"explainit/internal/simulator"
+	"explainit/internal/stats"
+	"explainit/internal/viz"
+)
+
+func main() {
+	cfg := simulator.DefaultCaseStudyConfig()
+	before := simulator.CaseStudyConditioning(cfg, false)
+
+	c := load(before)
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, before.Step); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Unconditioned global search (everything correlates with load):")
+	plain, err := c.Explain(explainit.ExplainOptions{Target: before.Target, TopK: 6, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plain.String())
+
+	fmt.Println("\nConditioned on input_size (the known, uninteresting cause):")
+	conditioned, err := c.Explain(explainit.ExplainOptions{
+		Target:    before.Target,
+		Condition: []string{"input_size"},
+		TopK:      6,
+		Seed:      12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(conditioned.String())
+	fmt.Println("\nThe network-stack families (tcp_retransmits, network_latency) now lead:")
+	fmt.Println("the paper's engineers followed exactly this evidence to the hypervisor queue.")
+
+	// Figure 6: runtime distributions before and after the fix.
+	after := simulator.CaseStudyConditioning(cfg, true)
+	rb := firstValues(before)
+	ra := firstValues(after)
+	fmt.Println()
+	fmt.Print(viz.Histogram("Figure 6 (before fix): runtime distribution", rb, 12, 44))
+	fmt.Print(viz.Histogram("Figure 6 (after fix): runtime distribution", ra, 12, 44))
+	mb, ma := stats.Mean(rb), stats.Mean(ra)
+	fmt.Printf("mean runtime %.1f -> %.1f: a %.0f%% reduction (the paper measured ~10%%)\n",
+		mb, ma, 100*(mb-ma)/mb)
+}
+
+func load(sc *simulator.Scenario) *explainit.Client {
+	c := explainit.New()
+	for _, s := range sc.Series {
+		for _, smp := range s.Samples {
+			c.Put(s.Name, explainit.Tags(s.Tags), smp.TS, smp.Value)
+		}
+	}
+	return c
+}
+
+func firstValues(sc *simulator.Scenario) []float64 {
+	for _, vals := range sc.MetricValues("runtime_pipeline_0") {
+		return vals
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Faultinjection reproduces case study §5.1 (Table 3, Figure 5): packet
+// drops are injected at all datanodes of a simulated cluster; the global
+// search across every metric family surfaces TCP retransmissions as the
+// cause, surrounded by the expected pipeline runtime/latency effects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"explainit"
+	"explainit/internal/simulator"
+	"explainit/internal/stats"
+	"explainit/internal/viz"
+)
+
+func main() {
+	cfg := simulator.DefaultCaseStudyConfig()
+	sc := simulator.CaseStudyPacketDrop(cfg)
+
+	// Figure 5: the runtime during the injection windows.
+	var runtime []float64
+	for _, vals := range sc.MetricValues("runtime_pipeline_0") {
+		runtime = vals
+	}
+	fmt.Print(viz.Timeline("Figure 5: pipeline runtime (drops every 2h)", runtime, 100, 10))
+	var faulty, quiet []float64
+	for i, v := range runtime {
+		if simulator.InPacketDropWindow(i) {
+			faulty = append(faulty, v)
+		} else {
+			quiet = append(quiet, v)
+		}
+	}
+	fmt.Printf("mean runtime %.1f quiet vs %.1f during drops\n\n", stats.Mean(quiet), stats.Mean(faulty))
+
+	// Load the scenario into the public API and run the global search.
+	c := explainit.New()
+	for _, s := range sc.Series {
+		for _, smp := range s.Samples {
+			c.Put(s.Name, explainit.Tags(s.Tags), smp.TS, smp.Value)
+		}
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, sc.Step); err != nil {
+		log.Fatal(err)
+	}
+	ranking, err := c.Explain(explainit.ExplainOptions{Target: sc.Target, TopK: 10, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 3: global search across all metric families")
+	fmt.Print(ranking.String())
+
+	labels := sc.FamilyLabels()
+	fmt.Println("\nground truth:")
+	for _, row := range ranking.Rows {
+		verdict := "irrelevant"
+		switch labels[row.Family] {
+		case 2:
+			verdict = "CAUSE — this is the evidence the paper's operators acted on"
+		case 1:
+			verdict = "effect (expected; runtime is the sum of save times)"
+		}
+		fmt.Printf("  %-26s %s\n", row.Family, verdict)
+	}
+}

@@ -1,0 +1,108 @@
+// Periodic reproduces case studies §5.3 and §5.4 (Tables 4-5, Figures 7-9):
+// time-correlated slowdowns. First the namenode's 15-minute
+// GetContentSummary scans, then the weekly RAID consistency check, with the
+// before/after-intervention contrasts the paper used to confirm each
+// hypothesis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"explainit"
+	"explainit/internal/simulator"
+	"explainit/internal/stats"
+	"explainit/internal/viz"
+)
+
+func main() {
+	namenode()
+	raid()
+}
+
+func namenode() {
+	fmt.Println("=== §5.3: periodic pipeline slowdown (every 15 minutes) ===")
+	cfg := simulator.DefaultCaseStudyConfig()
+	sc := simulator.CaseStudyNamenode(cfg, false)
+
+	c := load(sc)
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, sc.Step); err != nil {
+		log.Fatal(err)
+	}
+	ranking, err := c.Explain(explainit.ExplainOptions{Target: sc.Target, TopK: 8, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 4: global search points at the namenode:")
+	fmt.Print(ranking.String())
+
+	runtime := firstValues(sc, "runtime_pipeline_0")
+	gc := firstValues(sc, "namenode_gc_time")
+	threads := firstValues(sc, "namenode_live_threads")
+	fmt.Printf("\ncorr(runtime, namenode GC) = %+.2f  -> rules GC out (negative)\n", stats.Pearson(gc, runtime))
+	fmt.Printf("corr(runtime, live threads) = %+.2f -> RPC flood confirmed (positive)\n", stats.Pearson(threads, runtime))
+
+	fixed := simulator.CaseStudyNamenode(cfg, true)
+	fmt.Println()
+	fmt.Print(viz.Timeline("Figure 7 (before fix, 4h window)", firstValues(sc, "runtime_pipeline_0")[:240], 100, 8))
+	fmt.Print(viz.Timeline("Figure 7 (after fix, 4h window)", firstValues(fixed, "runtime_pipeline_0")[:240], 100, 8))
+	fmt.Println()
+}
+
+func raid() {
+	fmt.Println("=== §5.4: weekly spikes and the RAID consistency check ===")
+	cfg := simulator.DefaultCaseStudyConfig()
+	cfg.DayPeriod = 96
+	cfg.T = 4 * 7 * cfg.DayPeriod // a month
+	sc := simulator.CaseStudyRAID(cfg, simulator.RAIDDefault)
+
+	runtime := firstValues(sc, "runtime_pipeline_0")
+	fmt.Print(viz.Timeline("Figure 8: runtime over one month", runtime, 112, 9))
+	week := 7 * cfg.DayPeriod
+	fmt.Printf("detected period: %d samples (one scaled week = %d)\n\n",
+		stats.DetectPeriod(runtime, week/2, 2*week, 0.05), week)
+
+	c := load(sc)
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, sc.Step); err != nil {
+		log.Fatal(err)
+	}
+	ranking, err := c.Explain(explainit.ExplainOptions{Target: sc.Target, TopK: 8, Seed: 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 5: global search points at load / disk utilisation:")
+	fmt.Print(ranking.String())
+
+	fmt.Println("\nFigure 9: the intervention experiment")
+	for _, p := range []struct {
+		profile simulator.RAIDProfile
+		name    string
+	}{
+		{simulator.RAIDDefault, "default (20% IO budget)"},
+		{simulator.RAIDDisabled, "consistency check disabled"},
+		{simulator.RAIDReduced, "reduced to 5% IO budget"},
+	} {
+		v := firstValues(simulator.CaseStudyRAID(cfg, p.profile), "runtime_pipeline_0")
+		fmt.Printf("  %-28s runtime variance %6.2f\n", p.name, stats.Variance(v))
+	}
+	fmt.Println("disabling or throttling the check removes the weekly spikes, confirming the hypothesis.")
+}
+
+func load(sc *simulator.Scenario) *explainit.Client {
+	c := explainit.New()
+	for _, s := range sc.Series {
+		for _, smp := range s.Samples {
+			c.Put(s.Name, explainit.Tags(s.Tags), smp.TS, smp.Value)
+		}
+	}
+	return c
+}
+
+func firstValues(sc *simulator.Scenario, metric string) []float64 {
+	for _, vals := range sc.MetricValues(metric) {
+		return vals
+	}
+	return nil
+}

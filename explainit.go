@@ -1,0 +1,366 @@
+// Package explainit is a declarative root-cause analysis engine for time
+// series data, reproducing the system described in "ExplainIt! — A
+// declarative root-cause analysis engine for time series data" (SIGMOD
+// 2019).
+//
+// The workflow mirrors the paper's three steps:
+//
+//  1. Load telemetry into the built-in time series store (Put, LoadCSV,
+//     LoadJSONL) and group metrics into feature families (BuildFamilies for
+//     name/tag groupings, DefineFamiliesSQL for arbitrary SQL groupings).
+//  2. Pick the target family and, optionally, families to condition on —
+//     or derive a pseudocause from the target's own seasonality.
+//  3. Explain: every candidate family is scored for conditional dependence
+//     with the target and the top-K results are returned, ranked.
+//
+// A quick example:
+//
+//	c := explainit.New()
+//	// ... c.Put(...) telemetry ...
+//	c.BuildFamilies("name", from, to, time.Minute)
+//	ranking, err := c.Explain(explainit.ExplainOptions{Target: "pipeline_runtime"})
+package explainit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"explainit/internal/cluster"
+	"explainit/internal/connector"
+	"explainit/internal/core"
+	"explainit/internal/sqlexec"
+	ts "explainit/internal/timeseries"
+	"explainit/internal/tsdb"
+)
+
+// Tags annotates a metric with key/value pairs.
+type Tags map[string]string
+
+// Client is the top-level handle: a time series store, a SQL catalog over
+// it, and the hypothesis-ranking engine.
+type Client struct {
+	db       *tsdb.DB
+	families map[string]*core.Family
+	famOrder []string
+	workers  *cluster.Pool // non-nil after ConnectWorkers
+}
+
+// New creates an empty client.
+func New() *Client {
+	return &Client{
+		db:       tsdb.New(),
+		families: make(map[string]*core.Family),
+	}
+}
+
+// Put records one observation.
+func (c *Client) Put(metric string, tags Tags, at time.Time, value float64) {
+	c.db.Put(metric, ts.Tags(tags), at, value)
+}
+
+// LoadCSV ingests "timestamp,metric,tags,value" records (tags as
+// semicolon-separated k=v pairs). It returns the number of rows loaded.
+func (c *Client) LoadCSV(r io.Reader) (int, error) { return connector.LoadCSV(c.db, r) }
+
+// LoadJSONL ingests newline-delimited JSON records of the form
+// {"ts":..., "metric":..., "tags":{...}, "value":...}.
+func (c *Client) LoadJSONL(r io.Reader) (int, error) { return connector.LoadJSONL(c.db, r) }
+
+// MetricNames lists the distinct metric names in the store.
+func (c *Client) MetricNames() []string { return c.db.MetricNames() }
+
+// NumSeries returns the number of distinct (metric, tags) series.
+func (c *Client) NumSeries() int { return c.db.NumSeries() }
+
+// Bounds returns the time range covered by the stored data.
+func (c *Client) Bounds() (from, to time.Time, ok bool) {
+	min, max, ok := c.db.Bounds()
+	return min, max.Add(time.Nanosecond), ok
+}
+
+// FamilyInfo summarises one materialised feature family.
+type FamilyInfo struct {
+	Name     string
+	Features int
+	Rows     int
+}
+
+// BuildFamilies materialises feature families from the store over [from,
+// to) at the given step. groupBy is either "name" (group by metric name,
+// the paper's default) or "tag:<key>" (group by one tag's value, §3.2).
+// Newly built families replace any previously defined set.
+func (c *Client) BuildFamilies(groupBy string, from, to time.Time, step time.Duration) ([]FamilyInfo, error) {
+	var gf core.GroupFunc
+	switch {
+	case groupBy == "name" || groupBy == "":
+		gf = core.GroupByMetricName
+	case strings.HasPrefix(groupBy, "tag:"):
+		gf = core.GroupByTag(strings.TrimPrefix(groupBy, "tag:"))
+	default:
+		return nil, fmt.Errorf("explainit: unknown grouping %q (use \"name\" or \"tag:<key>\")", groupBy)
+	}
+	series, err := c.db.Run(tsdb.Query{Range: ts.TimeRange{From: from, To: to}})
+	if err != nil {
+		return nil, err
+	}
+	fams, err := core.BuildFamilies(series, gf, ts.TimeRange{From: from, To: to}, step)
+	if err != nil {
+		return nil, err
+	}
+	c.families = make(map[string]*core.Family, len(fams))
+	c.famOrder = c.famOrder[:0]
+	return c.registerFamilies(fams), nil
+}
+
+// DefineFamiliesSQL adds families produced by a SQL query over the store.
+// The query runs against a table named "tsdb" with columns (timestamp,
+// metric_name, tag, value); its result must contain timeCol plus keyCol
+// (the family name column — pass "" to put all rows in one family) and one
+// or more numeric feature columns. Families accumulate next to previously
+// built ones (replacing same-named families), so several queries can stage
+// a search space, as in Appendix C.
+func (c *Client) DefineFamiliesSQL(query, timeCol, keyCol string, from, to time.Time, step time.Duration) ([]FamilyInfo, error) {
+	cat := sqlexec.NewMemCatalog()
+	if err := cat.RegisterTSDB("tsdb", c.db); err != nil {
+		return nil, err
+	}
+	rel, err := sqlexec.Run(query, cat)
+	if err != nil {
+		return nil, err
+	}
+	fams, err := core.FamiliesFromRelation(rel, timeCol, keyCol, ts.TimeRange{From: from, To: to}, step)
+	if err != nil {
+		return nil, err
+	}
+	return c.registerFamilies(fams), nil
+}
+
+func (c *Client) registerFamilies(fams []*core.Family) []FamilyInfo {
+	infos := make([]FamilyInfo, 0, len(fams))
+	for _, f := range fams {
+		if _, exists := c.families[f.Name]; !exists {
+			c.famOrder = append(c.famOrder, f.Name)
+		}
+		c.families[f.Name] = f
+		infos = append(infos, FamilyInfo{Name: f.Name, Features: f.NumFeatures(), Rows: f.NumRows()})
+	}
+	return infos
+}
+
+// Families lists the currently defined families, in definition order.
+func (c *Client) Families() []FamilyInfo {
+	out := make([]FamilyInfo, 0, len(c.famOrder))
+	for _, name := range c.famOrder {
+		f := c.families[name]
+		out = append(out, FamilyInfo{Name: f.Name, Features: f.NumFeatures(), Rows: f.NumRows()})
+	}
+	return out
+}
+
+// Query runs a SQL statement against the store's "tsdb" table and returns
+// the result for inspection. Values are float64, string, time.Time, or nil
+// for SQL NULL.
+func (c *Client) Query(query string) (*Result, error) {
+	cat := sqlexec.NewMemCatalog()
+	if err := cat.RegisterTSDB("tsdb", c.db); err != nil {
+		return nil, err
+	}
+	rel, err := sqlexec.Run(query, cat)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: append([]string{}, rel.Cols...)}
+	for _, row := range rel.Rows {
+		out := make([]interface{}, len(row))
+		for i, v := range row {
+			switch v.Kind {
+			case sqlexec.KNull:
+				out[i] = nil
+			case sqlexec.KNumber:
+				out[i] = v.F
+			case sqlexec.KTime:
+				out[i] = v.T
+			default:
+				out[i] = v.AsString()
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// Result is a SQL query result.
+type Result struct {
+	Columns []string
+	Rows    [][]interface{}
+}
+
+// ScorerName selects a hypothesis scorer (§3.5 / Table 6).
+type ScorerName string
+
+// Available scorers.
+const (
+	CorrMean ScorerName = "corrmean" // mean absolute pairwise correlation
+	CorrMax  ScorerName = "corrmax"  // max absolute pairwise correlation
+	L2       ScorerName = "l2"       // cross-validated ridge regression
+	L2P50    ScorerName = "l2-p50"   // ridge after random projection to 50 dims
+	L2P500   ScorerName = "l2-p500"  // ridge after random projection to 500 dims
+	L1       ScorerName = "l1"       // cross-validated lasso (ablation)
+)
+
+func scorerFor(name ScorerName, seed int64) (core.Scorer, error) {
+	switch name {
+	case CorrMean:
+		return &core.CorrScorer{}, nil
+	case CorrMax:
+		return &core.CorrScorer{UseMax: true}, nil
+	case L2, "":
+		return &core.L2Scorer{Seed: seed}, nil
+	case L2P50:
+		return &core.L2Scorer{ProjectDim: 50, Seed: seed}, nil
+	case L2P500:
+		return &core.L2Scorer{ProjectDim: 500, Seed: seed}, nil
+	case L1:
+		return &core.LassoScorer{}, nil
+	}
+	return nil, fmt.Errorf("explainit: unknown scorer %q", name)
+}
+
+// ExplainOptions configures one ranking query (one iteration of
+// Algorithm 1).
+type ExplainOptions struct {
+	// Target names the family to explain (required).
+	Target string
+	// Condition lists families to condition on (may be empty).
+	Condition []string
+	// Pseudocause, when true, additionally conditions on the seasonal +
+	// trend component of the target itself (§3.4). PseudocausePeriod
+	// fixes the seasonal period in samples; 0 auto-detects.
+	Pseudocause       bool
+	PseudocausePeriod int
+	// SearchSpace restricts the candidate families; empty means all
+	// defined families.
+	SearchSpace []string
+	// Scorer selects the scoring algorithm; default L2.
+	Scorer ScorerName
+	// TopK bounds the result table (default 20).
+	TopK int
+	// Workers bounds scoring parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed makes projection-based scorers reproducible.
+	Seed int64
+	// ExplainFrom/ExplainTo optionally highlight the event to explain
+	// (Figure 2); zero values use the whole range.
+	ExplainFrom, ExplainTo time.Time
+}
+
+// RankedFamily is one row of a ranking.
+type RankedFamily struct {
+	Rank     int
+	Family   string
+	Features int
+	Score    float64
+	PValue   float64
+	Viz      string
+	Elapsed  time.Duration
+}
+
+// Ranking is the outcome of Explain: candidate causes in decreasing order
+// of causal relevance to the target.
+type Ranking struct {
+	Rows    []RankedFamily
+	Skipped []string
+}
+
+// String renders the ranking as the operator-facing score table.
+func (r *Ranking) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-38s %8s %9s %10s  %s\n", "rank", "family", "feats", "score", "p-value", "viz")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-4d %-38s %8d %9.3f %10.2e  %s\n",
+			row.Rank, truncate(row.Family, 38), row.Features, row.Score, row.PValue, row.Viz)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Explain ranks candidate families by how well they explain the target,
+// optionally conditioning on other families or a pseudocause.
+func (c *Client) Explain(opts ExplainOptions) (*Ranking, error) {
+	target, ok := c.families[opts.Target]
+	if !ok {
+		return nil, fmt.Errorf("explainit: unknown target family %q (call BuildFamilies first)", opts.Target)
+	}
+	var condition []*core.Family
+	for _, name := range opts.Condition {
+		f, ok := c.families[name]
+		if !ok {
+			return nil, fmt.Errorf("explainit: unknown conditioning family %q", name)
+		}
+		condition = append(condition, f)
+	}
+	if opts.Pseudocause {
+		pc, err := core.Pseudocause(target, opts.PseudocausePeriod)
+		if err != nil {
+			return nil, err
+		}
+		condition = append(condition, pc)
+	}
+	var candidates []*core.Family
+	if len(opts.SearchSpace) > 0 {
+		for _, name := range opts.SearchSpace {
+			f, ok := c.families[name]
+			if !ok {
+				return nil, fmt.Errorf("explainit: unknown family %q in search space", name)
+			}
+			candidates = append(candidates, f)
+		}
+	} else {
+		names := make([]string, 0, len(c.families))
+		for n := range c.families {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			candidates = append(candidates, c.families[n])
+		}
+	}
+	scorer, err := scorerFor(opts.Scorer, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := &core.Engine{Scorer: scorer, Workers: opts.Workers, TopK: opts.TopK}
+	req := core.Request{Target: target, Condition: condition, Candidates: candidates}
+	if !opts.ExplainFrom.IsZero() || !opts.ExplainTo.IsZero() {
+		req.ExplainRange = ts.TimeRange{From: opts.ExplainFrom, To: opts.ExplainTo}
+	}
+	table, err := eng.Rank(req)
+	if err != nil {
+		return nil, err
+	}
+	ranking := &Ranking{Skipped: table.Skipped}
+	for i, res := range table.Results {
+		if res.Err != nil {
+			continue
+		}
+		ranking.Rows = append(ranking.Rows, RankedFamily{
+			Rank:     i + 1,
+			Family:   res.Family,
+			Features: res.Features,
+			Score:    res.Score,
+			PValue:   res.PValue,
+			Viz:      res.Viz,
+			Elapsed:  res.Elapsed,
+		})
+	}
+	return ranking, nil
+}

@@ -1,0 +1,126 @@
+package explainit
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSuggestExplainRange(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(9))
+	n := 400
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		v := 10 + 0.5*rng.NormFloat64()
+		if i >= 250 && i < 280 {
+			v += 30
+		}
+		c.Put("runtime", nil, at, v)
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok, err := c.SuggestExplainRange("runtime", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("window not found")
+	}
+	wantLo := t0.Add(250 * time.Minute)
+	wantHi := t0.Add(280 * time.Minute)
+	if lo.Before(wantLo.Add(-5*time.Minute)) || lo.After(wantLo.Add(5*time.Minute)) {
+		t.Fatalf("window start %v, want ~%v", lo, wantLo)
+	}
+	if hi.Before(wantHi.Add(-5*time.Minute)) || hi.After(wantHi.Add(5*time.Minute)) {
+		t.Fatalf("window end %v, want ~%v", hi, wantHi)
+	}
+	if _, _, _, err := c.SuggestExplainRange("nope", 3); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+func TestSuggestExplainRangeNoAnomaly(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		c.Put("flatish", nil, t0.Add(time.Duration(i)*time.Minute), rng.NormFloat64())
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := c.SuggestExplainRange("flatish", 8); err != nil || ok {
+		t.Fatalf("no window expected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDiscoverStructure(t *testing.T) {
+	// Chain: scan -> rpc_latency -> runtime, with a fork confounder and a
+	// second independent cause for the collider rule.
+	c := New()
+	rng := rand.New(rand.NewSource(11))
+	n := 500
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		scan := 0.0
+		if i%100 < 25 {
+			scan = 3
+		}
+		rpc := 1.5*scan + 0.2*rng.NormFloat64()
+		indep := 2 * rng.NormFloat64()
+		runtime := 2*rpc + indep + 0.2*rng.NormFloat64()
+		c.Put("scan_count", nil, at, scan+0.1*rng.NormFloat64())
+		c.Put("rpc_latency", nil, at, rpc)
+		c.Put("gc_pressure", nil, at, indep+0.1*rng.NormFloat64())
+		c.Put("runtime", nil, at, runtime)
+		c.Put("bystander", nil, at, rng.NormFloat64())
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.DiscoverStructure("runtime", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbours := map[string]CausalEdge{}
+	for _, e := range st.Neighbours {
+		neighbours[e.Family] = e
+	}
+	if _, ok := neighbours["rpc_latency"]; !ok {
+		t.Fatalf("rpc_latency should stay adjacent: %+v", st.Neighbours)
+	}
+	if _, ok := neighbours["gc_pressure"]; !ok {
+		t.Fatalf("gc_pressure should stay adjacent: %+v", st.Neighbours)
+	}
+	// The chain's root is pruned given its mediator.
+	if sep, removed := st.Removed["scan_count"]; !removed || len(sep) == 0 {
+		t.Fatalf("scan_count should be pruned with a separator: %v", st.Removed)
+	}
+	if _, removed := st.Removed["bystander"]; !removed {
+		t.Fatalf("bystander should be pruned: %v", st.Removed)
+	}
+	// Collider rule: rpc_latency and gc_pressure are marginally
+	// independent but jointly drive runtime -> both oriented as causes.
+	if !neighbours["rpc_latency"].Cause || !neighbours["gc_pressure"].Cause {
+		t.Fatalf("collider orientation missing: %+v", st.Neighbours)
+	}
+	// Errors.
+	if _, err := c.DiscoverStructure("nope", nil, 1); err == nil {
+		t.Fatal("unknown target")
+	}
+	if _, err := c.DiscoverStructure("runtime", []string{"nope"}, 1); err == nil {
+		t.Fatal("unknown search space member")
+	}
+	// Restricted search space.
+	st2, err := c.DiscoverStructure("runtime", []string{"rpc_latency"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Neighbours) != 1 {
+		t.Fatalf("restricted neighbours %+v", st2.Neighbours)
+	}
+}

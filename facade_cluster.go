@@ -1,0 +1,141 @@
+package explainit
+
+import (
+	"fmt"
+
+	"explainit/internal/cluster"
+	"explainit/internal/core"
+)
+
+// ConnectWorkers attaches remote scoring workers (explainitd daemons) to
+// the client. Once connected, ExplainRemote fans hypotheses out across
+// them — the horizontal scaling path of §4, one hypothesis per RPC.
+func (c *Client) ConnectWorkers(addrs ...string) error {
+	pool, err := cluster.Dial(addrs...)
+	if err != nil {
+		return err
+	}
+	if c.workers != nil {
+		c.workers.Close()
+	}
+	c.workers = pool
+	return nil
+}
+
+// CloseWorkers disconnects from the worker pool.
+func (c *Client) CloseWorkers() {
+	if c.workers != nil {
+		c.workers.Close()
+		c.workers = nil
+	}
+}
+
+// NumWorkers reports the connected worker count.
+func (c *Client) NumWorkers() int {
+	if c.workers == nil {
+		return 0
+	}
+	return c.workers.Size()
+}
+
+// ExplainRemote is Explain executed on the connected worker pool instead
+// of in-process goroutines. Conditioning families are shipped with every
+// hypothesis; pseudocauses and explain ranges are not yet supported on the
+// remote path (the coordinator computes those locally — use Explain).
+func (c *Client) ExplainRemote(opts ExplainOptions) (*Ranking, error) {
+	if c.workers == nil {
+		return nil, fmt.Errorf("explainit: no workers connected (call ConnectWorkers)")
+	}
+	target, ok := c.families[opts.Target]
+	if !ok {
+		return nil, fmt.Errorf("explainit: unknown target family %q", opts.Target)
+	}
+	if opts.Pseudocause || !opts.ExplainFrom.IsZero() || !opts.ExplainTo.IsZero() {
+		return nil, fmt.Errorf("explainit: pseudocauses and explain ranges are local-only; use Explain")
+	}
+	var z *core.Family
+	if len(opts.Condition) > 0 {
+		fams := make([]*core.Family, 0, len(opts.Condition))
+		for _, name := range opts.Condition {
+			f, ok := c.families[name]
+			if !ok {
+				return nil, fmt.Errorf("explainit: unknown conditioning family %q", name)
+			}
+			fams = append(fams, f)
+		}
+		var err error
+		z, err = core.ConcatFamilies("Z", fams)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var spec cluster.ScorerSpec
+	switch opts.Scorer {
+	case CorrMean:
+		spec.Kind = "corrmean"
+	case CorrMax:
+		spec.Kind = "corrmax"
+	case L2, "":
+		spec.Kind = "l2"
+	case L2P50:
+		spec.Kind = "l2"
+		spec.ProjectDim = 50
+	case L2P500:
+		spec.Kind = "l2"
+		spec.ProjectDim = 500
+	case L1:
+		spec.Kind = "l1"
+	default:
+		return nil, fmt.Errorf("explainit: unknown scorer %q", opts.Scorer)
+	}
+	spec.Seed = opts.Seed
+	// Univariate scorers cannot condition; fall back to joint, as Explain
+	// does (§3.5).
+	if z != nil && (spec.Kind == "corrmean" || spec.Kind == "corrmax") {
+		spec.Kind = "l2"
+	}
+
+	excluded := map[string]bool{opts.Target: true}
+	for _, name := range opts.Condition {
+		excluded[name] = true
+	}
+	var candidates []*core.Family
+	var skipped []string
+	pick := opts.SearchSpace
+	if len(pick) == 0 {
+		pick = c.famOrder
+	}
+	for _, name := range pick {
+		f, ok := c.families[name]
+		if !ok {
+			return nil, fmt.Errorf("explainit: unknown family %q in search space", name)
+		}
+		if excluded[name] || f.NumRows() != target.NumRows() {
+			skipped = append(skipped, name)
+			continue
+		}
+		candidates = append(candidates, f)
+	}
+
+	results, err := c.workers.Rank(target, candidates, z, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = 20
+	}
+	ranking := &Ranking{Skipped: skipped}
+	for i, r := range results {
+		if r.Err != nil || i >= topK {
+			continue
+		}
+		ranking.Rows = append(ranking.Rows, RankedFamily{
+			Rank:    i + 1,
+			Family:  r.Family,
+			Score:   r.Score,
+			Elapsed: r.Elapsed,
+		})
+	}
+	return ranking, nil
+}

@@ -1,0 +1,125 @@
+package explainit
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"explainit/internal/cluster"
+)
+
+// startWorker launches an in-process scoring worker on a loopback port.
+func startWorker(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() { _ = cluster.Serve(l) }()
+	return l.Addr().String()
+}
+
+func TestExplainRemoteMatchesLocal(t *testing.T) {
+	addr1 := startWorker(t)
+	addr2 := startWorker(t)
+
+	c, from, to := seedClient(t)
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConnectWorkers(addr1, addr2); err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseWorkers()
+	if c.NumWorkers() != 2 {
+		t.Fatalf("workers %d", c.NumWorkers())
+	}
+
+	remote, err := c.ExplainRemote(ExplainOptions{Target: "pipeline_runtime", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := c.Explain(ExplainOptions{Target: "pipeline_runtime", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Rows[0].Family != local.Rows[0].Family {
+		t.Fatalf("remote top %q vs local top %q", remote.Rows[0].Family, local.Rows[0].Family)
+	}
+	if remote.Rows[0].Family != "tcp_retransmits" {
+		t.Fatalf("remote top %q", remote.Rows[0].Family)
+	}
+	diff := remote.Rows[0].Score - local.Rows[0].Score
+	if diff > 0.05 || diff < -0.05 {
+		t.Fatalf("remote score %g vs local %g", remote.Rows[0].Score, local.Rows[0].Score)
+	}
+	// Target skipped on the remote path too.
+	found := false
+	for _, s := range remote.Skipped {
+		if s == "pipeline_runtime" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("target should be skipped remotely: %v", remote.Skipped)
+	}
+}
+
+func TestExplainRemoteConditioning(t *testing.T) {
+	addr := startWorker(t)
+	c, from, to := seedClient(t)
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConnectWorkers(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseWorkers()
+	ranking, err := c.ExplainRemote(ExplainOptions{
+		Target:      "pipeline_runtime",
+		Condition:   []string{"noise_a"},
+		Scorer:      CorrMax, // must fall back to joint under conditioning
+		SearchSpace: []string{"tcp_retransmits", "noise_b"},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking.Rows) != 2 || ranking.Rows[0].Family != "tcp_retransmits" {
+		t.Fatalf("remote conditioned ranking %+v", ranking.Rows)
+	}
+}
+
+func TestExplainRemoteErrors(t *testing.T) {
+	c, from, to := seedClient(t)
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExplainRemote(ExplainOptions{Target: "pipeline_runtime"}); err == nil {
+		t.Fatal("no workers must error")
+	}
+	addr := startWorker(t)
+	if err := c.ConnectWorkers(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseWorkers()
+	if _, err := c.ExplainRemote(ExplainOptions{Target: "nope"}); err == nil {
+		t.Fatal("unknown target")
+	}
+	if _, err := c.ExplainRemote(ExplainOptions{Target: "pipeline_runtime", Pseudocause: true}); err == nil {
+		t.Fatal("pseudocause is local-only")
+	}
+	if _, err := c.ExplainRemote(ExplainOptions{Target: "pipeline_runtime", Scorer: "quantum"}); err == nil {
+		t.Fatal("unknown scorer")
+	}
+	if _, err := c.ExplainRemote(ExplainOptions{Target: "pipeline_runtime", Condition: []string{"nope"}}); err == nil {
+		t.Fatal("unknown condition")
+	}
+	if _, err := c.ExplainRemote(ExplainOptions{Target: "pipeline_runtime", SearchSpace: []string{"nope"}}); err == nil {
+		t.Fatal("unknown search family")
+	}
+	if err := c.ConnectWorkers(); err == nil {
+		t.Fatal("empty worker list must error")
+	}
+}

@@ -1,0 +1,181 @@
+package explainit
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadLogsIntoFamilies(t *testing.T) {
+	c := New()
+	var b strings.Builder
+	// Error-log bursts coincide with runtime spikes.
+	for i := 0; i < 240; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		spike := i%80 >= 50 && i%80 < 60
+		runtime := 10.0
+		if spike {
+			runtime = 30
+			for k := 0; k < 5; k++ {
+				b.WriteString(at.Format(time.RFC3339))
+				b.WriteString(" write failed after 120 ms retry 3\n")
+			}
+		}
+		b.WriteString(at.Format(time.RFC3339))
+		b.WriteString(" heartbeat ok seq 42\n")
+		c.Put("runtime", nil, at, runtime)
+	}
+	lines, templates, err := c.LoadLogs(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 || templates != 2 {
+		t.Fatalf("lines %d templates %d", lines, templates)
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ranking, err := c.Explain(ExplainOptions{Target: "runtime", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranking.Rows[0].Family != "log_template" {
+		t.Fatalf("log family should explain the spikes: %+v", ranking.Rows)
+	}
+}
+
+func TestLagAPI(t *testing.T) {
+	c, from, to := seedClient(t)
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Lag("tcp_retransmits", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, fi := range c.Families() {
+		if fi.Name == "tcp_retransmits" && fi.Features != 3 {
+			t.Fatalf("lagged features %d", fi.Features)
+		}
+	}
+	if err := c.Lag("nope", 1); err == nil {
+		t.Fatal("unknown family must error")
+	}
+	if err := c.Lag("tcp_retransmits", -1); err == nil {
+		t.Fatal("bad lag must error")
+	}
+}
+
+func TestExplainAdjusted(t *testing.T) {
+	c, from, to := seedClient(t)
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	adj, err := c.ExplainAdjusted(ExplainOptions{Target: "pipeline_runtime", Seed: 1}, CorrectionBonferroni, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adj.AdjustedPValues) != len(adj.Rows) || len(adj.Significant) != len(adj.Rows) {
+		t.Fatal("alignment")
+	}
+	// The true cause must survive Bonferroni (the paper's observation).
+	if adj.Rows[0].Family != "tcp_retransmits" || !adj.Significant[0] {
+		t.Fatalf("top result should be significant: %+v %v", adj.Rows[0], adj.AdjustedPValues[0])
+	}
+	// Adjusted p-values never fall below raw ones.
+	for i, row := range adj.Rows {
+		if adj.AdjustedPValues[i] < row.PValue-1e-12 {
+			t.Fatalf("adjusted %g < raw %g", adj.AdjustedPValues[i], row.PValue)
+		}
+	}
+	if _, err := c.ExplainAdjusted(ExplainOptions{Target: "pipeline_runtime"}, "magic", 0.05); err == nil {
+		t.Fatal("unknown correction must error")
+	}
+	bh, err := c.ExplainAdjusted(ExplainOptions{Target: "pipeline_runtime", Seed: 1}, CorrectionBH, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bh.Significant[0] {
+		t.Fatal("BH should also keep the cause")
+	}
+}
+
+func TestExplainMulti(t *testing.T) {
+	c, from, to := seedClient(t)
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := c.ExplainMulti([]ExplainOptions{
+		{Target: "pipeline_runtime", Scorer: CorrMax, Seed: 1},
+		{Target: "pipeline_runtime", Scorer: L2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) == 0 || merged[0].Family != "tcp_retransmits" {
+		t.Fatalf("merged top %+v", merged)
+	}
+	if merged[0].Queries != 2 || merged[0].BestRank != 1 {
+		t.Fatalf("merged metadata %+v", merged[0])
+	}
+	if _, err := c.ExplainMulti(nil); err == nil {
+		t.Fatal("empty queries must error")
+	}
+	if _, err := c.ExplainMulti([]ExplainOptions{{Target: "nope"}}); err == nil {
+		t.Fatal("bad query must error")
+	}
+}
+
+func TestOverlayAPI(t *testing.T) {
+	c, from, to := seedClient(t)
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Overlay("pipeline_runtime", "tcp_retransmits", nil, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E[pipeline_runtime | tcp_retransmits]") {
+		t.Fatalf("overlay title: %q", out[:60])
+	}
+	withZ, err := c.Overlay("pipeline_runtime", "tcp_retransmits", []string{"noise_a"}, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(withZ, "Z]") {
+		t.Fatal("conditional overlay title")
+	}
+	if _, err := c.Overlay("nope", "tcp_retransmits", nil, 10, 4); err == nil {
+		t.Fatal("unknown target")
+	}
+	if _, err := c.Overlay("pipeline_runtime", "nope", nil, 10, 4); err == nil {
+		t.Fatal("unknown candidate")
+	}
+	if _, err := c.Overlay("pipeline_runtime", "tcp_retransmits", []string{"nope"}, 10, 4); err == nil {
+		t.Fatal("unknown condition")
+	}
+}
+
+func TestRecentWindow(t *testing.T) {
+	c, from, to := seedClient(t)
+	lo, hi, err := c.RecentWindow(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hi.After(lo) || lo.Before(from) || hi.Before(to.Add(-time.Minute)) {
+		t.Fatalf("window [%v, %v] vs data [%v, %v]", lo, hi, from, to)
+	}
+	span := hi.Sub(lo)
+	total := hi.Sub(from)
+	ratio := float64(span) / float64(total)
+	if ratio < 0.2 || ratio > 0.3 {
+		t.Fatalf("window fraction %g", ratio)
+	}
+	if _, _, err := c.RecentWindow(0); err == nil {
+		t.Fatal("bad fraction")
+	}
+	empty := New()
+	if _, _, err := empty.RecentWindow(0.5); err == nil {
+		t.Fatal("empty client")
+	}
+}

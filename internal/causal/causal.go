@@ -1,0 +1,268 @@
+// Package causal operationalises §3.3 of the paper: "testing any form of
+// dependency (chains, forks, or colliders) in the causal BN can be reduced
+// to scoring a hypothesis for appropriate choices of X, Y, Z; see the PC
+// algorithm". It runs a local, family-level PC-style search around a target
+// family: conditional-independence tests prune spurious neighbours (chains
+// and forks), and the collider rule orients edges into the target —
+// identifying families that are causes rather than mere correlates.
+//
+// The full PC algorithm learns a global DAG; the paper argues (and our
+// experience confirms) that root-cause analysis only needs the local
+// structure around the target, which is what LocalStructure computes.
+package causal
+
+import (
+	"fmt"
+	"sort"
+
+	"explainit/internal/core"
+	"explainit/internal/linalg"
+)
+
+// CITester decides conditional independence between families. The default
+// implementation thresholds the engine's conditional dependence score.
+type CITester interface {
+	// Independent reports whether x ⊥ y | z (z may be nil).
+	Independent(x, y, z *core.Family) (bool, float64, error)
+}
+
+// ScoreCITester tests conditional independence by thresholding a scorer's
+// dependence score: scores below Epsilon mean "independent". This is
+// exactly the reduction of §3.3 — the same machinery that ranks hypotheses
+// also answers CI queries.
+type ScoreCITester struct {
+	// Scorer defaults to the plain L2 conditional scorer.
+	Scorer core.Scorer
+	// Epsilon is the independence threshold on the score (default 0.05).
+	Epsilon float64
+}
+
+// Independent implements CITester.
+func (t *ScoreCITester) Independent(x, y, z *core.Family) (bool, float64, error) {
+	scorer := t.Scorer
+	if scorer == nil {
+		scorer = &core.L2Scorer{}
+	}
+	eps := t.Epsilon
+	if eps <= 0 {
+		eps = 0.05
+	}
+	var zm *linalg.Matrix
+	if z != nil {
+		zm = z.Matrix
+	}
+	score, err := scorer.Score(x.Matrix, y.Matrix, zm, nil)
+	if err != nil {
+		return false, 0, err
+	}
+	return score < eps, score, nil
+}
+
+// Edge is one retained neighbour of the target.
+type Edge struct {
+	Family string
+	// Score is the weakest conditional dependence observed across the
+	// conditioning sets tried (the edge's strength floor).
+	Score float64
+	// Oriented is true when the collider rule established Family -> target.
+	Oriented bool
+}
+
+// Structure is the local causal neighbourhood of the target.
+type Structure struct {
+	Target string
+	// Neighbours are families directly dependent on the target after CI
+	// pruning, sorted by descending score.
+	Neighbours []Edge
+	// Removed maps pruned families to the separating set that rendered
+	// them independent of the target (empty set = marginally independent).
+	Removed map[string][]string
+}
+
+// Causes returns the neighbours oriented into the target by the collider
+// rule.
+func (s *Structure) Causes() []string {
+	var out []string
+	for _, e := range s.Neighbours {
+		if e.Oriented {
+			out = append(out, e.Family)
+		}
+	}
+	return out
+}
+
+// Options configures LocalStructure.
+type Options struct {
+	// MaxConditioningSize bounds |S| in the CI tests (default 1; the cost
+	// is exponential in this bound, exactly as in PC).
+	MaxConditioningSize int
+	// Tester defaults to ScoreCITester with the L2 scorer.
+	Tester CITester
+}
+
+// LocalStructure prunes the candidate families around the target with
+// PC-style conditional-independence tests and orients colliders:
+//
+//  1. Keep candidates marginally dependent on the target.
+//  2. For growing conditioning-set sizes, remove any neighbour X for which
+//     some subset S of the other neighbours renders X ⊥ target | S; record
+//     S as the separating set (X was connected through a chain or fork).
+//  3. For every non-adjacent pair (A, B) of remaining neighbours whose
+//     separating set excludes the target, if conditioning on the target
+//     *creates* dependence between A and B, then A -> target <- B: both
+//     are causes (the collider rule).
+func LocalStructure(target *core.Family, candidates []*core.Family, opts Options) (*Structure, error) {
+	if target == nil {
+		return nil, fmt.Errorf("causal: nil target")
+	}
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	tester := opts.Tester
+	if tester == nil {
+		tester = &ScoreCITester{}
+	}
+	maxCond := opts.MaxConditioningSize
+	if maxCond <= 0 {
+		maxCond = 1
+	}
+
+	st := &Structure{Target: target.Name, Removed: make(map[string][]string)}
+	type neighbour struct {
+		fam   *core.Family
+		score float64
+	}
+	var adjacent []neighbour
+
+	// Step 1: marginal dependence screen.
+	for _, cand := range candidates {
+		if cand.Name == target.Name {
+			continue
+		}
+		if err := cand.Validate(); err != nil {
+			return nil, fmt.Errorf("causal: candidate %q: %w", cand.Name, err)
+		}
+		indep, score, err := tester.Independent(cand, target, nil)
+		if err != nil {
+			return nil, err
+		}
+		if indep {
+			st.Removed[cand.Name] = []string{}
+			continue
+		}
+		adjacent = append(adjacent, neighbour{cand, score})
+	}
+
+	// Step 2: conditional pruning with growing set sizes.
+	for size := 1; size <= maxCond; size++ {
+		pruned := true
+		for pruned {
+			pruned = false
+			for i := 0; i < len(adjacent); i++ {
+				x := adjacent[i]
+				others := make([]*core.Family, 0, len(adjacent)-1)
+				for j, o := range adjacent {
+					if j != i {
+						others = append(others, o.fam)
+					}
+				}
+				sep, found, err := findSeparator(tester, x.fam, target, others, size)
+				if err != nil {
+					return nil, err
+				}
+				if found {
+					names := make([]string, len(sep))
+					for k, f := range sep {
+						names[k] = f.Name
+					}
+					sort.Strings(names)
+					st.Removed[x.fam.Name] = names
+					adjacent = append(adjacent[:i], adjacent[i+1:]...)
+					pruned = true
+					break
+				}
+			}
+		}
+	}
+
+	// Step 3: collider orientation over remaining neighbour pairs.
+	oriented := make(map[string]bool)
+	for i := 0; i < len(adjacent); i++ {
+		for j := i + 1; j < len(adjacent); j++ {
+			a, b := adjacent[i].fam, adjacent[j].fam
+			abIndep, _, err := tester.Independent(a, b, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !abIndep {
+				continue // A and B are connected; no v-structure evidence
+			}
+			condIndep, _, err := tester.Independent(a, b, target)
+			if err != nil {
+				return nil, err
+			}
+			if !condIndep {
+				// Conditioning on the target coupled two marginally
+				// independent neighbours: both point INTO the target.
+				oriented[a.Name] = true
+				oriented[b.Name] = true
+			}
+		}
+	}
+
+	for _, n := range adjacent {
+		st.Neighbours = append(st.Neighbours, Edge{
+			Family:   n.fam.Name,
+			Score:    n.score,
+			Oriented: oriented[n.fam.Name],
+		})
+	}
+	sort.Slice(st.Neighbours, func(i, j int) bool {
+		if st.Neighbours[i].Score != st.Neighbours[j].Score {
+			return st.Neighbours[i].Score > st.Neighbours[j].Score
+		}
+		return st.Neighbours[i].Family < st.Neighbours[j].Family
+	})
+	return st, nil
+}
+
+// findSeparator searches subsets of pool of exactly the given size for one
+// that separates x from y.
+func findSeparator(tester CITester, x, y *core.Family, pool []*core.Family, size int) ([]*core.Family, bool, error) {
+	if size > len(pool) {
+		return nil, false, nil
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		subset := make([]*core.Family, size)
+		for i, k := range idx {
+			subset[i] = pool[k]
+		}
+		z, err := core.ConcatFamilies("S", subset)
+		if err != nil {
+			return nil, false, err
+		}
+		indep, _, err := tester.Independent(x, y, z)
+		if err != nil {
+			return nil, false, err
+		}
+		if indep {
+			return subset, true, nil
+		}
+		// Advance the combination.
+		i := size - 1
+		for i >= 0 && idx[i] == len(pool)-size+i {
+			i--
+		}
+		if i < 0 {
+			return nil, false, nil
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"explainit/internal/core"
+	"explainit/internal/linalg"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func familyFrom(name string, vals []float64) *core.Family {
+	m, err := linalg.FromColumns([][]float64{vals})
+	if err != nil {
+		panic(err)
+	}
+	idx := make([]time.Time, len(vals))
+	for i := range idx {
+		idx[i] = t0.Add(time.Duration(i) * time.Minute)
+	}
+	return &core.Family{Name: name, Columns: []string{name + ".0"}, Index: idx, Matrix: m}
+}
+
+// pulses returns a recurring-pulse signal so CV folds all see variation.
+func pulses(rng *rand.Rand, n, period, width int, level, noise float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i%period < width {
+			out[i] = level
+		}
+		out[i] += noise * rng.NormFloat64()
+	}
+	return out
+}
+
+func TestChainPruning(t *testing.T) {
+	// Z -> X -> Y: Z must be pruned with separating set {X}.
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	z := pulses(rng, n, 100, 25, 3, 0.2)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 1.5*z[i] + 0.2*rng.NormFloat64()
+		y[i] = 2*x[i] + 0.2*rng.NormFloat64()
+	}
+	target := familyFrom("Y", y)
+	st, err := LocalStructure(target,
+		[]*core.Family{familyFrom("X", x), familyFrom("Z", z)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Neighbours) != 1 || st.Neighbours[0].Family != "X" {
+		t.Fatalf("neighbours %+v", st.Neighbours)
+	}
+	sep, removed := st.Removed["Z"]
+	if !removed || len(sep) != 1 || sep[0] != "X" {
+		t.Fatalf("Z separation %v (removed=%v)", sep, removed)
+	}
+}
+
+func TestForkPruning(t *testing.T) {
+	// X <- Z -> Y: X correlates with Y only through Z; conditioning on Z
+	// must prune X.
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	z := pulses(rng, n, 90, 30, 3, 0.2)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = -2*z[i] + 0.2*rng.NormFloat64()
+		y[i] = 1.5*z[i] + 0.2*rng.NormFloat64()
+	}
+	target := familyFrom("Y", y)
+	st, err := LocalStructure(target,
+		[]*core.Family{familyFrom("X", x), familyFrom("Z", z)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Neighbours) != 1 || st.Neighbours[0].Family != "Z" {
+		t.Fatalf("neighbours %+v removed %v", st.Neighbours, st.Removed)
+	}
+	if sep := st.Removed["X"]; len(sep) != 1 || sep[0] != "Z" {
+		t.Fatalf("X separation %v", st.Removed["X"])
+	}
+}
+
+func TestColliderOrientation(t *testing.T) {
+	// A -> Y <- B with A ⊥ B: conditioning on Y couples A and B, so both
+	// edges orient into the target.
+	rng := rand.New(rand.NewSource(3))
+	n := 600
+	a := pulses(rng, n, 80, 20, 3, 0.3)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64() * 2
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = a[i] + b[i] + 0.2*rng.NormFloat64()
+	}
+	target := familyFrom("Y", y)
+	st, err := LocalStructure(target,
+		[]*core.Family{familyFrom("A", a), familyFrom("B", b)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Neighbours) != 2 {
+		t.Fatalf("neighbours %+v", st.Neighbours)
+	}
+	causes := st.Causes()
+	if len(causes) != 2 {
+		t.Fatalf("collider rule should orient both: %+v", st.Neighbours)
+	}
+}
+
+func TestMarginallyIndependentRemoved(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	y := pulses(rng, n, 100, 30, 2, 0.3)
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	st, err := LocalStructure(familyFrom("Y", y),
+		[]*core.Family{familyFrom("junk", noise)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Neighbours) != 0 {
+		t.Fatalf("junk should be pruned marginally: %+v", st.Neighbours)
+	}
+	if sep, ok := st.Removed["junk"]; !ok || len(sep) != 0 {
+		t.Fatalf("junk separation %v", st.Removed)
+	}
+}
+
+func TestLocalStructureSkipsTargetAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 300
+	y := pulses(rng, n, 60, 20, 2, 0.3)
+	target := familyFrom("Y", y)
+	st, err := LocalStructure(target, []*core.Family{target}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Neighbours) != 0 {
+		t.Fatal("target must not be its own neighbour")
+	}
+	if _, err := LocalStructure(nil, nil, Options{}); err == nil {
+		t.Fatal("nil target must error")
+	}
+	bad := &core.Family{Name: "bad"}
+	if _, err := LocalStructure(target, []*core.Family{bad}, Options{}); err == nil {
+		t.Fatal("invalid candidate must error")
+	}
+}
+
+func TestScoreCITesterDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 300
+	a := pulses(rng, n, 60, 20, 3, 0.2)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = a[i] + 0.1*rng.NormFloat64()
+	}
+	tester := &ScoreCITester{}
+	indep, score, err := tester.Independent(familyFrom("a", a), familyFrom("b", b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indep || score < 0.5 {
+		t.Fatalf("strong dependence misread: indep=%v score=%g", indep, score)
+	}
+	noise := make([]float64, n)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	indep2, _, err := tester.Independent(familyFrom("n", noise), familyFrom("b", b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indep2 {
+		t.Fatal("noise should be independent")
+	}
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"net/rpc"
+	"testing"
+
+	"explainit/internal/core"
+	"explainit/internal/linalg"
+)
+
+// pipePool builds an in-process pool of n workers over net.Pipe — no
+// sockets needed, but the full rpc+gob serialisation path is exercised.
+func pipePool(t *testing.T, n int) *Pool {
+	t.Helper()
+	clients := make([]*rpc.Client, n)
+	for i := 0; i < n; i++ {
+		server, client := net.Pipe()
+		go func() { _ = ServeConn(server) }()
+		clients[i] = rpc.NewClient(client)
+	}
+	pool := NewPool(clients...)
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+func synth(name string, n int, gen func(i int) float64) *core.Family {
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = gen(i)
+	}
+	m, _ := linalg.FromColumns([][]float64{col})
+	return &core.Family{Name: name, Columns: []string{name + ".0"}, Matrix: m}
+}
+
+func TestWorkerScoreDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sig := make([]float64, 300)
+	for i := range sig {
+		if i%60 < 20 {
+			sig[i] = 3
+		}
+		sig[i] += 0.1 * rng.NormFloat64()
+	}
+	x := synth("x", 300, func(i int) float64 { return sig[i] })
+	y := synth("y", 300, func(i int) float64 { return 2*sig[i] + 0.1*rng.NormFloat64() })
+	w := &Worker{}
+	var resp ScoreResponse
+	err := w.Score(&ScoreRequest{
+		Family: "x",
+		Scorer: ScorerSpec{Kind: "l2", Seed: 1},
+		X:      FromMatrix(x.Matrix),
+		Y:      FromMatrix(y.Matrix),
+	}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Score < 0.8 || resp.Family != "x" || resp.Compute <= 0 {
+		t.Fatalf("resp %+v", resp)
+	}
+	// Errors.
+	if err := w.Score(&ScoreRequest{Scorer: ScorerSpec{Kind: "nope"}}, &resp); err == nil {
+		t.Fatal("unknown scorer must error")
+	}
+	if err := w.Score(&ScoreRequest{Scorer: ScorerSpec{Kind: "l2"}}, &resp); err == nil {
+		t.Fatal("missing matrices must error")
+	}
+}
+
+func TestPoolRankOverPipes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 300
+	sig := make([]float64, n)
+	for i := range sig {
+		if i%60 < 20 {
+			sig[i] = 3
+		}
+		sig[i] += 0.1 * rng.NormFloat64()
+	}
+	target := synth("y", n, func(i int) float64 { return 2*sig[i] + 0.1*rng.NormFloat64() })
+	cause := synth("cause", n, func(i int) float64 { return sig[i] })
+	var candidates []*core.Family
+	candidates = append(candidates, cause)
+	for k := 0; k < 6; k++ {
+		candidates = append(candidates, synth("noise"+string(rune('0'+k)), n,
+			func(i int) float64 { return rng.NormFloat64() }))
+	}
+
+	pool := pipePool(t, 3)
+	if pool.Size() != 3 {
+		t.Fatalf("pool size %d", pool.Size())
+	}
+	results, err := pool.Rank(target, candidates, nil, ScorerSpec{Kind: "l2", Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("results %d", len(results))
+	}
+	if results[0].Family != "cause" || results[0].Err != nil {
+		t.Fatalf("top result %+v", results[0])
+	}
+	if results[0].Elapsed <= 0 || results[0].Compute <= 0 {
+		t.Fatalf("timing metadata %+v", results[0])
+	}
+	// Remote score must match a local evaluation of the same scorer kind.
+	local, err := (&core.L2Scorer{Seed: 1}).Score(cause.Matrix, target.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := results[0].Score - local; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("remote %g vs local %g", results[0].Score, local)
+	}
+}
+
+func TestPoolRankConditional(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	target := synth("y", n, func(i int) float64 { return 2*z[i] + 0.1*rng.NormFloat64() })
+	echo := synth("echo", n, func(i int) float64 { return -z[i] + 0.1*rng.NormFloat64() })
+	zf := synth("z", n, func(i int) float64 { return z[i] })
+
+	pool := pipePool(t, 2)
+	plain, err := pool.Rank(target, []*core.Family{echo}, nil, ScorerSpec{Kind: "l2", Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := pool.Rank(target, []*core.Family{echo}, zf, ScorerSpec{Kind: "l2", Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].Score < 0.7 || cond[0].Score > 0.2 {
+		t.Fatalf("conditioning over RPC failed: plain %g cond %g", plain[0].Score, cond[0].Score)
+	}
+}
+
+func TestPoolOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l) }()
+
+	pool, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	rng := rand.New(rand.NewSource(4))
+	n := 200
+	target := synth("y", n, func(i int) float64 { return float64(i%40) + 0.1*rng.NormFloat64() })
+	x := synth("x", n, func(i int) float64 { return float64(i%40) + 0.1*rng.NormFloat64() })
+	results, err := pool.Rank(target, []*core.Family{x}, nil, ScorerSpec{Kind: "corrmax"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Score < 0.9 {
+		t.Fatalf("tcp result %+v", results[0])
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(); err == nil {
+		t.Fatal("no addresses must error")
+	}
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable worker must error")
+	}
+}
+
+func TestSerializationShare(t *testing.T) {
+	results := []RankResult{
+		{Elapsed: 100, Compute: 80},
+		{Elapsed: 100, Compute: 60},
+	}
+	share := SerializationShare(results)
+	if share < 0.29 || share > 0.31 {
+		t.Fatalf("share %g", share)
+	}
+	if SerializationShare(nil) != 0 {
+		t.Fatal("empty share")
+	}
+	withErr := []RankResult{{Err: errBoom{}, Elapsed: 50, Compute: 10}}
+	if SerializationShare(withErr) != 0 {
+		t.Fatal("errored results excluded")
+	}
+}
+
+func TestScorerSpecBuild(t *testing.T) {
+	for _, kind := range []string{"corrmean", "corrmax", "l2", "l1", ""} {
+		if _, err := (ScorerSpec{Kind: kind}).Build(); err != nil {
+			t.Fatalf("%q: %v", kind, err)
+		}
+	}
+	if _, err := (ScorerSpec{Kind: "quantum"}).Build(); err == nil {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestDenseMatrixRoundTrip(t *testing.T) {
+	m := linalg.NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	rt := FromMatrix(m).ToMatrix()
+	if rt.At(1, 2) != 42 || rt.Rows != 2 || rt.Cols != 3 {
+		t.Fatal("round trip")
+	}
+	if FromMatrix(nil) != nil {
+		t.Fatal("nil matrix")
+	}
+	var dm *DenseMatrix
+	if dm.ToMatrix() != nil {
+		t.Fatal("nil payload")
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }

@@ -1,0 +1,194 @@
+// Package connector loads external time series data into the TSDB. It is
+// the stand-in for ExplainIt!'s OpenTSDB/Druid/Parquet connectors (§4): any
+// source that can be rendered as CSV or JSON-lines in the standard schema
+// (timestamp, metric, tags, value) can feed the pipeline.
+package connector
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	ts "explainit/internal/timeseries"
+	"explainit/internal/tsdb"
+)
+
+// Record is one observation in the interchange schema.
+type Record struct {
+	TS     time.Time
+	Metric string
+	Tags   ts.Tags
+	Value  float64
+}
+
+// LoadCSV reads records in the format
+//
+//	timestamp,metric,tags,value
+//
+// where timestamp is RFC3339 or unix seconds and tags is a semicolon
+// separated k=v list ("" for none). A header row starting with "timestamp"
+// is skipped. Returns the number of records loaded.
+func LoadCSV(db *tsdb.DB, r io.Reader) (int, error) {
+	reader := csv.NewReader(r)
+	reader.FieldsPerRecord = 4
+	n := 0
+	line := 0
+	for {
+		row, err := reader.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("connector: csv line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && strings.EqualFold(row[0], "timestamp") {
+			continue
+		}
+		rec, err := parseCSVRow(row)
+		if err != nil {
+			return n, fmt.Errorf("connector: csv line %d: %w", line, err)
+		}
+		db.Put(rec.Metric, rec.Tags, rec.TS, rec.Value)
+		n++
+	}
+}
+
+func parseCSVRow(row []string) (Record, error) {
+	at, err := ParseTime(row[0])
+	if err != nil {
+		return Record{}, err
+	}
+	if row[1] == "" {
+		return Record{}, fmt.Errorf("empty metric name")
+	}
+	tags, err := ParseTags(row[2])
+	if err != nil {
+		return Record{}, err
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(row[3]), 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad value %q: %w", row[3], err)
+	}
+	return Record{TS: at, Metric: row[1], Tags: tags, Value: v}, nil
+}
+
+// jsonRecord is the JSON-lines wire format (one object per line).
+type jsonRecord struct {
+	TS     string            `json:"ts"`
+	Metric string            `json:"metric"`
+	Tags   map[string]string `json:"tags"`
+	Value  float64           `json:"value"`
+}
+
+// LoadJSONL reads newline-delimited JSON records:
+//
+//	{"ts":"2026-01-01T00:00:00Z","metric":"disk","tags":{"host":"dn-1"},"value":3.5}
+//
+// Blank lines are skipped. Returns the number of records loaded.
+func LoadJSONL(db *tsdb.DB, r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n, line := 0, 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal([]byte(text), &jr); err != nil {
+			return n, fmt.Errorf("connector: jsonl line %d: %w", line, err)
+		}
+		at, err := ParseTime(jr.TS)
+		if err != nil {
+			return n, fmt.Errorf("connector: jsonl line %d: %w", line, err)
+		}
+		if jr.Metric == "" {
+			return n, fmt.Errorf("connector: jsonl line %d: empty metric", line)
+		}
+		db.Put(jr.Metric, ts.Tags(jr.Tags), at, jr.Value)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("connector: %w", err)
+	}
+	return n, nil
+}
+
+// WriteCSV dumps every series in the query result to CSV in the interchange
+// schema, in deterministic order. Returns the number of rows written.
+func WriteCSV(db *tsdb.DB, w io.Writer, q tsdb.Query) (int, error) {
+	series, err := db.Run(q)
+	if err != nil {
+		return 0, err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "metric", "tags", "value"}); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, s := range series {
+		tagStr := FormatTags(s.Tags)
+		for _, smp := range s.Samples {
+			row := []string{
+				smp.TS.UTC().Format(time.RFC3339),
+				s.Name,
+				tagStr,
+				strconv.FormatFloat(smp.Value, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	cw.Flush()
+	return n, cw.Error()
+}
+
+// ParseTime accepts RFC3339 or integer unix seconds.
+func ParseTime(s string) (time.Time, error) {
+	s = strings.TrimSpace(s)
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	at, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad timestamp %q", s)
+	}
+	return at.UTC(), nil
+}
+
+// ParseTags parses "k=v;k=v" (empty string allowed).
+func ParseTags(s string) (ts.Tags, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ts.Tags{}, nil
+	}
+	tags := ts.Tags{}
+	for _, pair := range strings.Split(s, ";") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad tag pair %q", pair)
+		}
+		tags[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return tags, nil
+}
+
+// FormatTags renders tags as "k=v;k=v" with sorted keys.
+func FormatTags(tags ts.Tags) string {
+	if len(tags) == 0 {
+		return ""
+	}
+	inner := tags.String() // "{k=v,k=v}" sorted
+	inner = strings.TrimPrefix(inner, "{")
+	inner = strings.TrimSuffix(inner, "}")
+	return strings.ReplaceAll(inner, ",", ";")
+}

@@ -1,0 +1,153 @@
+package connector
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	ts "explainit/internal/timeseries"
+	"explainit/internal/tsdb"
+)
+
+const csvData = `timestamp,metric,tags,value
+2026-01-01T00:00:00Z,disk,host=dn-1;type=read,1.5
+2026-01-01T00:01:00Z,disk,host=dn-1;type=read,2.5
+1767225720,runtime,,42
+`
+
+func TestLoadCSV(t *testing.T) {
+	db := tsdb.New()
+	n, err := LoadCSV(db, strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d", n)
+	}
+	got, err := db.Run(tsdb.Query{Metric: "disk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Len() != 2 || got[0].Tags["host"] != "dn-1" {
+		t.Fatalf("disk series %v", got)
+	}
+	rt, _ := db.Run(tsdb.Query{Metric: "runtime"})
+	if len(rt) != 1 || rt[0].Samples[0].Value != 42 {
+		t.Fatal("unix-seconds row not loaded")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"2026-01-01T00:00:00Z,disk,host=dn-1\n",              // wrong field count
+		"not-a-time,disk,,1\n",                               // bad time
+		"2026-01-01T00:00:00Z,,,1\n",                         // empty metric
+		"2026-01-01T00:00:00Z,disk,justakeynovalue,1\n",      // bad tags
+		"2026-01-01T00:00:00Z,disk,host=dn-1,not-a-number\n", // bad value
+	}
+	for i, c := range cases {
+		if _, err := LoadCSV(tsdb.New(), strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}
+
+func TestLoadJSONL(t *testing.T) {
+	data := `{"ts":"2026-01-01T00:00:00Z","metric":"cpu","tags":{"host":"a"},"value":0.5}
+
+{"ts":"2026-01-01T00:01:00Z","metric":"cpu","tags":{"host":"a"},"value":0.7}
+`
+	db := tsdb.New()
+	n, err := LoadJSONL(db, strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d", n)
+	}
+	got, _ := db.Run(tsdb.Query{Metric: "cpu"})
+	if len(got) != 1 || got[0].Len() != 2 {
+		t.Fatal("cpu series missing")
+	}
+}
+
+func TestLoadJSONLErrors(t *testing.T) {
+	bad := []string{
+		`{"ts":"nope","metric":"m","value":1}`,
+		`{"ts":"2026-01-01T00:00:00Z","metric":"","value":1}`,
+		`{invalid json}`,
+	}
+	for i, line := range bad {
+		if _, err := LoadJSONL(tsdb.New(), strings.NewReader(line)); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}
+
+func TestRoundTripCSV(t *testing.T) {
+	db := tsdb.New()
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	db.Put("net", ts.Tags{"host": "h1", "if": "eth0"}, at, 1.25)
+	db.Put("net", ts.Tags{"host": "h1", "if": "eth0"}, at.Add(time.Minute), 2.5)
+
+	var buf bytes.Buffer
+	n, err := WriteCSV(db, &buf, tsdb.Query{Metric: "net"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d", n)
+	}
+
+	db2 := tsdb.New()
+	if _, err := LoadCSV(db2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db2.Run(tsdb.Query{Metric: "net"})
+	if len(got) != 1 || got[0].Len() != 2 {
+		t.Fatal("round trip lost data")
+	}
+	if got[0].Tags["if"] != "eth0" || got[0].Tags["host"] != "h1" {
+		t.Fatalf("tags lost: %v", got[0].Tags)
+	}
+	if got[0].Samples[1].Value != 2.5 {
+		t.Fatal("value lost precision")
+	}
+}
+
+func TestParseTags(t *testing.T) {
+	tags, err := ParseTags("a=1;b=2")
+	if err != nil || tags["a"] != "1" || tags["b"] != "2" {
+		t.Fatalf("tags %v err %v", tags, err)
+	}
+	empty, err := ParseTags("  ")
+	if err != nil || len(empty) != 0 {
+		t.Fatal("blank tags should parse to empty")
+	}
+	if _, err := ParseTags("=v"); err == nil {
+		t.Fatal("empty key must error")
+	}
+}
+
+func TestFormatTags(t *testing.T) {
+	if got := FormatTags(ts.Tags{"b": "2", "a": "1"}); got != "a=1;b=2" {
+		t.Fatalf("got %q", got)
+	}
+	if FormatTags(nil) != "" {
+		t.Fatal("nil tags format")
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	if _, err := ParseTime("2026-01-02T03:04:05Z"); err != nil {
+		t.Fatal(err)
+	}
+	at, err := ParseTime("60")
+	if err != nil || at.Unix() != 60 {
+		t.Fatal("unix seconds")
+	}
+	if _, err := ParseTime("yesterday"); err == nil {
+		t.Fatal("bad time must error")
+	}
+}

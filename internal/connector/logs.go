@@ -1,0 +1,204 @@
+package connector
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode"
+
+	ts "explainit/internal/timeseries"
+	"explainit/internal/tsdb"
+)
+
+// Log-message ingestion: the paper's conclusion names "text time series
+// (log messages)" as the next data source to incorporate. The standard
+// trick — and what we implement — is to convert free-text logs into
+// numeric time series by (a) extracting a message template (masking
+// numbers, hex ids, IPs and quoted strings) and (b) counting occurrences
+// of each template per time bucket. The resulting "log_template" metrics
+// flow through grouping, hypothesis scoring and ranking like any other
+// family.
+
+// LogOptions configures log ingestion.
+type LogOptions struct {
+	// Metric is the metric name for the emitted series (default
+	// "log_template").
+	Metric string
+	// Bucket is the counting resolution (default one minute).
+	Bucket time.Duration
+	// MaxTemplates caps the number of distinct templates tracked; lines
+	// beyond the cap count under the "__other__" template. Default 256.
+	MaxTemplates int
+	// TimeLayout parses the leading timestamp token; default RFC3339.
+	// The timestamp must be the first whitespace-separated token.
+	TimeLayout string
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.Metric == "" {
+		o.Metric = "log_template"
+	}
+	if o.Bucket <= 0 {
+		o.Bucket = time.Minute
+	}
+	if o.MaxTemplates <= 0 {
+		o.MaxTemplates = 256
+	}
+	if o.TimeLayout == "" {
+		o.TimeLayout = time.RFC3339
+	}
+	return o
+}
+
+// LoadLogs reads timestamped log lines ("<timestamp> <message...>"),
+// templates each message, and writes per-bucket occurrence counts into db
+// as metric opts.Metric with tag template=<template>. It returns the
+// number of lines ingested and the number of distinct templates.
+func LoadLogs(db *tsdb.DB, r io.Reader, opts LogOptions) (lines, templates int, err error) {
+	opts = opts.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	type key struct {
+		template string
+		bucket   int64
+	}
+	counts := make(map[key]float64)
+	seen := make(map[string]bool)
+	var minBucket, maxBucket int64
+	haveBucket := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		tsTok, msg, ok := strings.Cut(line, " ")
+		if !ok {
+			return lines, len(seen), fmt.Errorf("connector: log line %d has no message", lineNo)
+		}
+		at, perr := time.Parse(opts.TimeLayout, tsTok)
+		if perr != nil {
+			return lines, len(seen), fmt.Errorf("connector: log line %d: bad timestamp %q", lineNo, tsTok)
+		}
+		tpl := TemplateOf(msg)
+		if !seen[tpl] {
+			if len(seen) >= opts.MaxTemplates {
+				tpl = "__other__"
+			}
+			seen[tpl] = true
+		}
+		bucket := at.UTC().Truncate(opts.Bucket).Unix()
+		if !haveBucket || bucket < minBucket {
+			minBucket = bucket
+		}
+		if !haveBucket || bucket > maxBucket {
+			maxBucket = bucket
+		}
+		haveBucket = true
+		counts[key{tpl, bucket}]++
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return lines, len(seen), fmt.Errorf("connector: %w", err)
+	}
+	// A counting series is dense by definition: a bucket with no matching
+	// lines has count zero, not "unknown" — without explicit zeros the
+	// frame interpolation would smear counts across quiet periods and the
+	// family would lose exactly the variation that makes it explanatory.
+	step := int64(opts.Bucket / time.Second)
+	if step < 1 {
+		step = 1
+	}
+	for tpl := range seen {
+		tags := ts.Tags{"template": tpl}
+		for b := minBucket; b <= maxBucket; b += step {
+			db.Put(opts.Metric, tags, time.Unix(b, 0).UTC(), counts[key{tpl, b}])
+		}
+	}
+	return lines, len(seen), nil
+}
+
+// TemplateOf masks the variable parts of a log message, leaving a stable
+// template: runs of digits become <n>, hex-ish identifiers become <id>,
+// quoted strings become <s>, and bracketed numerics collapse. The goal is
+// not perfect log parsing (a research area of its own) but a grouping key
+// stable enough that each recurring message becomes one time series.
+func TemplateOf(msg string) string {
+	fields := strings.Fields(msg)
+	for i, f := range fields {
+		fields[i] = maskToken(f)
+	}
+	return strings.Join(fields, " ")
+}
+
+func maskToken(tok string) string {
+	// Preserve leading/trailing punctuation so "latency=120ms," keeps its
+	// key: split off a prefix of letters/symbols like "latency=".
+	if i := strings.IndexAny(tok, "=:"); i >= 0 && i < len(tok)-1 {
+		return tok[:i+1] + maskValue(tok[i+1:])
+	}
+	return maskValue(tok)
+}
+
+func maskValue(v string) string {
+	if v == "" {
+		return v
+	}
+	if v[0] == '"' || v[0] == '\'' {
+		return "<s>"
+	}
+	trimmed := strings.TrimFunc(v, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	if trimmed == "" {
+		return v
+	}
+	runes := []rune(trimmed)
+
+	// Numeric values: digits with optional decimal/thousands separators,
+	// optionally followed by a short unit suffix (120, 0.42, 4,096, 120ms).
+	i, digits := 0, 0
+	for i < len(runes) && (unicode.IsDigit(runes[i]) || runes[i] == '.' || runes[i] == ',') {
+		if unicode.IsDigit(runes[i]) {
+			digits++
+		}
+		i++
+	}
+	if digits > 0 && i == len(runes) {
+		return strings.Replace(v, trimmed, "<n>", 1)
+	}
+	if digits > 0 && len(runes)-i <= 3 {
+		unit := true
+		for _, r := range runes[i:] {
+			if !unicode.IsLetter(r) {
+				unit = false
+				break
+			}
+		}
+		if unit {
+			return strings.Replace(v, trimmed, "<n>", 1)
+		}
+	}
+
+	// Hex-ish identifiers: long tokens dominated by digits and a-f letters
+	// (block ids, uuids, addresses), tolerating a short alpha prefix like
+	// "blk".
+	var hexDigits, hexLetters, otherLetters int
+	for _, r := range runes {
+		switch {
+		case unicode.IsDigit(r):
+			hexDigits++
+		case (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F'):
+			hexLetters++
+		case unicode.IsLetter(r):
+			otherLetters++
+		}
+	}
+	if hexDigits >= 2 && hexLetters >= 2 && otherLetters <= 2 && len(runes) >= 8 {
+		return strings.Replace(v, trimmed, "<id>", 1)
+	}
+	return v
+}

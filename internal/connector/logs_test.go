@@ -1,0 +1,128 @@
+package connector
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"explainit/internal/tsdb"
+)
+
+func TestTemplateOf(t *testing.T) {
+	cases := map[string]string{
+		"connection from 10 retries":         "connection from <n> retries",
+		"read block blk4a9f3b2c1d from node": "read block <id> from node",
+		"latency=120ms op=write":             "latency=<n> op=write",
+		"slow request took 4512 ms":          "slow request took <n> ms",
+		"user 'alice' logged in":             "user <s> logged in",
+		"plain words only":                   "plain words only",
+		"GC pause 0.42 seconds":              "GC pause <n> seconds",
+	}
+	for msg, want := range cases {
+		if got := TemplateOf(msg); got != want {
+			t.Errorf("TemplateOf(%q) = %q, want %q", msg, got, want)
+		}
+	}
+}
+
+func TestTemplateStability(t *testing.T) {
+	a := TemplateOf("request 123 took 45ms")
+	b := TemplateOf("request 999 took 2ms")
+	if a != b {
+		t.Fatalf("same template expected: %q vs %q", a, b)
+	}
+	c := TemplateOf("request 123 failed after 45ms")
+	if c == a {
+		t.Fatal("different messages must differ")
+	}
+}
+
+func TestLoadLogs(t *testing.T) {
+	logs := `2026-01-01T00:00:10Z slow request took 400 ms
+2026-01-01T00:00:30Z slow request took 900 ms
+2026-01-01T00:01:10Z slow request took 120 ms
+2026-01-01T00:00:40Z gc pause 0.4 seconds
+`
+	db := tsdb.New()
+	lines, templates, err := LoadLogs(db, strings.NewReader(logs), LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 4 || templates != 2 {
+		t.Fatalf("lines %d templates %d", lines, templates)
+	}
+	series, err := db.Run(tsdb.Query{Metric: "log_template"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series %d", len(series))
+	}
+	// The "slow request" template has 2 events in minute 0 and 1 in minute 1.
+	for _, s := range series {
+		if strings.Contains(s.Tags["template"], "slow request") {
+			if s.Len() != 2 || s.Samples[0].Value != 2 || s.Samples[1].Value != 1 {
+				t.Fatalf("bucket counts %v", s.Samples)
+			}
+		}
+	}
+}
+
+func TestLoadLogsTemplateCap(t *testing.T) {
+	var b strings.Builder
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, w := range words {
+		b.WriteString(at.Add(time.Duration(i) * time.Second).Format(time.RFC3339))
+		b.WriteString(" unique message " + w + "\n")
+	}
+	db := tsdb.New()
+	_, templates, err := LoadLogs(db, strings.NewReader(b.String()), LogOptions{MaxTemplates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 real templates plus the overflow bucket.
+	if templates != 3 {
+		t.Fatalf("templates %d", templates)
+	}
+	other, err := db.Run(tsdb.Query{Tags: map[string]string{"template": "__other__"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(other) != 1 {
+		t.Fatal("overflow template missing")
+	}
+}
+
+func TestLoadLogsErrors(t *testing.T) {
+	db := tsdb.New()
+	if _, _, err := LoadLogs(db, strings.NewReader("not-a-time some message\n"), LogOptions{}); err == nil {
+		t.Fatal("bad timestamp must error")
+	}
+	if _, _, err := LoadLogs(db, strings.NewReader("2026-01-01T00:00:00Z\n"), LogOptions{}); err == nil {
+		t.Fatal("missing message must error")
+	}
+	if n, _, err := LoadLogs(db, strings.NewReader("\n\n"), LogOptions{}); err != nil || n != 0 {
+		t.Fatal("blank lines are skipped")
+	}
+}
+
+func TestLoadLogsCustomOptions(t *testing.T) {
+	logs := "01/Jan/2026:00:00:05 request served\n01/Jan/2026:00:00:45 request served\n"
+	db := tsdb.New()
+	lines, _, err := LoadLogs(db, strings.NewReader(logs), LogOptions{
+		Metric:     "nginx_log",
+		Bucket:     30 * time.Second,
+		TimeLayout: "02/Jan/2006:15:04:05",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != 2 {
+		t.Fatalf("lines %d", lines)
+	}
+	series, _ := db.Run(tsdb.Query{Metric: "nginx_log"})
+	if len(series) != 1 || series[0].Len() != 2 {
+		t.Fatalf("series %v", series)
+	}
+}

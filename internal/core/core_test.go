@@ -1,0 +1,610 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"explainit/internal/linalg"
+	ts "explainit/internal/timeseries"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// synthFamily builds a family from generator functions, one per column.
+func synthFamily(name string, n int, gens ...func(i int) float64) *Family {
+	cols := make([][]float64, len(gens))
+	names := make([]string, len(gens))
+	for j, g := range gens {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = g(i)
+		}
+		cols[j] = col
+		names[j] = name + "." + string(rune('a'+j))
+	}
+	m, err := linalg.FromColumns(cols)
+	if err != nil {
+		panic(err)
+	}
+	idx := make([]time.Time, n)
+	for i := range idx {
+		idx[i] = t0.Add(time.Duration(i) * time.Minute)
+	}
+	return &Family{Name: name, Columns: names, Index: idx, Matrix: m}
+}
+
+func noiseGen(rng *rand.Rand, scale float64) func(int) float64 {
+	return func(int) float64 { return scale * rng.NormFloat64() }
+}
+
+func TestBuildFamiliesByName(t *testing.T) {
+	var series []*ts.Series
+	for _, host := range []string{"dn-1", "dn-2"} {
+		s := &ts.Series{Name: "disk", Tags: ts.Tags{"host": host}}
+		for i := 0; i < 10; i++ {
+			s.Append(t0.Add(time.Duration(i)*time.Minute), float64(i))
+		}
+		series = append(series, s)
+	}
+	rt := &ts.Series{Name: "runtime"}
+	for i := 0; i < 10; i++ {
+		rt.Append(t0.Add(time.Duration(i)*time.Minute), float64(10*i))
+	}
+	series = append(series, rt)
+
+	fams, err := BuildFamilies(series, GroupByMetricName,
+		ts.TimeRange{From: t0, To: t0.Add(10 * time.Minute)}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families %d", len(fams))
+	}
+	if fams[0].Name != "disk" || fams[0].NumFeatures() != 2 {
+		t.Fatalf("disk family %v", fams[0].Columns)
+	}
+	if fams[1].Name != "runtime" || fams[1].NumRows() != 10 {
+		t.Fatalf("runtime family rows %d", fams[1].NumRows())
+	}
+	for _, f := range fams {
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBuildFamiliesByTag(t *testing.T) {
+	mk := func(name, host string) *ts.Series {
+		s := &ts.Series{Name: name}
+		if host != "" {
+			s.Tags = ts.Tags{"host": host}
+		}
+		for i := 0; i < 8; i++ {
+			s.Append(t0.Add(time.Duration(i)*time.Minute), float64(i))
+		}
+		return s
+	}
+	fams, err := BuildFamilies(
+		[]*ts.Series{mk("cpu", "dn-1"), mk("mem", "dn-1"), mk("cpu", "dn-2"), mk("global", "")},
+		GroupByTag("host"),
+		ts.TimeRange{From: t0, To: t0.Add(8 * time.Minute)}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families %d: %v", len(fams), fams)
+	}
+	if fams[0].Name != "*{host=NULL}" {
+		t.Fatalf("null family name %q", fams[0].Name)
+	}
+	if fams[1].Name != "*{host=dn-1}" || fams[1].NumFeatures() != 2 {
+		t.Fatalf("dn-1 family %v", fams[1].Columns)
+	}
+}
+
+func TestBuildFamiliesDropsEmptyGroups(t *testing.T) {
+	s := &ts.Series{Name: "m"}
+	s.Append(t0.Add(100*time.Hour), 1) // outside range
+	fams, err := BuildFamilies([]*ts.Series{s}, GroupByMetricName,
+		ts.TimeRange{From: t0, To: t0.Add(time.Hour)}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 0 {
+		t.Fatalf("expected no families, got %d", len(fams))
+	}
+	// GroupFunc returning "" drops the series.
+	s2 := &ts.Series{Name: "keepout"}
+	s2.Append(t0, 1)
+	fams2, _ := BuildFamilies([]*ts.Series{s2}, func(*ts.Series) string { return "" },
+		ts.TimeRange{From: t0, To: t0.Add(time.Minute)}, time.Minute)
+	if len(fams2) != 0 {
+		t.Fatal("empty group name must drop series")
+	}
+}
+
+func TestFamilyValidate(t *testing.T) {
+	f := synthFamily("ok", 10, func(i int) float64 { return float64(i) })
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := synthFamily("bad", 10, func(i int) float64 { return float64(i) })
+	bad.Matrix.Set(3, 0, math.NaN())
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NaN must fail validation")
+	}
+	mismatch := synthFamily("m", 10, func(i int) float64 { return 1 })
+	mismatch.Columns = append(mismatch.Columns, "extra")
+	if err := mismatch.Validate(); err == nil {
+		t.Fatal("column mismatch must fail")
+	}
+	empty := &Family{Name: "none"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("nil matrix must fail")
+	}
+}
+
+func TestConcatFamilies(t *testing.T) {
+	a := synthFamily("a", 10, func(i int) float64 { return 1 })
+	b := synthFamily("b", 10, func(i int) float64 { return 2 }, func(i int) float64 { return 3 })
+	c, err := ConcatFamilies("z", []*Family{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFeatures() != 3 || c.NumRows() != 10 {
+		t.Fatalf("concat shape %dx%d", c.NumRows(), c.NumFeatures())
+	}
+	if c.Columns[0] != "a/a.a" || c.Columns[2] != "b/b.b" {
+		t.Fatalf("concat columns %v", c.Columns)
+	}
+	if _, err := ConcatFamilies("z", nil); err == nil {
+		t.Fatal("empty concat must error")
+	}
+}
+
+func TestHypothesisValidate(t *testing.T) {
+	x := synthFamily("x", 20, func(i int) float64 { return float64(i) })
+	y := synthFamily("y", 20, func(i int) float64 { return float64(2 * i) })
+	h := &Hypothesis{X: x, Y: y}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap detection.
+	dup := &Hypothesis{X: x, Y: x}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("overlapping X and Y must fail")
+	}
+	short := synthFamily("s", 10, func(i int) float64 { return 1 })
+	if err := (&Hypothesis{X: short, Y: y}).Validate(); err == nil {
+		t.Fatal("row mismatch must fail")
+	}
+	if err := (&Hypothesis{X: x, Y: nil}).Validate(); err == nil {
+		t.Fatal("missing Y must fail")
+	}
+	z := synthFamily("x", 20, func(i int) float64 { return 5 }) // same column ids as x
+	if err := (&Hypothesis{X: x, Y: y, Z: z}).Validate(); err == nil {
+		t.Fatal("Z overlapping X must fail")
+	}
+}
+
+func TestCorrScorerFindsLinearDependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	n := 300
+	shared := make([]float64, n)
+	for i := range shared {
+		shared[i] = rng.NormFloat64()
+	}
+	y := synthFamily("y", n, func(i int) float64 { return shared[i] })
+	xGood := synthFamily("good", n, func(i int) float64 { return shared[i] + 0.1*rng.NormFloat64() })
+	xBad := synthFamily("bad", n, noiseGen(rng, 1))
+
+	for _, s := range []Scorer{&CorrScorer{}, &CorrScorer{UseMax: true}} {
+		good, err := s.Score(xGood.Matrix, y.Matrix, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad, err := s.Score(xBad.Matrix, y.Matrix, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if good < 0.9 || bad > 0.3 || good <= bad {
+			t.Fatalf("%s: good %g bad %g", s.Name(), good, bad)
+		}
+	}
+}
+
+func TestCorrScorerRejectsConditioning(t *testing.T) {
+	x := synthFamily("x", 30, func(i int) float64 { return float64(i) })
+	if _, err := (&CorrScorer{}).Score(x.Matrix, x.Matrix, x.Matrix, nil); err == nil {
+		t.Fatal("CorrScorer must reject Z")
+	}
+}
+
+func TestL2ScorerJoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 300
+	// y depends jointly on two x columns; no single one dominates.
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	for i := range x1 {
+		x1[i] = rng.NormFloat64()
+		x2[i] = rng.NormFloat64()
+	}
+	y := synthFamily("y", n, func(i int) float64 { return x1[i] - x2[i] + 0.1*rng.NormFloat64() })
+	x := synthFamily("x", n, func(i int) float64 { return x1[i] }, func(i int) float64 { return x2[i] })
+	noise := synthFamily("noise", n, noiseGen(rng, 1), noiseGen(rng, 1))
+
+	s := &L2Scorer{Seed: 1}
+	good, err := s.Score(x.Matrix, y.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := s.Score(noise.Matrix, y.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.8 || bad > 0.2 {
+		t.Fatalf("joint good %g bad %g", good, bad)
+	}
+}
+
+func TestL2ScorerConditionalBlocksCommonCause(t *testing.T) {
+	// Chain Z -> X, Z -> Y: X and Y are marginally dependent but
+	// conditionally independent given Z. The conditional score must
+	// collapse while the marginal score stays high.
+	rng := rand.New(rand.NewSource(62))
+	n := 400
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	y := synthFamily("y", n, func(i int) float64 { return 2*z[i] + 0.2*rng.NormFloat64() })
+	x := synthFamily("x", n, func(i int) float64 { return -1.5*z[i] + 0.2*rng.NormFloat64() })
+	zf := synthFamily("z", n, func(i int) float64 { return z[i] })
+
+	s := &L2Scorer{Seed: 2}
+	marginal, err := s.Score(x.Matrix, y.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conditional, err := s.Score(x.Matrix, y.Matrix, zf.Matrix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marginal < 0.7 {
+		t.Fatalf("marginal %g should be high", marginal)
+	}
+	if conditional > 0.2 {
+		t.Fatalf("conditional %g should collapse (marginal %g)", conditional, marginal)
+	}
+}
+
+func TestL2ProjectionScorer(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	n, p := 240, 300
+	// Wide X whose mean drives y: projection must preserve the signal.
+	xcols := make([][]float64, p)
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	for j := range xcols {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = base[i] + 0.5*rng.NormFloat64()
+		}
+		xcols[j] = col
+	}
+	xm, _ := linalg.FromColumns(xcols)
+	x := &Family{Name: "x", Columns: make([]string, p), Matrix: xm}
+	y := synthFamily("y", n, func(i int) float64 { return base[i] + 0.1*rng.NormFloat64() })
+
+	s := &L2Scorer{ProjectDim: 50, ProjectionSamples: 3, Seed: 3}
+	if s.Name() != "L2-P50" {
+		t.Fatalf("name %q", s.Name())
+	}
+	score, err := s.Score(x.Matrix, y.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.7 {
+		t.Fatalf("projected score %g", score)
+	}
+}
+
+func TestLassoScorer(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	n := 200
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = rng.NormFloat64()
+	}
+	y := synthFamily("y", n, func(i int) float64 { return sig[i] })
+	x := synthFamily("x", n, func(i int) float64 { return sig[i] + 0.1*rng.NormFloat64() })
+	s := &LassoScorer{}
+	score, err := s.Score(x.Matrix, y.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.8 {
+		t.Fatalf("lasso score %g", score)
+	}
+	if s.Name() != "L1" {
+		t.Fatal("name")
+	}
+}
+
+func TestEngineRankOrdersCauseFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	n := 300
+	cause := make([]float64, n)
+	for i := range cause {
+		cause[i] = rng.NormFloat64()
+	}
+	y := synthFamily("runtime", n, func(i int) float64 { return 3*cause[i] + 0.3*rng.NormFloat64() })
+	causeFam := synthFamily("retransmits", n, func(i int) float64 { return cause[i] })
+	candidates := []*Family{causeFam}
+	for k := 0; k < 8; k++ {
+		candidates = append(candidates, synthFamily(
+			"noise"+string(rune('0'+k)), n, noiseGen(rng, 1)))
+	}
+	candidates = append(candidates, y) // the target itself must be skipped
+
+	eng := &Engine{Scorer: &L2Scorer{Seed: 4}, TopK: 5}
+	table, err := eng.Rank(Request{Target: y, Candidates: candidates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Results) != 5 {
+		t.Fatalf("topk %d", len(table.Results))
+	}
+	if table.Results[0].Family != "retransmits" {
+		t.Fatalf("top family %q (score %g)", table.Results[0].Family, table.Results[0].Score)
+	}
+	if table.RankOf("retransmits") != 1 {
+		t.Fatal("rank lookup")
+	}
+	if table.RankOf("not-there") != 0 {
+		t.Fatal("absent family rank must be 0")
+	}
+	found := false
+	for _, s := range table.Skipped {
+		if s == "runtime" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("target must be skipped, got %v", table.Skipped)
+	}
+	top := table.Results[0]
+	if top.PValue > 0.05 {
+		t.Fatalf("top p-value %g", top.PValue)
+	}
+	if top.Viz == "" || top.Elapsed <= 0 || top.Features != 1 {
+		t.Fatalf("result metadata %+v", top)
+	}
+}
+
+func TestEngineConditioningChangesRanking(t *testing.T) {
+	// §5.2 scenario: load drives both runtime and many infrastructure
+	// metrics; a fault signal explains the residual. Without conditioning
+	// the load-correlated family can win; with conditioning on load the
+	// fault family must win.
+	rng := rand.New(rand.NewSource(66))
+	n := 500
+	load := make([]float64, n)
+	fault := make([]float64, n)
+	for i := range load {
+		load[i] = math.Sin(2*math.Pi*float64(i)/144) + 0.2*rng.NormFloat64()
+		if i > 250 && i < 300 {
+			fault[i] = 2
+		}
+		fault[i] += 0.1 * rng.NormFloat64()
+	}
+	y := synthFamily("runtime", n, func(i int) float64 {
+		return 3*load[i] + 1.5*fault[i] + 0.1*rng.NormFloat64()
+	})
+	loadEcho := synthFamily("cpu_usage", n, func(i int) float64 { return 3*load[i] + 0.05*rng.NormFloat64() })
+	faultFam := synthFamily("retransmits", n, func(i int) float64 { return fault[i] })
+	loadFam := synthFamily("input_size", n, func(i int) float64 { return load[i] })
+	candidates := []*Family{loadEcho, faultFam}
+
+	eng := &Engine{Scorer: &L2Scorer{Seed: 5}, KeepAll: true}
+	before, err := eng.Rank(Request{Target: y, Candidates: candidates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Results[0].Family != "cpu_usage" {
+		t.Fatalf("unconditioned top should be the load echo, got %q", before.Results[0].Family)
+	}
+	after, err := eng.Rank(Request{Target: y, Candidates: candidates, Condition: []*Family{loadFam}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Results[0].Family != "retransmits" {
+		t.Fatalf("conditioned top should be the fault, got %q (scores %v)", after.Results[0].Family, after.Results)
+	}
+}
+
+func TestEngineUnivariateScorerWithConditioningFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 200
+	y := synthFamily("y", n, noiseGen(rng, 1))
+	x := synthFamily("x", n, noiseGen(rng, 1))
+	z := synthFamily("z", n, noiseGen(rng, 1))
+	eng := &Engine{Scorer: &CorrScorer{UseMax: true}}
+	table, err := eng.Rank(Request{Target: y, Candidates: []*Family{x}, Condition: []*Family{z}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Results) != 1 || table.Results[0].Err != nil {
+		t.Fatalf("fallback failed: %+v", table.Results)
+	}
+}
+
+func TestEngineExplainRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	n := 400
+	// The fault family only matters inside the explain window.
+	fault := make([]float64, n)
+	for i := 300; i < 360; i++ {
+		fault[i] = 3
+	}
+	y := synthFamily("y", n, func(i int) float64 { return fault[i] + 0.2*rng.NormFloat64() })
+	faultFam := synthFamily("fault", n, func(i int) float64 { return fault[i] + 0.05*rng.NormFloat64() })
+	eng := &Engine{Scorer: &L2Scorer{Seed: 6}, KeepAll: true}
+	rangeToExplain := ts.TimeRange{From: t0.Add(290 * time.Minute), To: t0.Add(370 * time.Minute)}
+	table, err := eng.Rank(Request{
+		Target:       y,
+		Candidates:   []*Family{faultFam},
+		ExplainRange: rangeToExplain,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Results[0].Score < 0.5 {
+		t.Fatalf("explain-range score %g", table.Results[0].Score)
+	}
+	// An explain range with no rows errors.
+	if _, err := eng.Rank(Request{
+		Target:       y,
+		Candidates:   []*Family{faultFam},
+		ExplainRange: ts.TimeRange{From: t0.Add(-2 * time.Hour), To: t0.Add(-time.Hour)},
+	}); err == nil {
+		t.Fatal("empty explain range must error")
+	}
+}
+
+func TestEngineSkipsMismatchedCandidates(t *testing.T) {
+	y := synthFamily("y", 100, func(i int) float64 { return float64(i) })
+	short := synthFamily("short", 50, func(i int) float64 { return 1 })
+	eng := &Engine{}
+	table, err := eng.Rank(Request{Target: y, Candidates: []*Family{short}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Results) != 0 || len(table.Skipped) != 1 {
+		t.Fatalf("mismatched candidate should be skipped: %+v", table)
+	}
+}
+
+func TestEngineNoTarget(t *testing.T) {
+	if _, err := (&Engine{}).Rank(Request{}); err == nil {
+		t.Fatal("missing target must error")
+	}
+}
+
+func TestPseudocauseBlocksSeasonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	n, period := 600, 48
+	seasonal := make([]float64, n)
+	spike := make([]float64, n)
+	for i := range seasonal {
+		seasonal[i] = 4 * math.Sin(2*math.Pi*float64(i)/float64(period))
+		// A recurring fault (as in §5.3's periodic slowdown): present in
+		// several CV folds so out-of-sample scoring can detect it.
+		if i%150 >= 100 && i%150 < 130 {
+			spike[i] = 3
+		}
+	}
+	y := synthFamily("y", n, func(i int) float64 { return seasonal[i] + spike[i] + 0.2*rng.NormFloat64() })
+	seasonalEcho := synthFamily("seasonal_echo", n, func(i int) float64 { return seasonal[i] + 0.1*rng.NormFloat64() })
+	spikeFam := synthFamily("spike_cause", n, func(i int) float64 { return spike[i] + 0.1*rng.NormFloat64() })
+
+	pseudo, err := Pseudocause(y, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pseudo.NumRows() != n || !strings.Contains(pseudo.Name, "pseudocause") {
+		t.Fatal("pseudocause shape")
+	}
+	eng := &Engine{Scorer: &L2Scorer{Seed: 7}, KeepAll: true}
+	table, err := eng.Rank(Request{
+		Target:     y,
+		Candidates: []*Family{seasonalEcho, spikeFam},
+		Condition:  []*Family{pseudo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Results[0].Family != "spike_cause" {
+		t.Fatalf("pseudocause conditioning should surface the spike, got %+v", table.Results)
+	}
+	// Residual helper.
+	resid, err := Residual(y, pseudo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid.NumRows() != n {
+		t.Fatal("residual shape")
+	}
+	if _, err := Residual(y, spikeFam); err == nil {
+		_ = err
+	}
+}
+
+func TestPseudocauseAutoDetectPeriod(t *testing.T) {
+	n := 600
+	y := synthFamily("y", n, func(i int) float64 {
+		return 5 * math.Sin(2*math.Pi*float64(i)/50)
+	})
+	pseudo, err := Pseudocause(y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pseudocause must capture nearly all the variance of the target.
+	diff, _ := y.Matrix.Sub(pseudo.Matrix)
+	if diff.FrobeniusNorm() > 0.25*y.Matrix.FrobeniusNorm() {
+		t.Fatalf("auto-period pseudocause misses signal: resid %g vs %g",
+			diff.FrobeniusNorm(), y.Matrix.FrobeniusNorm())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("degenerate sparklines")
+	}
+	flat := Sparkline([]float64{2, 2, 2}, 10)
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("short input keeps length: %q", flat)
+	}
+	long := make([]float64, 100)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	s := Sparkline(long, 16)
+	if len([]rune(s)) != 16 {
+		t.Fatalf("downsample width: %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] == runes[15] {
+		t.Fatal("monotone ramp should span levels")
+	}
+}
+
+func TestFamilyFromColumnsAndSliceRows(t *testing.T) {
+	f, err := FamilyFromColumns("f", map[string][]float64{
+		"b": {4, 5, 6},
+		"a": {1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Columns[0] != "a" || f.Matrix.At(0, 0) != 1 || f.Matrix.At(0, 1) != 4 {
+		t.Fatalf("column order %v", f.Columns)
+	}
+	if _, err := FamilyFromColumns("bad", map[string][]float64{"a": {1}, "b": {1, 2}}); err == nil {
+		t.Fatal("ragged columns must error")
+	}
+	g := synthFamily("g", 10, func(i int) float64 { return float64(i) })
+	sl, err := g.SliceRows(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.NumRows() != 3 || sl.Matrix.At(0, 0) != 2 || !sl.Index[0].Equal(t0.Add(2*time.Minute)) {
+		t.Fatalf("slice %v", sl.Matrix)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEngineRankDeterministic: with a seeded scorer, repeated runs over the
+// same request must produce identical tables regardless of worker
+// scheduling — scores must not depend on goroutine interleaving.
+func TestEngineRankDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	n := 240
+	target := synthFamily("y", n, noiseGen(rng, 1))
+	var candidates []*Family
+	for k := 0; k < 12; k++ {
+		candidates = append(candidates, synthFamily("fam"+string(rune('a'+k)), n, noiseGen(rng, 1)))
+	}
+	run := func(workers int) []Result {
+		eng := &Engine{Scorer: &CorrScorer{UseMax: true}, Workers: workers, KeepAll: true}
+		table, err := eng.Rank(Request{Target: target, Candidates: candidates})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table.Results
+	}
+	a := run(1)
+	b := run(8)
+	c := run(8)
+	if len(a) != len(b) || len(b) != len(c) {
+		t.Fatalf("lengths %d %d %d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i].Family != b[i].Family || a[i].Score != b[i].Score {
+			t.Fatalf("row %d differs between 1 and 8 workers: %+v vs %+v", i, a[i], b[i])
+		}
+		if b[i].Family != c[i].Family || b[i].Score != c[i].Score {
+			t.Fatalf("row %d differs across repeated runs: %+v vs %+v", i, b[i], c[i])
+		}
+	}
+}
+
+// TestEngineTieBreakByName: equal scores order lexicographically so the
+// table is stable for operators and tests.
+func TestEngineTieBreakByName(t *testing.T) {
+	n := 100
+	target := synthFamily("y", n, func(i int) float64 { return float64(i % 7) })
+	flat1 := synthFamily("zebra", n, func(i int) float64 { return 1 })
+	flat2 := synthFamily("aardvark", n, func(i int) float64 { return 1 })
+	eng := &Engine{Scorer: &CorrScorer{}, KeepAll: true}
+	table, err := eng.Rank(Request{Target: target, Candidates: []*Family{flat1, flat2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Results[0].Family != "aardvark" || table.Results[1].Family != "zebra" {
+		t.Fatalf("tie break order %+v", table.Results)
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"explainit/internal/linalg"
+	"explainit/internal/stats"
+	ts "explainit/internal/timeseries"
+)
+
+// Hypothesis is the causal triple of §3.3: does family X explain target Y
+// once Z is controlled for? X and Y must be non-empty; Z may be nil.
+type Hypothesis struct {
+	X, Y *Family
+	Z    *Family
+}
+
+// Validate enforces the structural rules of §3.3 (non-empty X and Y, no
+// metric overlap between the three sets, equal row counts).
+func (h *Hypothesis) Validate() error {
+	if h.X == nil || h.Y == nil {
+		return fmt.Errorf("core: hypothesis needs both X and Y")
+	}
+	if err := h.X.Validate(); err != nil {
+		return err
+	}
+	if err := h.Y.Validate(); err != nil {
+		return err
+	}
+	if h.X.NumFeatures() == 0 || h.Y.NumFeatures() == 0 {
+		return fmt.Errorf("core: X and Y must contain at least one metric")
+	}
+	if h.X.NumRows() != h.Y.NumRows() {
+		return fmt.Errorf("core: X has %d rows, Y has %d", h.X.NumRows(), h.Y.NumRows())
+	}
+	seen := make(map[string]string, h.Y.NumFeatures())
+	for _, c := range h.Y.Columns {
+		seen[c] = "Y"
+	}
+	for _, c := range h.X.Columns {
+		if who, dup := seen[c]; dup {
+			return fmt.Errorf("core: metric %q appears in both X and %s", c, who)
+		}
+		seen[c] = "X"
+	}
+	if h.Z != nil {
+		if err := h.Z.Validate(); err != nil {
+			return err
+		}
+		if h.Z.NumRows() != h.Y.NumRows() {
+			return fmt.Errorf("core: Z has %d rows, Y has %d", h.Z.NumRows(), h.Y.NumRows())
+		}
+		for _, c := range h.Z.Columns {
+			if who, dup := seen[c]; dup {
+				return fmt.Errorf("core: metric %q appears in both Z and %s", c, who)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is one scored hypothesis in the Score Table (Figure 4).
+type Result struct {
+	Family   string        // name of the X family
+	Features int           // number of metrics in X
+	Score    float64       // dependence score in [0, 1]
+	PValue   float64       // Chebyshev bound on P(score | no dependence)
+	Elapsed  time.Duration // scoring time for this family (Figure 10)
+	Viz      string        // ASCII sparkline of the family's lead column
+	Err      error         // non-nil when scoring failed
+}
+
+// ScoreTable is a ranked set of results, highest score first.
+type ScoreTable struct {
+	Results []Result
+	// Skipped lists candidate families excluded from scoring (the target
+	// itself, conditioning families, validation failures).
+	Skipped []string
+}
+
+// Top returns the first k results (fewer if the table is shorter).
+func (t *ScoreTable) Top(k int) []Result {
+	if k > len(t.Results) {
+		k = len(t.Results)
+	}
+	return t.Results[:k]
+}
+
+// RankOf returns the 1-based rank of the named family, or 0 if absent.
+func (t *ScoreTable) RankOf(family string) int {
+	for i, r := range t.Results {
+		if r.Family == family {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Engine scores hypotheses in parallel. The unit of parallelism is the
+// hypothesis, exactly as in the paper's implementation (§4): one family is
+// small enough for a single worker, so there is no distributed-ML
+// machinery — just a worker pool.
+type Engine struct {
+	// Scorer defaults to the plain L2 ridge scorer.
+	Scorer Scorer
+	// Workers defaults to GOMAXPROCS.
+	Workers int
+	// TopK bounds the returned table; 0 means the paper's default of 20.
+	TopK int
+	// KeepAll disables TopK truncation (used by the evaluation harness).
+	KeepAll bool
+}
+
+// DefaultTopK is the paper's default result limit.
+const DefaultTopK = 20
+
+// Request describes one ranking query: score every candidate family
+// against the target, conditioning on zero or more families.
+type Request struct {
+	Target       *Family
+	Condition    []*Family // families to condition on (may be empty)
+	Candidates   []*Family
+	ExplainRange ts.TimeRange // optional range-to-explain (Figure 2)
+}
+
+// Rank scores all candidate families and returns them ordered by
+// decreasing score — Algorithm 1's inner loop.
+func (e *Engine) Rank(req Request) (*ScoreTable, error) {
+	if req.Target == nil {
+		return nil, fmt.Errorf("core: request has no target family")
+	}
+	if err := req.Target.Validate(); err != nil {
+		return nil, err
+	}
+	scorer := e.Scorer
+	if scorer == nil {
+		scorer = &L2Scorer{}
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	topK := e.TopK
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+
+	var zFam *Family
+	if len(req.Condition) > 0 {
+		var err error
+		zFam, err = ConcatFamilies("Z", req.Condition)
+		if err != nil {
+			return nil, err
+		}
+		if err := zFam.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	var zMat *linalg.Matrix
+	if zFam != nil {
+		zMat = zFam.Matrix
+	}
+
+	// The engine substitutes the joint scorer when a univariate scorer
+	// meets a conditioning set (§3.5: univariate scoring applies only when
+	// Z is empty).
+	effective := scorer
+	if zMat != nil && zMat.Cols > 0 {
+		if _, isCorr := scorer.(*CorrScorer); isCorr {
+			effective = &L2Scorer{}
+		}
+	}
+
+	// Resolve the explain range into row indices once.
+	var explainRows []int
+	if !req.ExplainRange.IsZero() {
+		explainRows = req.Target.RowsInRange(req.ExplainRange)
+		if len(explainRows) == 0 {
+			return nil, fmt.Errorf("core: explain range %v selects no rows", req.ExplainRange)
+		}
+	}
+
+	// Exclusion set: the target's and conditioning families' metrics.
+	excluded := map[string]bool{req.Target.Name: true}
+	if zFam != nil {
+		for _, f := range req.Condition {
+			excluded[f.Name] = true
+		}
+	}
+
+	table := &ScoreTable{}
+	type job struct {
+		idx int
+		fam *Family
+	}
+	jobs := make(chan job)
+	results := make([]Result, len(req.Candidates))
+	valid := make([]bool, len(req.Candidates))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res := e.scoreOne(effective, j.fam, req.Target, zFam, zMat, explainRows)
+				results[j.idx] = res
+				valid[j.idx] = true
+			}
+		}()
+	}
+	for i, fam := range req.Candidates {
+		if excluded[fam.Name] {
+			mu.Lock()
+			table.Skipped = append(table.Skipped, fam.Name)
+			mu.Unlock()
+			continue
+		}
+		if err := fam.Validate(); err != nil {
+			mu.Lock()
+			table.Skipped = append(table.Skipped, fam.Name)
+			mu.Unlock()
+			continue
+		}
+		if fam.NumRows() != req.Target.NumRows() {
+			mu.Lock()
+			table.Skipped = append(table.Skipped, fam.Name)
+			mu.Unlock()
+			continue
+		}
+		jobs <- job{idx: i, fam: fam}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range results {
+		if valid[i] {
+			table.Results = append(table.Results, results[i])
+		}
+	}
+	sort.SliceStable(table.Results, func(a, b int) bool {
+		ra, rb := table.Results[a], table.Results[b]
+		if (ra.Err == nil) != (rb.Err == nil) {
+			return ra.Err == nil
+		}
+		if ra.Score != rb.Score {
+			return ra.Score > rb.Score
+		}
+		return ra.Family < rb.Family
+	})
+	if !e.KeepAll && len(table.Results) > topK {
+		table.Results = table.Results[:topK]
+	}
+	return table, nil
+}
+
+func (e *Engine) scoreOne(scorer Scorer, x, y, zFam *Family, zMat *linalg.Matrix, explainRows []int) Result {
+	start := time.Now()
+	res := Result{Family: x.Name, Features: x.NumFeatures()}
+	score, err := scorer.Score(x.Matrix, y.Matrix, zMat, explainRows)
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	res.Score = score
+	// Effective predictor count for the p-value: projection caps it.
+	p := x.NumFeatures()
+	if l2, ok := scorer.(*L2Scorer); ok && l2.ProjectDim > 0 && p > l2.ProjectDim {
+		p = l2.ProjectDim
+	}
+	res.PValue = stats.ChebyshevPValue(score, y.NumRows(), p)
+	res.Viz = Sparkline(x.Matrix.Col(0), 32)
+	return res
+}
+
+// Sparkline renders values as a fixed-width ASCII sparkline: the visual aid
+// stored in the Score Table's viz column (Figure 4, §D).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	// Downsample to width buckets by averaging.
+	buckets := make([]float64, 0, width)
+	if len(values) <= width {
+		buckets = values
+	} else {
+		per := float64(len(values)) / float64(width)
+		for b := 0; b < width; b++ {
+			lo := int(float64(b) * per)
+			hi := int(float64(b+1) * per)
+			if hi > len(values) {
+				hi = len(values)
+			}
+			if lo >= hi {
+				lo = hi - 1
+			}
+			var s float64
+			for _, v := range values[lo:hi] {
+				s += v
+			}
+			buckets = append(buckets, s/float64(hi-lo))
+		}
+	}
+	min, max := buckets[0], buckets[0]
+	for _, v := range buckets {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(buckets))
+	for i, v := range buckets {
+		if max == min {
+			out[i] = levels[0]
+			continue
+		}
+		idx := int((v - min) / (max - min) * float64(len(levels)-1))
+		out[i] = levels[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func scoreTableFrom(scores map[string]float64, pvals map[string]float64) *ScoreTable {
+	t := &ScoreTable{}
+	for fam, s := range scores {
+		t.Results = append(t.Results, Result{Family: fam, Score: s, PValue: pvals[fam]})
+	}
+	// Sort descending by score as the engine does.
+	for i := 0; i < len(t.Results); i++ {
+		for j := i + 1; j < len(t.Results); j++ {
+			if t.Results[j].Score > t.Results[i].Score {
+				t.Results[i], t.Results[j] = t.Results[j], t.Results[i]
+			}
+		}
+	}
+	return t
+}
+
+func TestAdjustPValuesBonferroni(t *testing.T) {
+	table := scoreTableFrom(
+		map[string]float64{"a": 0.9, "b": 0.5},
+		map[string]float64{"a": 0.01, "b": 0.04},
+	)
+	adj := table.AdjustPValues(Bonferroni, 0)
+	if adj[0] != 0.02 || adj[1] != 0.08 {
+		t.Fatalf("bonferroni %v", adj)
+	}
+	// With a larger declared test count the correction scales up.
+	adj10 := table.AdjustPValues(Bonferroni, 10)
+	if adj10[0] != 0.1 || adj10[1] != 0.4 {
+		t.Fatalf("bonferroni padded %v", adj10)
+	}
+}
+
+func TestAdjustPValuesBH(t *testing.T) {
+	table := scoreTableFrom(
+		map[string]float64{"a": 0.9, "b": 0.5, "c": 0.2},
+		map[string]float64{"a": 0.01, "b": 0.02, "c": 0.9},
+	)
+	adj := table.AdjustPValues(BenjaminiHochberg, 0)
+	if len(adj) != 3 {
+		t.Fatalf("adj %v", adj)
+	}
+	// BH keeps order and is less conservative than Bonferroni.
+	bon := table.AdjustPValues(Bonferroni, 0)
+	for i := range adj {
+		if adj[i] > bon[i]+1e-12 {
+			t.Fatalf("BH %v should not exceed Bonferroni %v", adj, bon)
+		}
+	}
+}
+
+func TestSignificantResults(t *testing.T) {
+	table := scoreTableFrom(
+		map[string]float64{"a": 0.9, "b": 0.5, "c": 0.1},
+		map[string]float64{"a": 0.001, "b": 0.002, "c": 0.5},
+	)
+	sig := table.SignificantResults(Bonferroni, 0, 0.05)
+	if len(sig) != 2 || sig[0].Family != "a" || sig[1].Family != "b" {
+		t.Fatalf("significant %v", sig)
+	}
+	none := table.SignificantResults(Bonferroni, 1000, 0.001)
+	if len(none) != 0 {
+		t.Fatalf("padded significance %v", none)
+	}
+}
+
+func TestPredictionOverlay(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	n := 300
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = rng.NormFloat64()
+	}
+	y := synthFamily("y", n, func(i int) float64 { return 2 * sig[i] })
+	x := synthFamily("x", n, func(i int) float64 { return sig[i] + 0.05*rng.NormFloat64() })
+	out, err := PredictionOverlay(x, y, nil, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E[y | x]") {
+		t.Fatalf("title missing: %q", out)
+	}
+	// Good fit: predictions mostly coincide with observations.
+	if strings.Count(out, "#") < 20 {
+		t.Fatalf("expected many coinciding points:\n%s", out)
+	}
+	// Conditional variant with a Z family.
+	z := synthFamily("z", n, noiseGen(rng, 1))
+	outZ, err := PredictionOverlay(x, y, z, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outZ, ", z]") {
+		t.Fatalf("conditional title missing: %q", outZ[:40])
+	}
+	// Invalid families error.
+	bad := &Family{Name: "bad"}
+	if _, err := PredictionOverlay(bad, y, nil, 10, 4); err == nil {
+		t.Fatal("invalid x must error")
+	}
+	if _, err := PredictionOverlay(x, bad, nil, 10, 4); err == nil {
+		t.Fatal("invalid y must error")
+	}
+}
+
+func TestWithLags(t *testing.T) {
+	f := synthFamily("f", 6, func(i int) float64 { return float64(i) })
+	lagged, err := WithLags(f, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lagged.NumFeatures() != 3 {
+		t.Fatalf("features %d", lagged.NumFeatures())
+	}
+	if lagged.Columns[1] != "lag1(f.a)" || lagged.Columns[2] != "lag3(f.a)" {
+		t.Fatalf("columns %v", lagged.Columns)
+	}
+	// lag1 at row 4 equals original row 3; clamped at the start.
+	if lagged.Matrix.At(4, 1) != 3 || lagged.Matrix.At(0, 1) != 0 {
+		t.Fatalf("lag values %v", lagged.Matrix)
+	}
+	if lagged.Matrix.At(5, 2) != 2 {
+		t.Fatalf("lag3 value %g", lagged.Matrix.At(5, 2))
+	}
+	if _, err := WithLags(f, []int{0}); err == nil {
+		t.Fatal("non-positive lag must error")
+	}
+	if _, err := WithLags(&Family{Name: "bad"}, []int{1}); err == nil {
+		t.Fatal("invalid family must error")
+	}
+}
+
+func TestWithLagsImprovesLaggedCause(t *testing.T) {
+	// The cause acts with a 5-step delay: without lags the scorer misses
+	// it; with lagged features it scores highly.
+	rng := rand.New(rand.NewSource(71))
+	n := 400
+	cause := make([]float64, n)
+	for i := range cause {
+		if i%80 >= 50 && i%80 < 65 {
+			cause[i] = 3
+		}
+		cause[i] += 0.1 * rng.NormFloat64()
+	}
+	y := synthFamily("y", n, func(i int) float64 {
+		src := i - 5
+		if src < 0 {
+			src = 0
+		}
+		return cause[src] + 0.2*rng.NormFloat64()
+	})
+	x := synthFamily("x", n, func(i int) float64 { return cause[i] })
+	s := &L2Scorer{Seed: 8}
+	plain, err := s.Score(x.Matrix, y.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laggedX, err := WithLags(x, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagged, err := s.Score(laggedX.Matrix, y.Matrix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lagged < plain+0.1 {
+		t.Fatalf("lagged features should help: plain %g lagged %g", plain, lagged)
+	}
+}
+
+func TestRankMerge(t *testing.T) {
+	t1 := &ScoreTable{Results: []Result{
+		{Family: "a", Score: 0.9},
+		{Family: "b", Score: 0.8},
+		{Family: "c", Score: 0.1},
+	}}
+	t2 := &ScoreTable{Results: []Result{
+		{Family: "b", Score: 0.7},
+		{Family: "a", Score: 0.6},
+		{Family: "d", Score: 0.5},
+	}}
+	merged := RankMerge([]*ScoreTable{t1, t2})
+	if len(merged) != 4 {
+		t.Fatalf("merged %v", merged)
+	}
+	// a and b appear in both rankings near the top and must lead.
+	if merged[0].Family != "a" && merged[0].Family != "b" {
+		t.Fatalf("top merged %v", merged[0])
+	}
+	if merged[0].Queries != 2 || merged[0].BestRank != 1 {
+		t.Fatalf("merged metadata %+v", merged[0])
+	}
+	// Families in both rankings beat families in one.
+	pos := map[string]int{}
+	for i, m := range merged {
+		pos[m.Family] = i
+	}
+	if pos["c"] < pos["a"] || pos["d"] < pos["b"] {
+		t.Fatalf("single-query families should trail: %v", merged)
+	}
+	// Errored results are skipped.
+	t3 := &ScoreTable{Results: []Result{{Family: "z", Err: errFake}}}
+	if got := RankMerge([]*ScoreTable{t3}); len(got) != 0 {
+		t.Fatalf("errored results must be skipped: %v", got)
+	}
+	if got := RankMerge(nil); len(got) != 0 {
+		t.Fatal("empty merge")
+	}
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }

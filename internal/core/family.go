@@ -1,0 +1,290 @@
+// Package core implements ExplainIt!'s primary contribution: scoring and
+// ranking causal hypotheses (X, Y, Z) over feature families of time series
+// (§3 of the paper). A feature family groups univariate metrics into a
+// human-relatable unit (§3.2); a hypothesis asks whether family X explains
+// target Y after controlling for Z (§3.3); scorers quantify the conditional
+// dependence (§3.5); and the engine ranks thousands of hypotheses in
+// parallel, one hypothesis per worker (§4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"explainit/internal/linalg"
+	"explainit/internal/sqlexec"
+	ts "explainit/internal/timeseries"
+)
+
+// Family is a named group of aligned univariate metrics: a T x F dense block
+// sharing one time index.
+type Family struct {
+	Name    string
+	Columns []string    // one identifier per feature column
+	Index   []time.Time // shared time grid (may be nil for raw matrices)
+	Matrix  *linalg.Matrix
+}
+
+// NumFeatures returns F, the number of metric columns.
+func (f *Family) NumFeatures() int { return f.Matrix.Cols }
+
+// NumRows returns T, the number of time points.
+func (f *Family) NumRows() int { return f.Matrix.Rows }
+
+// Validate checks internal consistency.
+func (f *Family) Validate() error {
+	if f.Matrix == nil {
+		return fmt.Errorf("core: family %q has no data", f.Name)
+	}
+	if len(f.Columns) != f.Matrix.Cols {
+		return fmt.Errorf("core: family %q has %d column names for %d columns", f.Name, len(f.Columns), f.Matrix.Cols)
+	}
+	if f.Index != nil && len(f.Index) != f.Matrix.Rows {
+		return fmt.Errorf("core: family %q has %d index entries for %d rows", f.Name, len(f.Index), f.Matrix.Rows)
+	}
+	for _, v := range f.Matrix.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: family %q contains non-finite values (interpolate first)", f.Name)
+		}
+	}
+	return nil
+}
+
+// GroupFunc assigns a series to a family name. Returning "" drops the
+// series from the grouping.
+type GroupFunc func(*ts.Series) string
+
+// GroupByMetricName groups series by their metric name — the default
+// grouping used throughout the paper's case studies.
+func GroupByMetricName(s *ts.Series) string { return s.Name }
+
+// GroupByTag returns a GroupFunc grouping by one tag key, producing families
+// like *{host=datanode-1}; series missing the tag group under
+// "{key=NULL}" as in §3.2.
+func GroupByTag(key string) GroupFunc {
+	return func(s *ts.Series) string {
+		v, ok := s.Tags[key]
+		if !ok {
+			return "*{" + key + "=NULL}"
+		}
+		return "*{" + key + "=" + v + "}"
+	}
+}
+
+// BuildFamilies aligns series onto a regular grid over r at the given step,
+// interpolates gaps, and groups columns into families using groupBy.
+// Families are returned sorted by name for determinism.
+func BuildFamilies(series []*ts.Series, groupBy GroupFunc, r ts.TimeRange, step time.Duration) ([]*Family, error) {
+	groups := make(map[string][]*ts.Series)
+	var names []string
+	for _, s := range series {
+		g := groupBy(s)
+		if g == "" {
+			continue
+		}
+		if _, ok := groups[g]; !ok {
+			names = append(names, g)
+		}
+		groups[g] = append(groups[g], s)
+	}
+	sort.Strings(names)
+	families := make([]*Family, 0, len(names))
+	for _, name := range names {
+		frame, err := ts.Align(groups[name], r, step)
+		if err != nil {
+			return nil, fmt.Errorf("core: aligning family %q: %w", name, err)
+		}
+		frame, _ = frame.DropAllNaNColumns()
+		if frame.NumCols() == 0 {
+			continue
+		}
+		frame.Interpolate()
+		fam := &Family{
+			Name:    name,
+			Columns: frame.Columns,
+			Index:   frame.Index,
+			Matrix:  frame.Matrix(),
+		}
+		families = append(families, fam)
+	}
+	return families, nil
+}
+
+// FamilyFromColumns builds a family directly from named columns of values
+// (all the same length).
+func FamilyFromColumns(name string, cols map[string][]float64) (*Family, error) {
+	keys := make([]string, 0, len(cols))
+	for k := range cols {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	data := make([][]float64, 0, len(keys))
+	for _, k := range keys {
+		data = append(data, cols[k])
+	}
+	m, err := linalg.FromColumns(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: family %q: %w", name, err)
+	}
+	return &Family{Name: name, Columns: keys, Matrix: m}, nil
+}
+
+// FamiliesFromRelation pivots a SQL result into feature families: rows are
+// keyed by (timeCol, keyCol); every remaining numeric column becomes one
+// feature of the family named by keyCol's value. This is the bridge from
+// stage-1 SQL queries (Appendix C) to the scoring pipeline — the Feature
+// Family Table of Figure 4. Missing (time, key) combinations are
+// interpolated to the closest observation.
+func FamiliesFromRelation(rel *sqlexec.Relation, timeCol, keyCol string, r ts.TimeRange, step time.Duration) ([]*Family, error) {
+	tIdx := rel.ColumnIndex("", timeCol)
+	if tIdx < 0 {
+		return nil, fmt.Errorf("core: relation has no time column %q", timeCol)
+	}
+	kIdx := -1
+	if keyCol != "" {
+		kIdx = rel.ColumnIndex("", keyCol)
+		if kIdx < 0 {
+			return nil, fmt.Errorf("core: relation has no key column %q", keyCol)
+		}
+	}
+	// Feature columns: everything except time and key.
+	var featIdx []int
+	var featNames []string
+	for i, c := range rel.Cols {
+		if i == tIdx || i == kIdx {
+			continue
+		}
+		featIdx = append(featIdx, i)
+		featNames = append(featNames, c)
+	}
+	if len(featIdx) == 0 {
+		return nil, fmt.Errorf("core: relation has no feature columns")
+	}
+	// Build one synthetic series per (key, feature) pair, then align.
+	seriesByID := make(map[string]*ts.Series)
+	var order []string
+	for _, row := range rel.Rows {
+		tv := row[tIdx]
+		var at time.Time
+		switch tv.Kind {
+		case sqlexec.KTime:
+			at = tv.T
+		case sqlexec.KNumber:
+			at = time.Unix(int64(tv.F), 0).UTC()
+		default:
+			continue // NULL timestamps from outer joins are dropped
+		}
+		key := ""
+		if kIdx >= 0 {
+			if row[kIdx].IsNull() {
+				continue
+			}
+			key = row[kIdx].AsString()
+		}
+		for fi, ci := range featIdx {
+			v := row[ci]
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				continue
+			}
+			id := key + "\x1f" + featNames[fi]
+			s, ok := seriesByID[id]
+			if !ok {
+				s = &ts.Series{Name: featNames[fi], Tags: ts.Tags{"family": key}}
+				seriesByID[id] = s
+				order = append(order, id)
+			}
+			s.Append(at, f)
+		}
+	}
+	sort.Strings(order)
+	groups := make(map[string][]*ts.Series)
+	var famNames []string
+	for _, id := range order {
+		s := seriesByID[id]
+		s.Sort()
+		key := s.Tags["family"]
+		if _, ok := groups[key]; !ok {
+			famNames = append(famNames, key)
+		}
+		groups[key] = append(groups[key], s)
+	}
+	sort.Strings(famNames)
+	var families []*Family
+	for _, name := range famNames {
+		frame, err := ts.Align(groups[name], r, step)
+		if err != nil {
+			return nil, err
+		}
+		frame, _ = frame.DropAllNaNColumns()
+		if frame.NumCols() == 0 {
+			continue
+		}
+		frame.Interpolate()
+		display := name
+		if display == "" {
+			display = "*"
+		}
+		families = append(families, &Family{
+			Name:    display,
+			Columns: frame.Columns,
+			Index:   frame.Index,
+			Matrix:  frame.Matrix(),
+		})
+	}
+	return families, nil
+}
+
+// ConcatFamilies merges several families into one (for multi-family Z
+// conditioning sets). All families must share the same row count.
+func ConcatFamilies(name string, fams []*Family) (*Family, error) {
+	if len(fams) == 0 {
+		return nil, fmt.Errorf("core: no families to concatenate")
+	}
+	mats := make([]*linalg.Matrix, len(fams))
+	var cols []string
+	for i, f := range fams {
+		mats[i] = f.Matrix
+		for _, c := range f.Columns {
+			cols = append(cols, f.Name+"/"+c)
+		}
+	}
+	m, err := linalg.HStack(mats...)
+	if err != nil {
+		return nil, fmt.Errorf("core: concatenating families: %w", err)
+	}
+	return &Family{Name: name, Columns: cols, Index: fams[0].Index, Matrix: m}, nil
+}
+
+// SliceRows returns a copy of the family restricted to rows [from, to).
+func (f *Family) SliceRows(from, to int) (*Family, error) {
+	m, err := f.Matrix.SliceRows(from, to)
+	if err != nil {
+		return nil, err
+	}
+	var idx []time.Time
+	if f.Index != nil {
+		idx = f.Index[from:to]
+	}
+	return &Family{Name: f.Name, Columns: f.Columns, Index: idx, Matrix: m}, nil
+}
+
+// RowsInRange returns the row indices whose timestamps fall within r.
+// Families without an index return nil.
+func (f *Family) RowsInRange(r ts.TimeRange) []int {
+	if f.Index == nil {
+		return nil
+	}
+	var rows []int
+	for i, at := range f.Index {
+		if r.Contains(at) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}

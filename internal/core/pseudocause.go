@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"explainit/internal/linalg"
+	"explainit/internal/stats"
+)
+
+// Pseudocause derives a conditioning family from the target itself (§3.4):
+// decomposing Y into seasonal + residual parts and conditioning on the
+// seasonal component Ys "blocks" the unknown causes of seasonality, so the
+// ranking surfaces causes specific to the residual variation Yr without
+// ever identifying Cs (Figure 3).
+//
+// period is the seasonal period in samples; 0 auto-detects it per column by
+// autocorrelation (falling back to trend-only when nothing periodic is
+// found).
+func Pseudocause(y *Family, period int) (*Family, error) {
+	if err := y.Validate(); err != nil {
+		return nil, err
+	}
+	cols := make([]string, 0, y.NumFeatures())
+	data := make([][]float64, 0, y.NumFeatures())
+	for j := 0; j < y.NumFeatures(); j++ {
+		vals := y.Matrix.Col(j)
+		p := period
+		if p <= 0 {
+			p = stats.DetectPeriod(vals, 2, len(vals)/3, 0.3)
+		}
+		d := stats.DecomposeAdditive(vals, p)
+		// The pseudocause is trend + seasonality: everything that is
+		// predictable from time alone.
+		comp := make([]float64, len(vals))
+		for i := range comp {
+			comp[i] = d.Trend[i] + d.Seasonal[i]
+		}
+		cols = append(cols, "pseudocause("+y.Columns[j]+")")
+		data = append(data, comp)
+	}
+	m, err := linalg.FromColumns(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: pseudocause: %w", err)
+	}
+	return &Family{
+		Name:    "pseudocause(" + y.Name + ")",
+		Columns: cols,
+		Index:   y.Index,
+		Matrix:  m,
+	}, nil
+}
+
+// Residual returns the target with its pseudocause subtracted — Yr in the
+// notation of §3.4, useful for visualising what remains to be explained.
+func Residual(y, pseudo *Family) (*Family, error) {
+	if y.NumRows() != pseudo.NumRows() || y.NumFeatures() != pseudo.NumFeatures() {
+		return nil, fmt.Errorf("core: residual: shape mismatch %dx%d vs %dx%d",
+			y.NumRows(), y.NumFeatures(), pseudo.NumRows(), pseudo.NumFeatures())
+	}
+	m, err := y.Matrix.Sub(pseudo.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(y.Columns))
+	for i, c := range y.Columns {
+		cols[i] = "residual(" + c + ")"
+	}
+	return &Family{Name: "residual(" + y.Name + ")", Columns: cols, Index: y.Index, Matrix: m}, nil
+}

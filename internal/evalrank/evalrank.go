@@ -1,0 +1,121 @@
+// Package evalrank implements the ranking-quality metrics of §6.1 of the
+// paper: discounted gain with a Zipfian 1/r discount, the logarithmic DCG
+// variant, success@k, and the arithmetic/harmonic summary means used in
+// Table 6.
+package evalrank
+
+import "math"
+
+// Label classifies a ranked feature family against ground truth.
+type Label int
+
+// Ground-truth labels used in the paper's manual annotation.
+const (
+	Irrelevant Label = iota
+	Effect
+	Cause
+)
+
+// FailureScore is the small score substituted for scenarios where a method
+// fails to rank any cause in the top-k (the paper uses 0.001 when computing
+// harmonic means).
+const FailureScore = 0.001
+
+// FirstCauseRank returns the 1-based rank of the first Cause label within
+// the top-k prefix of labels, or 0 when none appears.
+func FirstCauseRank(labels []Label, k int) int {
+	if k > len(labels) {
+		k = len(labels)
+	}
+	for i := 0; i < k; i++ {
+		if labels[i] == Cause {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// DiscountedGain returns 1/r for the first cause at rank r within top-k,
+// and 0 when no cause appears (the paper's ranking-accuracy measure with
+// binary relevance and Zipfian discount).
+func DiscountedGain(labels []Label, k int) float64 {
+	r := FirstCauseRank(labels, k)
+	if r == 0 {
+		return 0
+	}
+	return 1 / float64(r)
+}
+
+// LogDiscountedGain is the 1/log2(1+r) variant the paper reports behaving
+// similarly.
+func LogDiscountedGain(labels []Label, k int) float64 {
+	r := FirstCauseRank(labels, k)
+	if r == 0 {
+		return 0
+	}
+	return 1 / math.Log2(1+float64(r))
+}
+
+// Success returns 1 when a cause appears in the top-k, else 0.
+func Success(labels []Label, k int) float64 {
+	if FirstCauseRank(labels, k) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Std returns the population standard deviation.
+func Std(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := Mean(vals)
+	var ss float64
+	for _, v := range vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)))
+}
+
+// HarmonicMean substitutes FailureScore for non-positive entries, matching
+// the paper's Table 6 summary ("we use a small score of 0.001 when
+// including failures").
+func HarmonicMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, v := range vals {
+		if v <= 0 {
+			v = FailureScore
+		}
+		inv += 1 / v
+	}
+	return float64(len(vals)) / inv
+}
+
+// SuccessRate averages Success over scenarios: the fraction of scenarios
+// with a cause in the top-k.
+func SuccessRate(perScenario [][]Label, k int) float64 {
+	if len(perScenario) == 0 {
+		return 0
+	}
+	var s float64
+	for _, labels := range perScenario {
+		s += Success(labels, k)
+	}
+	return s / float64(len(perScenario))
+}

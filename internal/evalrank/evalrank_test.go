@@ -1,0 +1,97 @@
+package evalrank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFirstCauseRank(t *testing.T) {
+	labels := []Label{Effect, Effect, Cause, Irrelevant, Cause}
+	if r := FirstCauseRank(labels, 20); r != 3 {
+		t.Fatalf("rank %d", r)
+	}
+	if r := FirstCauseRank(labels, 2); r != 0 {
+		t.Fatalf("cutoff rank %d", r)
+	}
+	if r := FirstCauseRank(nil, 5); r != 0 {
+		t.Fatalf("empty rank %d", r)
+	}
+}
+
+func TestDiscountedGain(t *testing.T) {
+	labels := []Label{Effect, Cause}
+	if g := DiscountedGain(labels, 20); g != 0.5 {
+		t.Fatalf("gain %g", g)
+	}
+	if g := DiscountedGain([]Label{Effect, Effect}, 20); g != 0 {
+		t.Fatalf("no-cause gain %g", g)
+	}
+	if g := DiscountedGain([]Label{Cause}, 20); g != 1 {
+		t.Fatalf("perfect gain %g", g)
+	}
+}
+
+func TestLogDiscountedGain(t *testing.T) {
+	if g := LogDiscountedGain([]Label{Cause}, 20); g != 1 {
+		t.Fatalf("rank-1 log gain %g", g)
+	}
+	g3 := LogDiscountedGain([]Label{Effect, Effect, Cause}, 20)
+	if math.Abs(g3-1/math.Log2(4)) > 1e-12 {
+		t.Fatalf("rank-3 log gain %g", g3)
+	}
+	if LogDiscountedGain([]Label{Effect}, 20) != 0 {
+		t.Fatal("failure log gain")
+	}
+	// Log discount is gentler than Zipfian.
+	if g3 <= DiscountedGain([]Label{Effect, Effect, Cause}, 20) {
+		t.Fatal("log discount should exceed 1/r for r > 1")
+	}
+}
+
+func TestSuccess(t *testing.T) {
+	labels := []Label{Effect, Effect, Effect, Cause}
+	if Success(labels, 3) != 0 || Success(labels, 4) != 1 {
+		t.Fatal("success cutoffs")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 || Mean(nil) != 0 {
+		t.Fatal("mean")
+	}
+	if Std([]float64{2, 2}) != 0 {
+		t.Fatal("std zero")
+	}
+	if math.Abs(Std([]float64{1, 3})-1) > 1e-12 {
+		t.Fatal("std")
+	}
+	h := HarmonicMean([]float64{1, 0.5})
+	if math.Abs(h-2.0/3.0) > 1e-12 {
+		t.Fatalf("harmonic %g", h)
+	}
+	// Failures pulled toward FailureScore.
+	hf := HarmonicMean([]float64{1, 0})
+	if hf > 0.01 {
+		t.Fatalf("failure harmonic %g", hf)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Fatal("empty harmonic")
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	scen := [][]Label{
+		{Cause},
+		{Effect, Cause},
+		{Effect, Effect},
+	}
+	if r := SuccessRate(scen, 1); math.Abs(r-1.0/3.0) > 1e-12 {
+		t.Fatalf("rate@1 %g", r)
+	}
+	if r := SuccessRate(scen, 2); math.Abs(r-2.0/3.0) > 1e-12 {
+		t.Fatalf("rate@2 %g", r)
+	}
+	if SuccessRate(nil, 5) != 0 {
+		t.Fatal("empty rate")
+	}
+}

@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulator: Tables 2-6 and Figures 5-10, 12, 13, plus
+// the ablation studies called out in DESIGN.md. Each driver returns a
+// Report whose lines are paper-style rows, so the same code backs the
+// cmd/experiments binary and the root-level benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"explainit/internal/core"
+	"explainit/internal/simulator"
+	ts "explainit/internal/timeseries"
+)
+
+// Report is the printable outcome of one experiment.
+type Report struct {
+	Name  string
+	Title string
+	Lines []string
+	// Metrics carries machine-checkable numbers (used by tests to assert
+	// the paper's qualitative shapes).
+	Metrics map[string]float64
+}
+
+func newReport(name, title string) *Report {
+	return &Report{Name: name, Title: title, Metrics: make(map[string]float64)}
+}
+
+// Printf appends a formatted line.
+func (r *Report) Printf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.Name, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner is a named experiment driver.
+type Runner struct {
+	Name string
+	Desc string
+	Run  func() (*Report, error)
+}
+
+// All returns every experiment driver in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"table2", "asymptotic CPU cost of scoring algorithms", Table2},
+		{"table3", "§5.1 packet-drop fault injection ranking", Table3},
+		{"table4", "§5.3 namenode periodic scan ranking", Table4},
+		{"table5", "§5.4 weekly RAID check ranking", Table5},
+		{"table6", "11 scenarios x 5 scorers ranking accuracy", func() (*Report, error) { return Table6(1) }},
+		{"figure5", "runtime during packet-drop windows", Figure5},
+		{"figure6", "runtime distribution before/after §5.2 fix", Figure6},
+		{"figure7", "periodic spikes before/after §5.3 fix", Figure7},
+		{"figure8", "weekly spikes over a month (§5.4)", Figure8},
+		{"figure9", "RAID intervention timeline (§5.4)", Figure9},
+		{"figure10", "score time per feature family by scorer", func() (*Report, error) { return Figure10(1) }},
+		{"figure12", "NULL density of r2 vs adjusted r2", Figure12},
+		{"figure13", "Ridge r2 NULL density across penalties", Figure13},
+		{"ablation", "design-choice ablations (DESIGN.md)", Ablations},
+	}
+}
+
+// Find returns the named runner.
+func Find(name string) (Runner, bool) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// scenarioFamilies aligns a scenario's series into scoring families and
+// returns (target, candidates).
+func scenarioFamilies(sc *simulator.Scenario) (*core.Family, []*core.Family, error) {
+	fams, err := core.BuildFamilies(sc.Series, core.GroupByMetricName, sc.Range, sc.Step)
+	if err != nil {
+		return nil, nil, err
+	}
+	var target *core.Family
+	for _, f := range fams {
+		if f.Name == sc.Target {
+			target = f
+			break
+		}
+	}
+	if target == nil {
+		return nil, nil, fmt.Errorf("experiments: scenario %q lost its target family", sc.Name)
+	}
+	return target, fams, nil
+}
+
+// rankScenario runs one engine pass and returns the full (untruncated)
+// table plus per-family timings.
+func rankScenario(sc *simulator.Scenario, scorer core.Scorer, condition []*core.Family, explain ts.TimeRange) (*core.ScoreTable, error) {
+	target, fams, err := scenarioFamilies(sc)
+	if err != nil {
+		return nil, err
+	}
+	eng := &core.Engine{Scorer: scorer, KeepAll: true}
+	return eng.Rank(core.Request{
+		Target:       target,
+		Candidates:   fams,
+		Condition:    condition,
+		ExplainRange: explain,
+	})
+}
+
+// rankedNames extracts family names in rank order.
+func rankedNames(table *core.ScoreTable) []string {
+	out := make([]string, 0, len(table.Results))
+	for _, r := range table.Results {
+		if r.Err == nil {
+			out = append(out, r.Family)
+		}
+	}
+	return out
+}
+
+// describeTopK renders the top rows with ground-truth interpretation.
+func describeTopK(rep *Report, sc *simulator.Scenario, table *core.ScoreTable, k int) {
+	labels := sc.FamilyLabels()
+	rep.Printf("%-4s %-28s %8s %8s  %s", "rank", "family", "score", "feats", "ground truth")
+	for i, res := range table.Results {
+		if i >= k || res.Err != nil {
+			break
+		}
+		label := "irrelevant"
+		switch labels[res.Family] {
+		case 2:
+			label = "CAUSE"
+		case 1:
+			label = "effect (expected)"
+		}
+		rep.Printf("%-4d %-28s %8.3f %8d  %s", i+1, res.Family, res.Score, res.Features, label)
+	}
+}
+
+// timingStats summarises per-family scoring durations.
+func timingStats(tables []*core.ScoreTable) (mean, max time.Duration, n int) {
+	var total time.Duration
+	for _, t := range tables {
+		for _, r := range t.Results {
+			if r.Err != nil {
+				continue
+			}
+			total += r.Elapsed
+			if r.Elapsed > max {
+				max = r.Elapsed
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		mean = total / time.Duration(n)
+	}
+	return mean, max, n
+}
+
+// sortedKeys returns map keys in sorted order (for deterministic output).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"explainit/internal/core"
+	"explainit/internal/linalg"
+)
+
+// Table2 measures the empirical cost of each scoring method as the feature
+// count nx grows, the reproduction of the asymptotic cost table: univariate
+// scoring is O(nx ny T); joint ridge is O(kL ny min(T nx^2, T^2 nx)); and
+// random projection to d dims sits in between at O(kL T d (nx+ny+nz+d)).
+func Table2() (*Report, error) {
+	rep := newReport("table2", "empirical scorer cost vs feature count (paper Table 2)")
+	T := 720
+	sizes := []int{10, 40, 160, 640}
+	scorers := []core.Scorer{
+		&core.CorrScorer{},
+		&core.CorrScorer{UseMax: true},
+		&core.L2Scorer{Seed: 21},
+		&core.L2Scorer{ProjectDim: 50, Seed: 21},
+		&core.L2Scorer{ProjectDim: 500, Seed: 21},
+	}
+	rng := rand.New(rand.NewSource(22))
+	y := linalg.GaussianMatrix(rng, T, 1)
+
+	header := "nx      "
+	for _, s := range scorers {
+		header += padScorer(s.Name())
+	}
+	rep.Printf("%s", header)
+	times := make(map[string][]time.Duration)
+	for _, nx := range sizes {
+		x := linalg.GaussianMatrix(rng, T, nx)
+		line := pad8(nx)
+		for _, s := range scorers {
+			start := time.Now()
+			if _, err := s.Score(x, y, nil, nil); err != nil {
+				return nil, err
+			}
+			d := time.Since(start)
+			times[s.Name()] = append(times[s.Name()], d)
+			line += padDuration(d)
+		}
+		rep.Printf("%s", line)
+	}
+
+	// Machine-checkable shape: at the largest size, univariate must be
+	// cheapest and the projected scorer must not exceed the full joint
+	// scorer (modulo timing noise at small absolute durations).
+	last := len(sizes) - 1
+	rep.Metrics["corrmean_ms"] = times["CorrMean"][last].Seconds() * 1e3
+	rep.Metrics["l2_ms"] = times["L2"][last].Seconds() * 1e3
+	rep.Metrics["l2p50_ms"] = times["L2-P50"][last].Seconds() * 1e3
+	rep.Printf("")
+	rep.Printf("at nx=%d: CorrMean %.1fms | L2-P50 %.1fms | L2 %.1fms",
+		sizes[last], rep.Metrics["corrmean_ms"], rep.Metrics["l2p50_ms"], rep.Metrics["l2_ms"])
+	return rep, nil
+}
+
+func pad8(n int) string {
+	s := itoa(n)
+	for len(s) < 8 {
+		s += " "
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func padScorer(name string) string {
+	for len(name) < 14 {
+		name += " "
+	}
+	return name
+}
+
+func padDuration(d time.Duration) string {
+	s := d.Round(10 * time.Microsecond).String()
+	for len(s) < 14 {
+		s += " "
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"explainit/internal/core"
+	"explainit/internal/evalrank"
+	"explainit/internal/simulator"
+	ts "explainit/internal/timeseries"
+)
+
+// table6Scorers returns the five methods compared in Table 6.
+func table6Scorers() []core.Scorer {
+	return core.DefaultScorers(42)
+}
+
+// table6Run holds the raw outcome of one scenario x scorer cell.
+type table6Run struct {
+	scenario int
+	scorer   string
+	gain     float64
+	labels   []evalrank.Label
+	table    *core.ScoreTable
+}
+
+// runTable6 executes all scenarios against all scorers at the given scale
+// factor (1 = full DESIGN.md sizing; smaller shrinks distractor mass for
+// quick benchmarking).
+func runTable6(scale float64) ([]simulator.Table6Spec, []table6Run, error) {
+	specs := simulator.Table6Specs()
+	if scale < 1 {
+		for i := range specs {
+			specs[i].Families = max(10, int(float64(specs[i].Families)*scale))
+			specs[i].BigFeatures = max(20, int(float64(specs[i].BigFeatures)*scale))
+		}
+	}
+	var runs []table6Run
+	for _, spec := range specs {
+		sc := simulator.Table6Scenario(spec)
+		for _, scorer := range table6Scorers() {
+			table, err := rankScenario(sc, scorer, nil, ts.TimeRange{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("scenario %d scorer %s: %w", spec.ID, scorer.Name(), err)
+			}
+			labels := sc.LabelRanking(rankedNames(table))
+			runs = append(runs, table6Run{
+				scenario: spec.ID,
+				scorer:   scorer.Name(),
+				gain:     evalrank.DiscountedGain(labels, 20),
+				labels:   labels,
+				table:    table,
+			})
+		}
+	}
+	return specs, runs, nil
+}
+
+// Table6 reproduces the scorer comparison: per-scenario discounted gain,
+// harmonic/arithmetic summary, and success@k rows.
+func Table6(scale float64) (*Report, error) {
+	rep := newReport("table6", "ranking accuracy of 5 scoring methods over 11 scenarios (paper Table 6)")
+	specs, runs, err := runTable6(scale)
+	if err != nil {
+		return nil, err
+	}
+	scorerNames := []string{"CorrMean", "CorrMax", "L2", "L2-P50", "L2-P500"}
+
+	// Per-scenario gains.
+	header := "scenario  #families  #features "
+	for _, s := range scorerNames {
+		header += padScorer(s)
+	}
+	rep.Printf("%s", header)
+	gains := make(map[string][]float64)
+	labelSets := make(map[string][][]evalrank.Label)
+	for _, spec := range specs {
+		sc := simulator.Table6Scenario(spec)
+		numFams := len(sc.FamilyNames())
+		numFeats := 0
+		for _, sr := range sc.Series {
+			_ = sr
+			numFeats++
+		}
+		line := fmt.Sprintf("%-9d %-10d %-10d", spec.ID, numFams, numFeats)
+		for _, name := range scorerNames {
+			for _, run := range runs {
+				if run.scenario == spec.ID && run.scorer == name {
+					cell := fmt.Sprintf("%.3f", run.gain)
+					if run.gain == 0 {
+						cell = "-"
+					}
+					line += padScorer(cell)
+					gains[name] = append(gains[name], run.gain)
+					labelSets[name] = append(labelSets[name], run.labels)
+				}
+			}
+		}
+		rep.Printf("%s", line)
+	}
+
+	rep.Printf("")
+	summary := func(title string, f func(name string) float64) {
+		line := padScorer2(title, 38)
+		for _, name := range scorerNames {
+			line += padScorer(fmt.Sprintf("%.3f", f(name)))
+		}
+		rep.Printf("%s", line)
+	}
+	summary("harmonic mean (discounted gain)", func(n string) float64 { return evalrank.HarmonicMean(gains[n]) })
+	summary("average (discounted gain)", func(n string) float64 { return evalrank.Mean(gains[n]) })
+	summary("stdev of discounted gain", func(n string) float64 { return evalrank.Std(gains[n]) })
+	for _, k := range []int{1, 5, 10, 20} {
+		summary(fmt.Sprintf("success rate top-%d", k), func(n string) float64 {
+			return evalrank.SuccessRate(labelSets[n], k)
+		})
+	}
+
+	for _, name := range scorerNames {
+		rep.Metrics["avg_gain/"+name] = evalrank.Mean(gains[name])
+		rep.Metrics["success20/"+name] = evalrank.SuccessRate(labelSets[name], 20)
+		rep.Metrics["success1/"+name] = evalrank.SuccessRate(labelSets[name], 1)
+		rep.Metrics["success5/"+name] = evalrank.SuccessRate(labelSets[name], 5)
+	}
+	return rep, nil
+}
+
+// Figure10 reports mean and max scoring time per feature family for each
+// method across the Table 6 scenarios.
+func Figure10(scale float64) (*Report, error) {
+	rep := newReport("figure10", "score time per feature family by method (paper Figure 10)")
+	_, runs, err := runTable6(scale)
+	if err != nil {
+		return nil, err
+	}
+	byScorer := make(map[string][]*core.ScoreTable)
+	for _, run := range runs {
+		byScorer[run.scorer] = append(byScorer[run.scorer], run.table)
+	}
+	rep.Printf("%-10s %14s %14s %10s", "scorer", "mean/family", "max/family", "#families")
+	for _, name := range []string{"CorrMean", "CorrMax", "L2", "L2-P50", "L2-P500"} {
+		mean, maxD, n := timingStats(byScorer[name])
+		rep.Printf("%-10s %14s %14s %10d", name,
+			mean.Round(time.Microsecond), maxD.Round(time.Microsecond), n)
+		rep.Metrics["mean_us/"+name] = float64(mean.Microseconds())
+		rep.Metrics["max_us/"+name] = float64(maxD.Microseconds())
+	}
+	return rep, nil
+}
+
+func padScorer2(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,27 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GaussianMatrix returns a rows x cols matrix with entries drawn i.i.d. from
+// the standard normal distribution using the supplied source.
+func GaussianMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// ProjectionMatrix samples the random projection used by ExplainIt! (§4.2):
+// a p x d matrix with i.i.d. N(0, 1/d) entries, so that projecting preserves
+// squared distances in expectation (Johnson–Lindenstrauss scaling).
+func ProjectionMatrix(rng *rand.Rand, p, d int) *Matrix {
+	m := GaussianMatrix(rng, p, d)
+	if d > 0 {
+		m.Scale(1 / math.Sqrt(float64(d)))
+	}
+	return m
+}

@@ -1,0 +1,260 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky computes the lower-triangular factor L of a symmetric positive
+// definite matrix a such that a = L * L^T. It returns ErrSingular when a is
+// not positive definite (within a small jitter tolerance).
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d += lrowj[k] * lrowj[k]
+		}
+		d = a.At(j, j) - d
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrSingular, j, d)
+		}
+		ljj := math.Sqrt(d)
+		lrowj[j] = ljj
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			lrowi := l.Row(i)
+			var s float64
+			for k := 0; k < j; k++ {
+				s += lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = (a.At(i, j) - s) * inv
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a * X = b for X given the Cholesky factor L of a,
+// using forward then backward substitution. b may have multiple columns.
+func SolveCholesky(l, b *Matrix) (*Matrix, error) {
+	n := l.Rows
+	if b.Rows != n {
+		return nil, fmt.Errorf("%w: solve %dx%d with rhs %dx%d", ErrShape, n, n, b.Rows, b.Cols)
+	}
+	// Forward substitution: L * Y = B.
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		li := l.Row(i)
+		yi := y.Row(i)
+		for k := 0; k < i; k++ {
+			lik := li[k]
+			if lik == 0 {
+				continue
+			}
+			yk := y.Row(k)
+			for j := range yi {
+				yi[j] -= lik * yk[j]
+			}
+		}
+		inv := 1 / li[i]
+		for j := range yi {
+			yi[j] *= inv
+		}
+	}
+	// Backward substitution: L^T * X = Y.
+	x := y
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Row(i)
+		for k := i + 1; k < n; k++ {
+			lki := l.At(k, i)
+			if lki == 0 {
+				continue
+			}
+			xk := x.Row(k)
+			for j := range xi {
+				xi[j] -= lki * xk[j]
+			}
+		}
+		inv := 1 / l.At(i, i)
+		for j := range xi {
+			xi[j] *= inv
+		}
+	}
+	return x, nil
+}
+
+// SolveSPD solves a * X = b for a symmetric positive definite a. When the
+// factorisation hits a zero pivot it retries once with a small diagonal
+// jitter, which is the standard remedy for rank-deficient Gram matrices
+// arising from duplicated or constant features.
+func SolveSPD(a, b *Matrix) (*Matrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		jittered := a.Clone()
+		// Scale jitter to the matrix magnitude so it is negligible for
+		// well-conditioned problems but sufficient for degenerate ones.
+		scale := jittered.MaxAbs()
+		if scale == 0 {
+			scale = 1
+		}
+		jittered.AddDiag(scale * 1e-8)
+		l, err = Cholesky(jittered)
+		if err != nil {
+			jittered = a.Clone().AddDiag(scale * 1e-4)
+			l, err = Cholesky(jittered)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return SolveCholesky(l, b)
+}
+
+// QR computes a thin Householder QR factorisation of a (rows >= cols),
+// returning Q (rows x cols, orthonormal columns) and R (cols x cols, upper
+// triangular) such that a = Q * R.
+func QR(a *Matrix) (q, r *Matrix, err error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, nil, fmt.Errorf("%w: thin QR needs rows >= cols, got %dx%d", ErrShape, m, n)
+	}
+	// Work on a copy; accumulate Householder vectors in-place below the
+	// diagonal and R on/above the diagonal.
+	work := a.Clone()
+	betas := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := work.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			betas[k] = 0
+			continue
+		}
+		alpha := work.At(k, k)
+		if alpha > 0 {
+			norm = -norm
+		}
+		v0 := alpha - norm
+		betas[k] = -v0 / norm // beta = v0^2 / (v0 * -norm) simplification with v normalised by v0
+		// Store the reflector scaled so v[k] = 1.
+		inv := 1 / v0
+		for i := k + 1; i < m; i++ {
+			work.Set(i, k, work.At(i, k)*inv)
+		}
+		work.Set(k, k, norm)
+		// Apply the reflector to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			var s float64 = work.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += work.At(i, k) * work.At(i, j)
+			}
+			s *= betas[k]
+			work.Set(k, j, work.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-s*work.At(i, k))
+			}
+		}
+	}
+	// Extract R.
+	r = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Accumulate Q by applying reflectors to the first n columns of I.
+	q = NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		if betas[k] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			s := q.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += work.At(i, k) * q.At(i, j)
+			}
+			s *= betas[k]
+			q.Set(k, j, q.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-s*work.At(i, k))
+			}
+		}
+	}
+	return q, r, nil
+}
+
+// SolveUpperTriangular solves R * X = b for upper-triangular R by backward
+// substitution. Zero diagonal entries yield zero solution rows (minimum-norm
+// convention for rank-deficient systems).
+func SolveUpperTriangular(r, b *Matrix) (*Matrix, error) {
+	n := r.Rows
+	if r.Cols != n || b.Rows != n {
+		return nil, fmt.Errorf("%w: triangular solve %dx%d rhs %dx%d", ErrShape, r.Rows, r.Cols, b.Rows, b.Cols)
+	}
+	x := b.Clone()
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Row(i)
+		for k := i + 1; k < n; k++ {
+			rik := r.At(i, k)
+			if rik == 0 {
+				continue
+			}
+			xk := x.Row(k)
+			for j := range xi {
+				xi[j] -= rik * xk[j]
+			}
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-300 {
+			for j := range xi {
+				xi[j] = 0
+			}
+			continue
+		}
+		inv := 1 / d
+		for j := range xi {
+			xi[j] *= inv
+		}
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||a*X - b||_F via QR, returning the coefficient
+// matrix X (a.Cols x b.Cols). For rank-deficient a the zero-diagonal
+// convention of SolveUpperTriangular applies.
+func LeastSquares(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("%w: lstsq %dx%d rhs %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if a.Rows >= a.Cols {
+		q, r, err := QR(a)
+		if err != nil {
+			return nil, err
+		}
+		qtb, err := q.MulT(b)
+		if err != nil {
+			return nil, err
+		}
+		return SolveUpperTriangular(r, qtb)
+	}
+	// Underdetermined: fall back to the (jittered) normal equations of the
+	// minimum-norm solution X = A^T (A A^T)^-1 b.
+	outer := a.GramOuter()
+	w, err := SolveSPD(outer, b)
+	if err != nil {
+		return nil, err
+	}
+	return a.MulT(w)
+}

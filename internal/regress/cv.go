@@ -1,0 +1,203 @@
+package regress
+
+import (
+	"fmt"
+
+	"explainit/internal/linalg"
+	"explainit/internal/stats"
+)
+
+// Fold is a train/validation split expressed as row index ranges. ExplainIt!
+// uses contiguous time blocks so the validation range never overlaps the
+// training range (§3.5, citing Arlot & Celisse): shuffled folds would leak
+// autocorrelated samples between train and validation and inflate scores.
+type Fold struct {
+	TrainIdx, ValIdx []int
+}
+
+// TimeSeriesFolds builds k contiguous folds over n rows: the rows are cut
+// into k consecutive blocks; each block serves as the validation set once,
+// with all remaining rows used for training.
+func TimeSeriesFolds(n, k int) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("regress: need k >= 2 folds, got %d", k)
+	}
+	if n < 2*k {
+		return nil, fmt.Errorf("regress: %d rows too few for %d folds", n, k)
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		val := make([]int, 0, hi-lo)
+		train := make([]int, 0, n-(hi-lo))
+		for i := 0; i < n; i++ {
+			if i >= lo && i < hi {
+				val = append(val, i)
+			} else {
+				train = append(train, i)
+			}
+		}
+		folds[f] = Fold{TrainIdx: train, ValIdx: val}
+	}
+	return folds, nil
+}
+
+// ShuffledFolds builds k random folds (used only by the ablation bench that
+// demonstrates leakage on autocorrelated data; production scoring always
+// uses TimeSeriesFolds). The permutation is derived deterministically from
+// seed so experiments are reproducible.
+func ShuffledFolds(n, k int, seed int64) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("regress: need k >= 2 folds, got %d", k)
+	}
+	if n < 2*k {
+		return nil, fmt.Errorf("regress: %d rows too few for %d folds", n, k)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// xorshift-based Fisher-Yates to avoid importing math/rand here.
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(bound int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(bound))
+	}
+	for i := n - 1; i > 0; i-- {
+		j := next(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		val := append([]int(nil), perm[lo:hi]...)
+		train := make([]int, 0, n-(hi-lo))
+		train = append(train, perm[:lo]...)
+		train = append(train, perm[hi:]...)
+		folds[f] = Fold{TrainIdx: train, ValIdx: val}
+	}
+	return folds, nil
+}
+
+// Fitter fits a model on (x, y) with the given penalty.
+type Fitter func(x, y *linalg.Matrix, lambda float64) (*Model, error)
+
+// RidgeFitter adapts FitRidge to the Fitter signature.
+func RidgeFitter(x, y *linalg.Matrix, lambda float64) (*Model, error) {
+	return FitRidge(x, y, lambda)
+}
+
+// LassoFitter adapts FitLasso with default iteration controls.
+func LassoFitter(x, y *linalg.Matrix, lambda float64) (*Model, error) {
+	return FitLasso(x, y, lambda, 200, 1e-6)
+}
+
+// CVResult reports a cross-validated model selection outcome.
+type CVResult struct {
+	BestLambda float64
+	// Score is the cross-validated explained-variance estimate in [0, 1]
+	// for the best lambda: the out-of-sample analogue of adjusted r^2
+	// (Appendix A shows CV'd ridge r^2 behaves like OLS r2_adj).
+	Score float64
+	// PerLambda holds the CV score for every grid point, aligned with the
+	// grid passed to CrossValidate.
+	PerLambda []float64
+}
+
+// CrossValidate selects the penalty from grid by k-fold time-series CV and
+// returns the cross-validated score. The score for one fold is the
+// explained variance of the validation rows (clamped at 0); fold scores are
+// averaged. This is the model-selection loop the paper runs per hypothesis
+// (k = 5, L = |grid| values of λ).
+func CrossValidate(fit Fitter, x, y *linalg.Matrix, grid []float64, folds []Fold) (CVResult, error) {
+	if len(grid) == 0 {
+		return CVResult{}, fmt.Errorf("regress: empty lambda grid")
+	}
+	if len(folds) == 0 {
+		return CVResult{}, fmt.Errorf("regress: no folds")
+	}
+	res := CVResult{PerLambda: make([]float64, len(grid)), BestLambda: grid[0], Score: -1}
+	for gi, lambda := range grid {
+		var total float64
+		var used int
+		for _, fold := range folds {
+			xTrain, err := x.SelectRows(fold.TrainIdx)
+			if err != nil {
+				return CVResult{}, err
+			}
+			yTrain, err := y.SelectRows(fold.TrainIdx)
+			if err != nil {
+				return CVResult{}, err
+			}
+			xVal, err := x.SelectRows(fold.ValIdx)
+			if err != nil {
+				return CVResult{}, err
+			}
+			yVal, err := y.SelectRows(fold.ValIdx)
+			if err != nil {
+				return CVResult{}, err
+			}
+			model, err := fit(xTrain, yTrain, lambda)
+			if err != nil {
+				continue // singular fold: skip, not fatal
+			}
+			pred, err := model.Predict(xVal)
+			if err != nil {
+				continue
+			}
+			total += stats.ExplainedVarianceMean(yVal, pred)
+			used++
+		}
+		if used == 0 {
+			res.PerLambda[gi] = 0
+			continue
+		}
+		score := total / float64(used)
+		res.PerLambda[gi] = score
+		if score > res.Score {
+			res.Score = score
+			res.BestLambda = lambda
+		}
+	}
+	if res.Score < 0 {
+		res.Score = 0
+	}
+	return res, nil
+}
+
+// CrossValidatedScore is the one-call entry the scorers use: k-fold
+// time-series CV of ridge regression of y on x over the default grid,
+// returning the out-of-sample explained variance in [0, 1]. If there are
+// too few rows for k folds it falls back to an in-sample adjusted r^2.
+func CrossValidatedScore(x, y *linalg.Matrix, grid []float64, k int) (float64, error) {
+	if len(grid) == 0 {
+		grid = DefaultLambdaGrid
+	}
+	folds, err := TimeSeriesFolds(x.Rows, k)
+	if err != nil {
+		// Too little data for CV: fit once and adjust for predictors.
+		model, ferr := FitRidge(x, y, grid[len(grid)/2])
+		if ferr != nil {
+			return 0, ferr
+		}
+		pred, ferr := model.Predict(x)
+		if ferr != nil {
+			return 0, ferr
+		}
+		raw := stats.ExplainedVarianceMean(y, pred)
+		adj := stats.AdjustedRSquared(raw, x.Rows, x.Cols)
+		if adj < 0 {
+			adj = 0
+		}
+		return adj, nil
+	}
+	res, err := CrossValidate(RidgeFitter, x, y, grid, folds)
+	if err != nil {
+		return 0, err
+	}
+	return res.Score, nil
+}

@@ -1,0 +1,265 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"explainit/internal/linalg"
+)
+
+func TestTimeSeriesFoldsPartition(t *testing.T) {
+	folds, err := TimeSeriesFolds(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := make(map[int]int)
+	for _, f := range folds {
+		for _, i := range f.ValIdx {
+			seen[i]++
+		}
+		if len(f.TrainIdx)+len(f.ValIdx) != 100 {
+			t.Fatal("train+val must cover all rows")
+		}
+		// Validation block must be contiguous (time-series requirement).
+		for j := 1; j < len(f.ValIdx); j++ {
+			if f.ValIdx[j] != f.ValIdx[j-1]+1 {
+				t.Fatal("validation rows must be contiguous")
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("validation union covers %d rows", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d in %d validation sets", i, c)
+		}
+	}
+}
+
+func TestTimeSeriesFoldsErrors(t *testing.T) {
+	if _, err := TimeSeriesFolds(100, 1); err == nil {
+		t.Fatal("k < 2 must error")
+	}
+	if _, err := TimeSeriesFolds(5, 5); err == nil {
+		t.Fatal("too few rows must error")
+	}
+}
+
+func TestShuffledFoldsPartition(t *testing.T) {
+	folds, err := ShuffledFolds(60, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, f := range folds {
+		for _, i := range f.ValIdx {
+			if seen[i] {
+				t.Fatal("duplicate validation row")
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 60 {
+		t.Fatalf("covers %d rows", len(seen))
+	}
+	// Determinism by seed.
+	again, _ := ShuffledFolds(60, 4, 7)
+	for i := range folds {
+		for j := range folds[i].ValIdx {
+			if folds[i].ValIdx[j] != again[i].ValIdx[j] {
+				t.Fatal("shuffled folds must be deterministic per seed")
+			}
+		}
+	}
+	if _, err := ShuffledFolds(3, 2, 1); err == nil {
+		t.Fatal("too few rows")
+	}
+	if _, err := ShuffledFolds(50, 1, 1); err == nil {
+		t.Fatal("k < 2")
+	}
+}
+
+func TestCrossValidateSelectsReasonableLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	x, y := linearData(rng, 300, 5, 1, 0.2)
+	folds, err := TimeSeriesFolds(x.Rows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossValidate(RidgeFitter, x, y, []float64{0.1, 10, 1e7}, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestLambda == 1e7 {
+		t.Fatal("strong signal should not pick the heaviest penalty")
+	}
+	if res.Score < 0.9 {
+		t.Fatalf("CV score %g for a strong linear signal", res.Score)
+	}
+	if len(res.PerLambda) != 3 {
+		t.Fatal("per-lambda scores missing")
+	}
+}
+
+func TestCrossValidateNullScoreNearZero(t *testing.T) {
+	// Independent x and y: CV score should concentrate near 0, unlike the
+	// in-sample r2 which inflates with many predictors (Appendix A).
+	rng := rand.New(rand.NewSource(51))
+	n, p := 200, 50
+	x := linalg.GaussianMatrix(rng, n, p)
+	y := linalg.GaussianMatrix(rng, n, 1)
+	score, err := CrossValidatedScore(x, y, DefaultLambdaGrid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score > 0.15 {
+		t.Fatalf("NULL CV score %g should be near zero", score)
+	}
+	// In-sample OLS on the same data overfits badly.
+	model, err := FitOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := model.Predict(x)
+	var rss, tss float64
+	mean := 0.0
+	for i := 0; i < n; i++ {
+		mean += y.At(i, 0)
+	}
+	mean /= float64(n)
+	for i := 0; i < n; i++ {
+		r := y.At(i, 0) - pred.At(i, 0)
+		rss += r * r
+		d := y.At(i, 0) - mean
+		tss += d * d
+	}
+	inSample := 1 - rss/tss
+	if inSample < 0.15 {
+		t.Fatalf("expected in-sample overfit with p=%d, got r2 %g", p, inSample)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	x := linalg.NewMatrix(20, 2)
+	y := linalg.NewMatrix(20, 1)
+	folds, _ := TimeSeriesFolds(20, 2)
+	if _, err := CrossValidate(RidgeFitter, x, y, nil, folds); err == nil {
+		t.Fatal("empty grid must error")
+	}
+	if _, err := CrossValidate(RidgeFitter, x, y, []float64{1}, nil); err == nil {
+		t.Fatal("no folds must error")
+	}
+}
+
+func TestCrossValidatedScoreFallbackSmallN(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	x, y := linearData(rng, 6, 2, 1, 0.01)
+	score, err := CrossValidatedScore(x, y, DefaultLambdaGrid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 || score > 1 {
+		t.Fatalf("fallback score %g out of range", score)
+	}
+}
+
+func TestShuffledFoldsLeakOnAutocorrelatedData(t *testing.T) {
+	// Random-walk target with pure-noise features: time-contiguous CV
+	// correctly reports ~0 skill, while shuffled folds can leak
+	// neighbouring samples. We check contiguous CV stays honest.
+	rng := rand.New(rand.NewSource(53))
+	n := 200
+	y := linalg.NewMatrix(n, 1)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += rng.NormFloat64()
+		y.Set(i, 0, acc)
+	}
+	// Features: lagged copies of y (information leakage bait).
+	x := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		prev := i - 1
+		if prev < 0 {
+			prev = 0
+		}
+		x.Set(i, 0, y.At(prev, 0)+0.1*rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+	}
+	tsFolds, _ := TimeSeriesFolds(n, 5)
+	shFolds, _ := ShuffledFolds(n, 5, 9)
+	tsRes, err := CrossValidate(RidgeFitter, x, y, DefaultLambdaGrid, tsFolds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shRes, err := CrossValidate(RidgeFitter, x, y, DefaultLambdaGrid, shFolds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffled CV interpolates within the walk and must look at least as
+	// good as honest contiguous CV (usually strictly better).
+	if shRes.Score+1e-9 < tsRes.Score {
+		t.Fatalf("expected shuffled (%g) >= contiguous (%g)", shRes.Score, tsRes.Score)
+	}
+}
+
+func TestProjectReducesDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	m := linalg.GaussianMatrix(rng, 50, 200)
+	p := Project(rng, m, 20)
+	if p.Cols != 20 || p.Rows != 50 {
+		t.Fatalf("projected shape %dx%d", p.Rows, p.Cols)
+	}
+	// Narrow matrices pass through untouched.
+	narrow := linalg.GaussianMatrix(rng, 50, 10)
+	if got := Project(rng, narrow, 20); got != narrow {
+		t.Fatal("narrow matrix must pass through")
+	}
+}
+
+func TestProjectPreservesNormApproximately(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	m := linalg.GaussianMatrix(rng, 30, 1000)
+	orig := m.FrobeniusNorm()
+	proj := Project(rng, m, 200)
+	ratio := proj.FrobeniusNorm() / orig
+	if math.Abs(ratio-1) > 0.25 {
+		t.Fatalf("JL projection should roughly preserve norms, ratio %g", ratio)
+	}
+}
+
+func TestPCATruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	// Data with one dominant direction.
+	n, p := 100, 30
+	m := linalg.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64() * 10
+		for j := 0; j < p; j++ {
+			m.Set(i, j, base+0.1*rng.NormFloat64())
+		}
+	}
+	out := PCATruncate(m, 2, 60)
+	if out.Cols != 2 || out.Rows != n {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+	// First component must capture nearly all the variance.
+	var v0, v1 float64
+	c0, c1 := out.Col(0), out.Col(1)
+	for i := 0; i < n; i++ {
+		v0 += c0[i] * c0[i]
+		v1 += c1[i] * c1[i]
+	}
+	if v0 < 50*v1 {
+		t.Fatalf("first PC variance %g should dominate second %g", v0, v1)
+	}
+	// Narrow input passes through.
+	narrow := linalg.GaussianMatrix(rng, 10, 2)
+	if got := PCATruncate(narrow, 5, 10); got != narrow {
+		t.Fatal("narrow matrix must pass through")
+	}
+}

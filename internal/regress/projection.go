@@ -1,0 +1,118 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+
+	"explainit/internal/linalg"
+)
+
+// Project reduces the column dimensionality of m to at most d using a
+// Gaussian random projection (§4.2): if m has more than d columns it is
+// multiplied by a freshly sampled p x d projection matrix; otherwise it is
+// returned unchanged. The paper samples a new matrix for every projection
+// and averages scores over a handful of draws.
+func Project(rng *rand.Rand, m *linalg.Matrix, d int) *linalg.Matrix {
+	if d <= 0 || m.Cols <= d {
+		return m
+	}
+	p := linalg.ProjectionMatrix(rng, m.Cols, d)
+	out, err := m.Mul(p)
+	if err != nil {
+		// Shapes are constructed to conform; a failure here is a bug.
+		panic(err)
+	}
+	return out
+}
+
+// PCATruncate is the comparison baseline discussed in §4.2: reduce columns
+// to the top-d directions of maximal variance. The paper reports that PCA
+// can *hurt* scoring because it models normal behaviour and discards the
+// anomaly directions needed to explain the target; we implement it for the
+// ablation bench. The principal directions are computed by power iteration
+// with deflation on the covariance matrix (sufficient for d << p).
+func PCATruncate(m *linalg.Matrix, d int, iters int) *linalg.Matrix {
+	if d <= 0 || m.Cols <= d {
+		return m
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	centered := m.Clone()
+	centered.CenterColumns(centered.ColMeans())
+	cov := centered.Gram().Scale(1 / float64(max(1, m.Rows)))
+	p := cov.Rows
+	components := linalg.NewMatrix(p, d)
+	// Deterministic start vectors keep experiments reproducible.
+	v := make([]float64, p)
+	for comp := 0; comp < d; comp++ {
+		for i := range v {
+			v[i] = 1 / float64(i+comp+1)
+		}
+		normalize(v)
+		for it := 0; it < iters; it++ {
+			w := matVec(cov, v)
+			// Deflate previously found components.
+			for c := 0; c < comp; c++ {
+				col := components.Col(c)
+				dot := dotVec(w, col)
+				for i := range w {
+					w[i] -= dot * col[i]
+				}
+			}
+			if normalize(w) == 0 {
+				break
+			}
+			copy(v, w)
+		}
+		for i := 0; i < p; i++ {
+			components.Set(i, comp, v[i])
+		}
+		// Deflate the covariance matrix: cov -= λ v v^T.
+		av := matVec(cov, v)
+		lambda := dotVec(v, av)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				cov.Set(i, j, cov.At(i, j)-lambda*v[i]*v[j])
+			}
+		}
+	}
+	out, err := centered.Mul(components)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func matVec(m *linalg.Matrix, v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func dotVec(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func normalize(v []float64) float64 {
+	n := dotVec(v, v)
+	if n <= 0 {
+		return 0
+	}
+	inv := 1 / math.Sqrt(n)
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}

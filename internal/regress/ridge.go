@@ -1,0 +1,130 @@
+// Package regress implements the regression estimators behind ExplainIt!'s
+// joint and conditional scorers (§3.5): ordinary least squares, ridge
+// regression (with the dual form for wide matrices and a λ grid search),
+// lasso via coordinate descent, time-aware k-fold cross-validation, and
+// Gaussian random projections.
+package regress
+
+import (
+	"errors"
+	"fmt"
+
+	"explainit/internal/linalg"
+)
+
+// ErrNoData is returned when a fit is requested on an empty design matrix.
+var ErrNoData = errors.New("regress: empty design matrix")
+
+// Model is a fitted linear model. Predictions are computed as
+// (x - xMeans)/xStds * Coef + yMeans, i.e. the model standardises inputs
+// with the training transform and predicts centred targets.
+type Model struct {
+	Coef           *linalg.Matrix // p x q coefficient matrix
+	XMeans, XStds  []float64
+	YMeans         []float64
+	Lambda         float64 // ridge/lasso penalty used (0 for OLS)
+	TrainRowsCount int
+}
+
+// Predict applies the model to raw (unstandardised) inputs.
+func (m *Model) Predict(x *linalg.Matrix) (*linalg.Matrix, error) {
+	if x.Cols != m.Coef.Rows {
+		return nil, fmt.Errorf("regress: predict with %d features, model has %d", x.Cols, m.Coef.Rows)
+	}
+	xs := x.Clone().ApplyStandardization(m.XMeans, m.XStds)
+	pred, err := xs.Mul(m.Coef)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pred.Rows; i++ {
+		row := pred.Row(i)
+		for j := range row {
+			row[j] += m.YMeans[j]
+		}
+	}
+	return pred, nil
+}
+
+// Residuals returns y - Predict(x).
+func (m *Model) Residuals(x, y *linalg.Matrix) (*linalg.Matrix, error) {
+	pred, err := m.Predict(x)
+	if err != nil {
+		return nil, err
+	}
+	return y.Sub(pred)
+}
+
+// FitOLS fits ordinary least squares on standardised features and centred
+// targets. It is Ridge with λ = 0 but goes through QR for numerical
+// stability, matching the classical estimator analysed in Appendix A.
+func FitOLS(x, y *linalg.Matrix) (*Model, error) {
+	if x.Rows == 0 || x.Cols == 0 {
+		return nil, ErrNoData
+	}
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("regress: x has %d rows, y has %d", x.Rows, y.Rows)
+	}
+	xs := x.Clone()
+	xMeans, xStds := xs.StandardizeColumns()
+	ys := y.Clone()
+	yMeans := ys.ColMeans()
+	ys.CenterColumns(yMeans)
+	coef, err := linalg.LeastSquares(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Coef: coef, XMeans: xMeans, XStds: xStds, YMeans: yMeans, TrainRowsCount: x.Rows}, nil
+}
+
+// FitRidge fits ridge regression with penalty lambda, choosing the primal
+// (p x p) or dual (n x n) normal equations depending on which is smaller —
+// the dual form makes p >> n feature families tractable, mirroring the
+// asymptotic cost O(ny * min(T n^2, T^2 n)) from Table 2 of the paper.
+func FitRidge(x, y *linalg.Matrix, lambda float64) (*Model, error) {
+	if x.Rows == 0 || x.Cols == 0 {
+		return nil, ErrNoData
+	}
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("regress: x has %d rows, y has %d", x.Rows, y.Rows)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("regress: negative lambda %g", lambda)
+	}
+	xs := x.Clone()
+	xMeans, xStds := xs.StandardizeColumns()
+	ys := y.Clone()
+	yMeans := ys.ColMeans()
+	ys.CenterColumns(yMeans)
+
+	var coef *linalg.Matrix
+	var err error
+	if xs.Cols <= xs.Rows {
+		// Primal: (X^T X + λI) β = X^T y.
+		gram := xs.Gram().AddDiag(lambda + 1e-10)
+		xty, e := xs.MulT(ys)
+		if e != nil {
+			return nil, e
+		}
+		coef, err = linalg.SolveSPD(gram, xty)
+	} else {
+		// Dual: β = X^T (X X^T + λI)^{-1} y.
+		outer := xs.GramOuter().AddDiag(lambda + 1e-10)
+		w, e := linalg.SolveSPD(outer, ys)
+		if e != nil {
+			return nil, e
+		}
+		coef, err = xs.MulT(w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Coef: coef, XMeans: xMeans, XStds: xStds, YMeans: yMeans, Lambda: lambda, TrainRowsCount: x.Rows}, nil
+}
+
+// DefaultLambdaGrid is the L-point ridge penalty grid used in the paper's
+// evaluation ("a grid search over 3 values of the ridge regression penalty
+// hyper-parameter", Figure 10; up to L=5 in §4.3).
+var DefaultLambdaGrid = []float64{0.1, 10, 1000}
+
+// WideLambdaGrid is the 5-point grid for more careful model selection.
+var WideLambdaGrid = []float64{0.01, 1, 100, 1e4, 1e6}

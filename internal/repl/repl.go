@@ -1,0 +1,310 @@
+// Package repl implements the interactive search loop of Algorithm 1: the
+// operator picks a target, constrains the search space, conditions on known
+// causes or pseudocauses, inspects ranked results and their overlays, and
+// iterates ("while user not satisfied"). The loop is an io.Reader/io.Writer
+// machine so it is unit-testable and reusable by the CLI's -repl mode.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"explainit"
+)
+
+// Session holds the interactive state between commands.
+type Session struct {
+	Client *explainit.Client
+	out    io.Writer
+
+	target    string
+	condition []string
+	scorer    explainit.ScorerName
+	space     []string
+	pseudo    bool
+	topK      int
+	seed      int64
+}
+
+// New builds a session over an existing client.
+func New(c *explainit.Client, out io.Writer) *Session {
+	return &Session{Client: c, out: out, scorer: explainit.L2, topK: 20, seed: 1}
+}
+
+// Run reads commands until EOF or "quit". Every command error is printed,
+// never fatal — an interactive session survives typos.
+func (s *Session) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	fmt.Fprintln(s.out, `explainit interactive session — "help" lists commands`)
+	for {
+		fmt.Fprint(s.out, "explainit> ")
+		if !sc.Scan() {
+			fmt.Fprintln(s.out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := s.Execute(line); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+		}
+	}
+}
+
+// Execute runs one command line.
+func (s *Session) Execute(line string) error {
+	cmd, rest, _ := strings.Cut(strings.TrimSpace(line), " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		s.help()
+		return nil
+	case "load":
+		return s.load(rest)
+	case "families":
+		return s.families(rest)
+	case "target":
+		if rest == "" {
+			return fmt.Errorf("usage: target <family>")
+		}
+		s.target = rest
+		fmt.Fprintf(s.out, "target = %s\n", rest)
+		return nil
+	case "condition":
+		if rest == "" || rest == "none" {
+			s.condition = nil
+			fmt.Fprintln(s.out, "conditioning cleared")
+			return nil
+		}
+		s.condition = splitList(rest)
+		fmt.Fprintf(s.out, "conditioning on %v\n", s.condition)
+		return nil
+	case "pseudocause":
+		s.pseudo = rest == "on" || rest == "true" || rest == ""
+		fmt.Fprintf(s.out, "pseudocause conditioning = %v\n", s.pseudo)
+		return nil
+	case "scorer":
+		if rest == "" {
+			return fmt.Errorf("usage: scorer corrmean|corrmax|l2|l2-p50|l2-p500|l1")
+		}
+		s.scorer = explainit.ScorerName(rest)
+		fmt.Fprintf(s.out, "scorer = %s\n", rest)
+		return nil
+	case "space":
+		if rest == "" || rest == "all" {
+			s.space = nil
+			fmt.Fprintln(s.out, "search space = all families")
+			return nil
+		}
+		s.space = splitList(rest)
+		fmt.Fprintf(s.out, "search space = %v\n", s.space)
+		return nil
+	case "topk":
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 1 {
+			return fmt.Errorf("usage: topk <n>")
+		}
+		s.topK = k
+		return nil
+	case "explain":
+		return s.explain()
+	case "overlay":
+		if rest == "" {
+			return fmt.Errorf("usage: overlay <candidate-family>")
+		}
+		return s.overlay(rest)
+	case "structure":
+		return s.structure()
+	case "suggest":
+		return s.suggest()
+	case "sql":
+		if rest == "" {
+			return fmt.Errorf("usage: sql <query>")
+		}
+		return s.sql(rest)
+	}
+	return fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (s *Session) help() {
+	fmt.Fprint(s.out, `commands:
+  load <file.csv>        load telemetry and build name-grouped families
+  families [tag:<key>]   rebuild/list feature families
+  target <family>        set the target family (step 1)
+  condition <f1,f2|none> set families to condition on (step 2)
+  pseudocause [on|off]   condition on the target's own seasonality (§3.4)
+  space <f1,f2|all>      restrict the search space (step 2)
+  scorer <name>          corrmean|corrmax|l2|l2-p50|l2-p500|l1
+  topk <n>               result limit (default 20)
+  explain                rank candidate causes (step 3)
+  overlay <family>       observed-vs-predicted chart for one candidate
+  structure              local causal structure (PC-style, §3.3)
+  suggest                auto-detect the anomalous window of the target
+  sql <query>            ad-hoc SQL over the tsdb table
+  quit                   leave
+`)
+}
+
+func (s *Session) load(path string) error {
+	if path == "" {
+		return fmt.Errorf("usage: load <file.csv>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := s.Client.LoadCSV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "loaded %d rows (%d series)\n", n, s.Client.NumSeries())
+	return s.families("")
+}
+
+func (s *Session) families(grouping string) error {
+	if s.Client.NumSeries() == 0 {
+		return fmt.Errorf("no data loaded")
+	}
+	if grouping == "" {
+		grouping = "name"
+	}
+	from, to, _ := s.Client.Bounds()
+	infos, err := s.Client.BuildFamilies(grouping, from, to, time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%-40s %8s %8s\n", "family", "features", "rows")
+	for _, fi := range infos {
+		fmt.Fprintf(s.out, "%-40s %8d %8d\n", fi.Name, fi.Features, fi.Rows)
+	}
+	return nil
+}
+
+func (s *Session) opts() explainit.ExplainOptions {
+	return explainit.ExplainOptions{
+		Target:      s.target,
+		Condition:   s.condition,
+		Pseudocause: s.pseudo,
+		SearchSpace: s.space,
+		Scorer:      s.scorer,
+		TopK:        s.topK,
+		Seed:        s.seed,
+	}
+}
+
+func (s *Session) explain() error {
+	if s.target == "" {
+		return fmt.Errorf("set a target first (target <family>)")
+	}
+	ranking, err := s.Client.Explain(s.opts())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, ranking.String())
+	return nil
+}
+
+func (s *Session) overlay(candidate string) error {
+	if s.target == "" {
+		return fmt.Errorf("set a target first")
+	}
+	out, err := s.Client.Overlay(s.target, candidate, s.condition, 90, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, out)
+	return nil
+}
+
+func (s *Session) structure() error {
+	if s.target == "" {
+		return fmt.Errorf("set a target first")
+	}
+	st, err := s.Client.DiscoverStructure(s.target, s.space, 1)
+	if err != nil {
+		return err
+	}
+	for _, e := range st.Neighbours {
+		role := "adjacent"
+		if e.Cause {
+			role = "CAUSE"
+		}
+		fmt.Fprintf(s.out, "%-32s score %.3f  %s\n", e.Family, e.Score, role)
+	}
+	for fam, sep := range st.Removed {
+		if len(sep) > 0 {
+			fmt.Fprintf(s.out, "%-32s pruned (explained by %v)\n", fam, sep)
+		}
+	}
+	return nil
+}
+
+func (s *Session) suggest() error {
+	if s.target == "" {
+		return fmt.Errorf("set a target first")
+	}
+	from, to, ok, err := s.Client.SuggestExplainRange(s.target, 3)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Fprintln(s.out, "no anomalous window found")
+		return nil
+	}
+	fmt.Fprintf(s.out, "anomalous window: %s .. %s\n",
+		from.Format(time.RFC3339), to.Format(time.RFC3339))
+	return nil
+}
+
+func (s *Session) sql(query string) error {
+	res, err := s.Client.Query(query)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, strings.Join(res.Columns, " | "))
+	const maxRows = 50
+	for i, row := range res.Rows {
+		if i >= maxRows {
+			fmt.Fprintf(s.out, "... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			switch x := v.(type) {
+			case nil:
+				parts[j] = "NULL"
+			case time.Time:
+				parts[j] = x.Format(time.RFC3339)
+			case float64:
+				parts[j] = strconv.FormatFloat(x, 'g', -1, 64)
+			default:
+				parts[j] = fmt.Sprintf("%v", x)
+			}
+		}
+		fmt.Fprintln(s.out, strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(s.out, "(%d rows)\n", len(res.Rows))
+	return nil
+}

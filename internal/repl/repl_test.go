@@ -1,0 +1,136 @@
+package repl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"explainit"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func seededSession(t *testing.T) (*Session, *strings.Builder) {
+	t.Helper()
+	c := explainit.New()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		fault := 0.0
+		if i%100 >= 70 && i%100 < 90 {
+			fault = 3
+		}
+		c.Put("retransmits", nil, at, fault+0.2*rng.NormFloat64())
+		c.Put("runtime", nil, at, 10+2*fault+0.3*rng.NormFloat64())
+		c.Put("noise", nil, at, rng.NormFloat64())
+	}
+	var out strings.Builder
+	s := New(c, &out)
+	if err := s.Execute("families"); err != nil {
+		t.Fatal(err)
+	}
+	return s, &out
+}
+
+func TestInteractiveLoopEndToEnd(t *testing.T) {
+	s, out := seededSession(t)
+	script := []string{
+		"target runtime",
+		"scorer l2",
+		"topk 5",
+		"explain",
+		"overlay retransmits",
+		"structure",
+		"suggest",
+		"sql SELECT metric_name, COUNT(*) FROM tsdb GROUP BY metric_name",
+	}
+	for _, cmd := range script {
+		if err := s.Execute(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	text := out.String()
+	for _, want := range []string{
+		"target = runtime",
+		"retransmits", // top of the ranking and in the overlay title
+		"E[runtime | retransmits]",
+		"anomalous window:",
+		"metric_name",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunLoopReadsUntilQuit(t *testing.T) {
+	s, out := seededSession(t)
+	input := "target runtime\nexplain\nbogus command\nquit\n"
+	if err := s.Run(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "unknown command") {
+		t.Fatalf("typo must be survivable:\n%s", text)
+	}
+	if !strings.Contains(text, "rank") {
+		t.Fatalf("explain output missing:\n%s", text)
+	}
+}
+
+func TestConditionAndSpaceCommands(t *testing.T) {
+	s, out := seededSession(t)
+	cmds := []string{
+		"target runtime",
+		"condition noise",
+		"space retransmits, noise",
+		"explain",
+		"condition none",
+		"space all",
+		"pseudocause on",
+		"pseudocause off",
+	}
+	for _, cmd := range cmds {
+		if err := s.Execute(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	if !strings.Contains(out.String(), "conditioning cleared") {
+		t.Fatal("condition none feedback")
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	s, _ := seededSession(t)
+	for _, cmd := range []string{
+		"explain",                   // no target
+		"overlay x",                 // no target
+		"structure",                 // no target
+		"suggest",                   // no target
+		"target",                    // missing arg
+		"scorer",                    // missing arg
+		"topk zero",                 // bad arg
+		"sql",                       // missing query
+		"sql SELECT nope FROM tsdb", // bad query
+		"load",                      // missing file
+		"load /no/such/file.csv",
+		"wat",
+	} {
+		if err := s.Execute(cmd); err == nil {
+			t.Fatalf("%q should error", cmd)
+		}
+	}
+	// help never errors.
+	if err := s.Execute("help"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFamiliesRequiresData(t *testing.T) {
+	var out strings.Builder
+	s := New(explainit.New(), &out)
+	if err := s.Execute("families"); err == nil {
+		t.Fatal("families without data must error")
+	}
+}

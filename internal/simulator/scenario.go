@@ -1,0 +1,204 @@
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"explainit/internal/evalrank"
+	ts "explainit/internal/timeseries"
+)
+
+// SimStart is the fixed origin timestamp of all generated telemetry.
+var SimStart = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Scenario is one generated incident: the telemetry, the target metric, and
+// the ground-truth causal network used to label families.
+type Scenario struct {
+	Name   string
+	Net    *Network
+	Series []*ts.Series
+	Target string // the target family (metric name), e.g. "pipeline_runtime"
+	Step   time.Duration
+	Range  ts.TimeRange
+
+	// nodeMetric maps network node IDs to their metric (family) name.
+	nodeMetric map[string]string
+}
+
+// builder accumulates nodes and their metric identities.
+type builder struct {
+	net        *Network
+	nodeMetric map[string]string
+	nodeTags   map[string]ts.Tags
+	order      []string
+}
+
+func newBuilder() *builder {
+	return &builder{
+		net:        NewNetwork(),
+		nodeMetric: make(map[string]string),
+		nodeTags:   make(map[string]ts.Tags),
+	}
+}
+
+// add registers a node under metric/tags; the node ID is metric+tags.
+func (b *builder) add(metric string, tags ts.Tags, node Node) string {
+	id := metric + tags.String()
+	node.Name = id
+	node.Tags = tags
+	b.net.MustAdd(&node)
+	b.nodeMetric[id] = metric
+	b.nodeTags[id] = tags
+	b.order = append(b.order, id)
+	return id
+}
+
+// hidden registers an unobserved node (no exported series), e.g. the fault
+// process itself — ExplainIt! never sees the root cause directly, only its
+// measurable consequences, as in §5.2 where the hypervisor drops were not
+// monitored.
+func (b *builder) hidden(name string, node Node) string {
+	node.Name = name
+	b.net.MustAdd(&node)
+	return name
+}
+
+// finish generates the data and assembles the scenario.
+func (b *builder) finish(name, target string, seed int64, T int, step time.Duration) *Scenario {
+	values := b.net.Generate(seed, T)
+	var series []*ts.Series
+	for _, id := range b.order {
+		s := &ts.Series{Name: b.nodeMetric[id], Tags: b.nodeTags[id]}
+		vals := values[id]
+		for t := 0; t < T; t++ {
+			s.Append(SimStart.Add(time.Duration(t)*step), vals[t])
+		}
+		series = append(series, s)
+	}
+	return &Scenario{
+		Name:       name,
+		Net:        b.net,
+		Series:     series,
+		Target:     target,
+		Step:       step,
+		Range:      ts.TimeRange{From: SimStart, To: SimStart.Add(time.Duration(T) * step)},
+		nodeMetric: b.nodeMetric,
+	}
+}
+
+// FamilyLabels returns the ground-truth label of every metric-name family:
+// Cause dominates Effect dominates Irrelevant when members disagree. The
+// target family is labelled Effect (it is never a cause of itself).
+func (s *Scenario) FamilyLabels() map[string]evalrank.Label {
+	// Collect a representative target node: any node whose metric is the
+	// target family.
+	var targetNodes []string
+	famNodes := make(map[string][]string)
+	for id, metric := range s.nodeMetric {
+		famNodes[metric] = append(famNodes[metric], id)
+		if metric == s.Target {
+			targetNodes = append(targetNodes, id)
+		}
+	}
+	labels := make(map[string]evalrank.Label, len(famNodes))
+	for fam, nodes := range famNodes {
+		if fam == s.Target {
+			labels[fam] = evalrank.Effect
+			continue
+		}
+		best := evalrank.Irrelevant
+		for _, nodeID := range nodes {
+			for _, tgt := range targetNodes {
+				l := s.Net.LabelFor(tgt, nodeID)
+				if l == evalrank.Cause {
+					best = evalrank.Cause
+				} else if l == evalrank.Effect && best == evalrank.Irrelevant {
+					best = evalrank.Effect
+				}
+			}
+			if best == evalrank.Cause {
+				break
+			}
+		}
+		labels[fam] = best
+	}
+	return labels
+}
+
+// LabelRanking converts a ranked list of family names into labels for the
+// evalrank metrics.
+func (s *Scenario) LabelRanking(rankedFamilies []string) []evalrank.Label {
+	labels := s.FamilyLabels()
+	out := make([]evalrank.Label, len(rankedFamilies))
+	for i, f := range rankedFamilies {
+		out[i] = labels[f]
+	}
+	return out
+}
+
+// CauseFamilies returns the sorted ground-truth cause family names.
+func (s *Scenario) CauseFamilies() []string {
+	var out []string
+	for fam, l := range s.FamilyLabels() {
+		if l == evalrank.Cause {
+			out = append(out, fam)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FamilyNames returns the sorted distinct metric (family) names.
+func (s *Scenario) FamilyNames() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, metric := range s.nodeMetric {
+		if !seen[metric] {
+			seen[metric] = true
+			out = append(out, metric)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetricValues returns the generated series for one metric family, keyed by
+// the node's tag string (regenerating from Series).
+func (s *Scenario) MetricValues(metric string) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, sr := range s.Series {
+		if sr.Name != metric {
+			continue
+		}
+		vals := make([]float64, sr.Len())
+		for i, smp := range sr.Samples {
+			vals[i] = smp.Value
+		}
+		out[sr.Tags.String()] = vals
+	}
+	return out
+}
+
+// addNuisance appends unrelated metric families (AR(1), random walks, and
+// seasonal junk) so that rankings face realistic distractor mass.
+func addNuisance(b *builder, rng *rand.Rand, families, featuresPer int, dayPeriod int) {
+	for f := 0; f < families; f++ {
+		metric := fmt.Sprintf("nuisance_%03d", f)
+		kind := rng.Intn(3)
+		for i := 0; i < featuresPer; i++ {
+			tags := ts.Tags{"idx": fmt.Sprintf("%d", i)}
+			var base func(*rand.Rand, int) float64
+			switch kind {
+			case 0:
+				base = AR1(0.95, 1)
+			case 1:
+				base = RandomWalk(10, 0.3)
+			default:
+				base = Diurnal(5, 1+rng.Float64(), dayPeriod, rng.Float64()*6.28)
+			}
+			b.add(metric, tags, Node{Base: base, Noise: 0.3})
+		}
+	}
+}

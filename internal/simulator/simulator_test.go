@@ -1,0 +1,352 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"explainit/internal/evalrank"
+	"explainit/internal/stats"
+)
+
+func TestNetworkAddValidation(t *testing.T) {
+	n := NewNetwork()
+	if err := n.Add(&Node{}); err == nil {
+		t.Fatal("unnamed node must error")
+	}
+	if err := n.Add(&Node{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(&Node{Name: "a"}); err == nil {
+		t.Fatal("duplicate must error")
+	}
+	if err := n.Add(&Node{Name: "b", Parents: []Parent{{Name: "zzz"}}}); err == nil {
+		t.Fatal("unknown parent must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	build := func() *Network {
+		n := NewNetwork()
+		n.MustAdd(&Node{Name: "root", Base: Diurnal(10, 2, 50, 0), Noise: 1})
+		n.MustAdd(&Node{Name: "child", Parents: []Parent{{Name: "root", Weight: 2}}, Noise: 0.5})
+		return n
+	}
+	a := build().Generate(42, 200)
+	b := build().Generate(42, 200)
+	for i := range a["child"] {
+		if a["child"][i] != b["child"][i] {
+			t.Fatal("generation must be deterministic per seed")
+		}
+	}
+	c := build().Generate(43, 200)
+	same := true
+	for i := range a["child"] {
+		if a["child"][i] != c["child"][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateCausalPropagation(t *testing.T) {
+	n := NewNetwork()
+	n.MustAdd(&Node{Name: "fault", Base: Pulse(5, [2]int{50, 100})})
+	n.MustAdd(&Node{Name: "metric", Parents: []Parent{{Name: "fault", Weight: 2}}, Noise: 0.1})
+	n.MustAdd(&Node{Name: "lagged", Parents: []Parent{{Name: "fault", Weight: 1, Lag: 10}}})
+	vals := n.Generate(1, 200)
+	if math.Abs(vals["metric"][75]-10) > 1 {
+		t.Fatalf("metric during fault %g", vals["metric"][75])
+	}
+	if math.Abs(vals["metric"][150]) > 1 {
+		t.Fatalf("metric outside fault %g", vals["metric"][150])
+	}
+	if vals["lagged"][55] != 0 || vals["lagged"][65] != 5 {
+		t.Fatalf("lagged propagation: %g %g", vals["lagged"][55], vals["lagged"][65])
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	n := NewNetwork()
+	n.MustAdd(&Node{Name: "z"})
+	n.MustAdd(&Node{Name: "x", Parents: []Parent{{Name: "z"}}})
+	n.MustAdd(&Node{Name: "y", Parents: []Parent{{Name: "x"}}})
+	n.MustAdd(&Node{Name: "other"})
+	anc := n.Ancestors("y")
+	if !anc["x"] || !anc["z"] || anc["other"] || anc["y"] {
+		t.Fatalf("ancestors %v", anc)
+	}
+	desc := n.Descendants("z")
+	if !desc["x"] || !desc["y"] || desc["other"] {
+		t.Fatalf("descendants %v", desc)
+	}
+}
+
+func TestLabelFor(t *testing.T) {
+	n := NewNetwork()
+	n.MustAdd(&Node{Name: "fault"})
+	n.MustAdd(&Node{Name: "cause", Parents: []Parent{{Name: "fault"}}})
+	n.MustAdd(&Node{Name: "target", Parents: []Parent{{Name: "cause"}}})
+	n.MustAdd(&Node{Name: "downstream", Parents: []Parent{{Name: "target"}}})
+	n.MustAdd(&Node{Name: "sibling", Parents: []Parent{{Name: "fault"}}})
+	n.MustAdd(&Node{Name: "unrelated"})
+	cases := map[string]evalrank.Label{
+		"cause":      evalrank.Cause,
+		"fault":      evalrank.Cause,
+		"downstream": evalrank.Effect,
+		"sibling":    evalrank.Effect,
+		"unrelated":  evalrank.Irrelevant,
+		"target":     evalrank.Effect,
+	}
+	for name, want := range cases {
+		if got := n.LabelFor("target", name); got != want {
+			t.Fatalf("label of %s: got %v want %v", name, got, want)
+		}
+	}
+}
+
+func TestBaseSignals(t *testing.T) {
+	d := Diurnal(10, 2, 100, 0)
+	if v := d(nil, 0); math.Abs(v-10) > 1e-9 {
+		t.Fatalf("diurnal at 0: %g", v)
+	}
+	if v := d(nil, 25); math.Abs(v-12) > 1e-9 {
+		t.Fatalf("diurnal at quarter: %g", v)
+	}
+	p := Pulse(3, [2]int{5, 10})
+	if p(nil, 4) != 0 || p(nil, 5) != 3 || p(nil, 9) != 3 || p(nil, 10) != 0 {
+		t.Fatal("pulse boundaries")
+	}
+	pp := PeriodicPulse(2, 10, 3, 1)
+	if pp(nil, 0) != 0 || pp(nil, 1) != 2 || pp(nil, 3) != 2 || pp(nil, 4) != 0 || pp(nil, 11) != 2 {
+		t.Fatal("periodic pulse")
+	}
+	if PeriodicPulse(2, 0, 3, 0)(nil, 5) != 0 {
+		t.Fatal("zero period must be silent")
+	}
+}
+
+func TestCaseStudyPacketDrop(t *testing.T) {
+	cfg := DefaultCaseStudyConfig()
+	cfg.Nuisance = 5
+	sc := CaseStudyPacketDrop(cfg)
+	if sc.Target != "runtime_pipeline_0" {
+		t.Fatal("target")
+	}
+	labels := sc.FamilyLabels()
+	if labels["tcp_retransmits"] != evalrank.Cause {
+		t.Fatalf("retransmits label %v", labels["tcp_retransmits"])
+	}
+	if labels["runtime_pipeline_1"] != evalrank.Effect {
+		t.Fatalf("other runtime label %v", labels["runtime_pipeline_1"])
+	}
+	if labels["latency_pipeline_0"] != evalrank.Effect {
+		t.Fatalf("latency label %v", labels["latency_pipeline_0"])
+	}
+	if labels["nuisance_000"] != evalrank.Irrelevant {
+		t.Fatalf("nuisance label %v", labels["nuisance_000"])
+	}
+	// The fault must actually move the target.
+	vals := sc.MetricValues("runtime_pipeline_0")
+	if len(vals) != 1 {
+		t.Fatalf("target series count %d", len(vals))
+	}
+	for _, v := range vals {
+		var inFault, quiet []float64
+		for i, x := range v {
+			if InPacketDropWindow(i) {
+				inFault = append(inFault, x)
+			} else {
+				quiet = append(quiet, x)
+			}
+		}
+		if stats.Mean(inFault) < stats.Mean(quiet)+5 {
+			t.Fatalf("fault must raise runtime: %g vs %g", stats.Mean(inFault), stats.Mean(quiet))
+		}
+	}
+	// Series span the full range at minute resolution.
+	if len(sc.Series) == 0 || sc.Series[0].Len() != cfg.T {
+		t.Fatal("series length")
+	}
+	if sc.Step != time.Minute || sc.Range.Duration() != time.Duration(cfg.T)*time.Minute {
+		t.Fatal("range metadata")
+	}
+}
+
+func TestCaseStudyConditioningFixReducesRuntime(t *testing.T) {
+	cfg := DefaultCaseStudyConfig()
+	cfg.Nuisance = 3
+	before := CaseStudyConditioning(cfg, false)
+	after := CaseStudyConditioning(cfg, true)
+	meanOf := func(sc *Scenario) float64 {
+		for _, v := range sc.MetricValues("runtime_pipeline_0") {
+			return stats.Mean(v)
+		}
+		return 0
+	}
+	mb, ma := meanOf(before), meanOf(after)
+	if ma >= mb {
+		t.Fatalf("fix must reduce mean runtime: before %g after %g", mb, ma)
+	}
+	// Roughly the paper's ~10% improvement (generous band).
+	drop := (mb - ma) / mb
+	if drop < 0.02 || drop > 0.5 {
+		t.Fatalf("runtime drop %g out of plausible band", drop)
+	}
+	labels := before.FamilyLabels()
+	if labels["tcp_retransmits"] != evalrank.Cause || labels["cpu_usage"] != evalrank.Irrelevant {
+		// cpu_usage shares only the load ancestor with the target; load is
+		// an ancestor of the target so cpu_usage is an Effect.
+		if labels["cpu_usage"] != evalrank.Effect {
+			t.Fatalf("labels %v", labels)
+		}
+	}
+}
+
+func TestCaseStudyNamenodePeriodicity(t *testing.T) {
+	cfg := DefaultCaseStudyConfig()
+	cfg.Nuisance = 3
+	sc := CaseStudyNamenode(cfg, false)
+	var runtime []float64
+	for _, v := range sc.MetricValues("runtime_pipeline_0") {
+		runtime = v
+	}
+	// The 15-minute scan must imprint a ~15-sample period.
+	period := stats.DetectPeriod(runtime, 5, 60, 0.1)
+	if period < 13 || period > 17 {
+		t.Fatalf("detected period %d, want ~15", period)
+	}
+	fixed := CaseStudyNamenode(cfg, true)
+	var fixedRuntime []float64
+	for _, v := range fixed.MetricValues("runtime_pipeline_0") {
+		fixedRuntime = v
+	}
+	if p := stats.DetectPeriod(fixedRuntime, 5, 60, 0.3); p >= 13 && p <= 17 {
+		t.Fatalf("fix must remove the 15-min period, still detected %d", p)
+	}
+	// GC negatively correlated with runtime during scans.
+	var gc []float64
+	for _, v := range sc.MetricValues("namenode_gc_time") {
+		gc = v
+	}
+	if corr := stats.Pearson(gc, runtime); corr > -0.1 {
+		t.Fatalf("gc should anti-correlate with runtime, got %g", corr)
+	}
+}
+
+func TestCaseStudyRAIDWeeklySpikes(t *testing.T) {
+	cfg := DefaultCaseStudyConfig()
+	cfg.Nuisance = 3
+	cfg.DayPeriod = 96            // compress a "day" so weeks fit
+	cfg.T = 4 * 7 * cfg.DayPeriod // four weeks
+	def := CaseStudyRAID(cfg, RAIDDefault)
+	var runtime []float64
+	for _, v := range def.MetricValues("runtime_pipeline_0") {
+		runtime = v
+	}
+	week := 7 * cfg.DayPeriod
+	period := stats.DetectPeriod(runtime, week/2, 2*week, 0.05)
+	if period < week-cfg.DayPeriod || period > week+cfg.DayPeriod {
+		t.Fatalf("weekly period %d, want ~%d", period, week)
+	}
+	labels := def.FamilyLabels()
+	if labels["disk_utilisation"] != evalrank.Cause {
+		t.Fatalf("disk label %v", labels["disk_utilisation"])
+	}
+	if labels["raid_temperature"] != evalrank.Effect {
+		t.Fatalf("raid temperature label %v", labels["raid_temperature"])
+	}
+
+	// Interventions: disabled and reduced profiles must cut the spikes.
+	disabled := CaseStudyRAID(cfg, RAIDDisabled)
+	reduced := CaseStudyRAID(cfg, RAIDReduced)
+	variance := func(sc *Scenario) float64 {
+		for _, v := range sc.MetricValues("runtime_pipeline_0") {
+			return stats.Variance(v)
+		}
+		return 0
+	}
+	vd, vOff, vLow := variance(def), variance(disabled), variance(reduced)
+	if vOff >= vd || vLow >= vd {
+		t.Fatalf("interventions must reduce variance: default %g off %g low %g", vd, vOff, vLow)
+	}
+	if vOff >= vLow {
+		t.Fatalf("disabling should beat reducing: off %g low %g", vOff, vLow)
+	}
+}
+
+func TestTable6SpecsShape(t *testing.T) {
+	specs := Table6Specs()
+	if len(specs) != 11 {
+		t.Fatalf("specs %d", len(specs))
+	}
+	kinds := map[CauseKind]int{}
+	for _, s := range specs {
+		kinds[s.CauseKind]++
+	}
+	if kinds[CauseUnivariate] == 0 || kinds[CauseJoint] == 0 || kinds[CauseMixed] == 0 {
+		t.Fatalf("cause-kind mix %v", kinds)
+	}
+}
+
+func TestTable6ScenarioGroundTruth(t *testing.T) {
+	spec := Table6Specs()[0]
+	spec.Families = 10 // shrink for test speed
+	sc := Table6Scenario(spec)
+	labels := sc.FamilyLabels()
+	if labels["cause_family"] != evalrank.Cause {
+		t.Fatalf("cause label %v", labels["cause_family"])
+	}
+	if labels["effect_family_0"] != evalrank.Effect {
+		t.Fatalf("effect label %v", labels["effect_family_0"])
+	}
+	if labels["nuisance_003"] != evalrank.Irrelevant {
+		t.Fatalf("nuisance label %v", labels["nuisance_003"])
+	}
+	causes := sc.CauseFamilies()
+	if len(causes) != 1 || causes[0] != "cause_family" {
+		t.Fatalf("cause families %v", causes)
+	}
+	if got := len(sc.FamilyNames()); got < 14 {
+		t.Fatalf("family count %d", got)
+	}
+	ranked := []string{"effect_family_0", "cause_family", "nuisance_001"}
+	rl := sc.LabelRanking(ranked)
+	if rl[0] != evalrank.Effect || rl[1] != evalrank.Cause || rl[2] != evalrank.Irrelevant {
+		t.Fatalf("label ranking %v", rl)
+	}
+}
+
+func TestTable6JointCauseIsWeakPairwise(t *testing.T) {
+	// In a joint scenario no single cause feature should be strongly
+	// pairwise-correlated with the target, but their mean should be.
+	spec := Table6Specs()[1]
+	spec.Families = 5
+	spec.BigFamilies = 0
+	sc := Table6Scenario(spec)
+	var target []float64
+	for _, v := range sc.MetricValues("target_runtime") {
+		target = v
+	}
+	cause := sc.MetricValues("cause_family")
+	var maxAbs float64
+	mean := make([]float64, len(target))
+	for _, v := range cause {
+		if c := math.Abs(stats.Pearson(v, target)); c > maxAbs {
+			maxAbs = c
+		}
+		for i := range mean {
+			mean[i] += v[i] / float64(len(cause))
+		}
+	}
+	jointCorr := math.Abs(stats.Pearson(mean, target))
+	if maxAbs > 0.75 {
+		t.Fatalf("joint cause should not have a dominant single feature: max |corr| %g", maxAbs)
+	}
+	if jointCorr < maxAbs {
+		t.Fatalf("averaging should strengthen the joint signal: joint %g vs max single %g", jointCorr, maxAbs)
+	}
+}

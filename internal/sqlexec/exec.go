@@ -1,0 +1,324 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	sp "explainit/internal/sqlparse"
+)
+
+// Execute runs a parsed SELECT statement against the catalog and returns the
+// resulting relation.
+func Execute(stmt *sp.SelectStmt, cat Catalog) (*Relation, error) {
+	out, err := executeSingle(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	for u := stmt.Union; u != nil; u = u.Union {
+		branch, err := executeSingle(u, cat)
+		if err != nil {
+			return nil, err
+		}
+		if branch.NumCols() != out.NumCols() {
+			return nil, fmt.Errorf("sqlexec: UNION arms have %d vs %d columns", out.NumCols(), branch.NumCols())
+		}
+		out.Rows = append(out.Rows, branch.Rows...)
+		if !stmt.UnionAll {
+			out = dedupRows(out)
+		}
+		// Only the first statement's ORDER BY/LIMIT apply to the union in
+		// this dialect; nested unions chain through u.Union.
+	}
+	return out, nil
+}
+
+// Run parses and executes a SQL string in one call.
+func Run(query string, cat Catalog) (*Relation, error) {
+	stmt, err := sp.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(stmt, cat)
+}
+
+func executeSingle(stmt *sp.SelectStmt, cat Catalog) (*Relation, error) {
+	// FROM.
+	var input *Relation
+	if stmt.From != nil {
+		rel, err := executeFrom(stmt.From, cat)
+		if err != nil {
+			return nil, err
+		}
+		input = rel
+	} else {
+		// FROM-less SELECT evaluates items once against an empty row.
+		input = &Relation{Rows: [][]Value{{}}}
+	}
+
+	// WHERE.
+	if stmt.Where != nil {
+		filtered := &Relation{Cols: input.Cols, Quals: input.Quals}
+		for i, row := range input.Rows {
+			v, err := eval(stmt.Where, &evalContext{rel: input, row: row, rowIdx: i})
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				filtered.Rows = append(filtered.Rows, row)
+			}
+		}
+		input = filtered
+	}
+
+	// GROUP BY / projection. src[i] is the input row that produced output
+	// row i (the group's first row under GROUP BY), so ORDER BY can fall
+	// back to input columns that were not projected.
+	var out *Relation
+	var src [][]Value
+	var err error
+	hasAgg := false
+	for _, item := range stmt.Items {
+		if containsAggregate(item.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+	if len(stmt.GroupBy) > 0 || hasAgg {
+		out, src, err = executeGrouped(stmt, input)
+	} else {
+		out, src, err = executeProjection(stmt, input)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Distinct {
+		out, src = dedupRowsWithSrc(out, src)
+	}
+
+	// ORDER BY: aliases and projected columns take precedence; otherwise a
+	// key is evaluated against the originating input row.
+	if len(stmt.OrderBy) > 0 {
+		if err := orderRelation(out, input, src, stmt.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Limit >= 0 && len(out.Rows) > stmt.Limit {
+		out.Rows = out.Rows[:stmt.Limit]
+	}
+	return out, nil
+}
+
+// outputName picks the column name for a projection item.
+func outputName(item sp.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.Expr.(*sp.Ident); ok {
+		return id.Name()
+	}
+	return item.Expr.String()
+}
+
+func executeProjection(stmt *sp.SelectStmt, input *Relation) (*Relation, [][]Value, error) {
+	// Expand * items.
+	var cols []string
+	type proj struct {
+		expr sp.Expr
+		star bool
+	}
+	var projs []proj
+	for _, item := range stmt.Items {
+		if _, ok := item.Expr.(*sp.Star); ok {
+			cols = append(cols, input.Cols...)
+			projs = append(projs, proj{star: true})
+			continue
+		}
+		cols = append(cols, outputName(item))
+		projs = append(projs, proj{expr: item.Expr})
+	}
+	out := NewRelation(cols...)
+	src := make([][]Value, 0, len(input.Rows))
+	for i, row := range input.Rows {
+		newRow := make([]Value, 0, len(cols))
+		for _, p := range projs {
+			if p.star {
+				newRow = append(newRow, row...)
+				continue
+			}
+			v, err := eval(p.expr, &evalContext{rel: input, row: row, rowIdx: i})
+			if err != nil {
+				return nil, nil, err
+			}
+			newRow = append(newRow, v)
+		}
+		out.Rows = append(out.Rows, newRow)
+		src = append(src, row)
+	}
+	return out, src, nil
+}
+
+func executeGrouped(stmt *sp.SelectStmt, input *Relation) (*Relation, [][]Value, error) {
+	for _, item := range stmt.Items {
+		if _, ok := item.Expr.(*sp.Star); ok {
+			return nil, nil, fmt.Errorf("sqlexec: SELECT * is not allowed with GROUP BY")
+		}
+	}
+	// Bucket rows by group key.
+	type group struct {
+		first []Value
+		rows  [][]Value
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for i, row := range input.Rows {
+		var keyParts []string
+		for _, g := range stmt.GroupBy {
+			v, err := eval(g, &evalContext{rel: input, row: row, rowIdx: i})
+			if err != nil {
+				return nil, nil, err
+			}
+			keyParts = append(keyParts, v.Key())
+		}
+		key := strings.Join(keyParts, "\x1f")
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{first: row}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		grp.rows = append(grp.rows, row)
+	}
+	// No GROUP BY but aggregates present: one global group (even when the
+	// input is empty, SQL returns a single row of aggregates over nothing —
+	// we return NULL aggregates only if there was at least one row to give
+	// COUNT() = 0 semantics).
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	cols := make([]string, len(stmt.Items))
+	for i, item := range stmt.Items {
+		cols[i] = outputName(item)
+	}
+	out := NewRelation(cols...)
+	src := make([][]Value, 0, len(order))
+	for _, key := range order {
+		grp := groups[key]
+		row := make([]Value, len(stmt.Items))
+		firstRow := grp.first
+		if firstRow == nil && len(grp.rows) > 0 {
+			firstRow = grp.rows[0]
+		}
+		if firstRow == nil {
+			firstRow = nullRow(input.NumCols())
+		}
+		for i, item := range stmt.Items {
+			ctx := &evalContext{rel: input, row: firstRow, rowIdx: -1, groupRows: grp.rows}
+			v, err := eval(item.Expr, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+		src = append(src, firstRow)
+	}
+	return out, src, nil
+}
+
+func dedupRows(rel *Relation) *Relation {
+	seen := make(map[string]bool, len(rel.Rows))
+	out := &Relation{Cols: rel.Cols, Quals: rel.Quals}
+	for _, row := range rel.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.Key()
+		}
+		key := strings.Join(parts, "\x1f")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// dedupRowsWithSrc removes duplicate output rows, keeping src aligned.
+func dedupRowsWithSrc(rel *Relation, src [][]Value) (*Relation, [][]Value) {
+	seen := make(map[string]bool, len(rel.Rows))
+	out := &Relation{Cols: rel.Cols, Quals: rel.Quals}
+	var outSrc [][]Value
+	for i, row := range rel.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.Key()
+		}
+		key := strings.Join(parts, "\x1f")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rows = append(out.Rows, row)
+		if src != nil {
+			outSrc = append(outSrc, src[i])
+		}
+	}
+	return out, outSrc
+}
+
+// orderRelation sorts rel in place. Each key is resolved against the output
+// relation when all of its columns project there; otherwise it is evaluated
+// against the originating input row (standard SQL lets ORDER BY see input
+// columns that were not selected).
+func orderRelation(rel, input *Relation, src [][]Value, keys []sp.OrderItem) error {
+	type keyed struct {
+		row  []Value
+		keys []Value
+	}
+	useOutput := make([]bool, len(keys))
+	for j, k := range keys {
+		useOutput[j] = refsOnly(k.Expr, rel)
+		if !useOutput[j] && (src == nil || !refsOnly(k.Expr, input)) {
+			return fmt.Errorf("sqlexec: ORDER BY key %q not found in output or input columns", k.Expr)
+		}
+	}
+	rows := make([]keyed, len(rel.Rows))
+	for i, row := range rel.Rows {
+		ks := make([]Value, len(keys))
+		for j, k := range keys {
+			var v Value
+			var err error
+			if useOutput[j] {
+				v, err = eval(k.Expr, &evalContext{rel: rel, row: row, rowIdx: i})
+			} else {
+				v, err = eval(k.Expr, &evalContext{rel: input, row: src[i], rowIdx: -1})
+			}
+			if err != nil {
+				return err
+			}
+			ks[j] = v
+		}
+		rows[i] = keyed{row: row, keys: ks}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for j, k := range keys {
+			c := Compare(rows[a].keys[j], rows[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i, kr := range rows {
+		rel.Rows[i] = kr.row
+	}
+	return nil
+}

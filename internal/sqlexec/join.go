@@ -1,0 +1,276 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	sp "explainit/internal/sqlparse"
+)
+
+// executeFrom materialises a FROM clause: a table scan, a subquery, or a
+// join tree.
+func executeFrom(ref sp.TableRef, cat Catalog) (*Relation, error) {
+	switch t := ref.(type) {
+	case *sp.TableName:
+		rel, err := cat.Table(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		qual := t.Name
+		if t.Alias != "" {
+			qual = t.Alias
+		}
+		return rel.WithQualifier(qual), nil
+	case *sp.Subquery:
+		rel, err := Execute(t.Stmt, cat)
+		if err != nil {
+			return nil, err
+		}
+		if t.Alias != "" {
+			return rel.WithQualifier(t.Alias), nil
+		}
+		return rel, nil
+	case *sp.Join:
+		left, err := executeFrom(t.Left, cat)
+		if err != nil {
+			return nil, err
+		}
+		right, err := executeFrom(t.Right, cat)
+		if err != nil {
+			return nil, err
+		}
+		return executeJoin(t, left, right)
+	}
+	return nil, fmt.Errorf("sqlexec: unsupported FROM clause %T", ref)
+}
+
+// equiKey is one equality conjunct a.x = b.y usable by the hash join.
+type equiKey struct {
+	leftExpr, rightExpr sp.Expr
+}
+
+// extractEquiKeys decomposes an ON condition into equality conjuncts where
+// one side references only left columns and the other only right columns.
+// It returns nil when any conjunct is not such an equality — the executor
+// then falls back to a nested-loop join.
+func extractEquiKeys(on sp.Expr, left, right *Relation) []equiKey {
+	var keys []equiKey
+	var walk func(e sp.Expr) bool
+	walk = func(e sp.Expr) bool {
+		if and, ok := e.(*sp.BinaryExpr); ok && and.Op == "AND" {
+			return walk(and.L) && walk(and.R)
+		}
+		eq, ok := e.(*sp.BinaryExpr)
+		if !ok || eq.Op != "=" {
+			return false
+		}
+		switch {
+		case refsOnly(eq.L, left) && refsOnly(eq.R, right):
+			keys = append(keys, equiKey{leftExpr: eq.L, rightExpr: eq.R})
+		case refsOnly(eq.L, right) && refsOnly(eq.R, left):
+			keys = append(keys, equiKey{leftExpr: eq.R, rightExpr: eq.L})
+		default:
+			return false
+		}
+		return true
+	}
+	if !walk(on) {
+		return nil
+	}
+	return keys
+}
+
+// refsOnly reports whether every column referenced by e resolves in rel.
+func refsOnly(e sp.Expr, rel *Relation) bool {
+	ok := true
+	var walk func(e sp.Expr)
+	walk = func(e sp.Expr) {
+		if !ok || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *sp.Ident:
+			if rel.ColumnIndex(x.Qualifier(), x.Name()) < 0 {
+				ok = false
+			}
+		case *sp.BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *sp.UnaryExpr:
+			walk(x.X)
+		case *sp.IndexExpr:
+			walk(x.Base)
+			walk(x.Index)
+		case *sp.FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *sp.BetweenExpr:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *sp.InExpr:
+			walk(x.X)
+			for _, it := range x.List {
+				walk(it)
+			}
+		case *sp.IsNullExpr:
+			walk(x.X)
+		case *sp.CaseExpr:
+			for _, w := range x.Whens {
+				walk(w.Cond)
+				walk(w.Result)
+			}
+			if x.Else != nil {
+				walk(x.Else)
+			}
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// joinedRelation builds the output schema of a join.
+func joinedRelation(left, right *Relation) *Relation {
+	cols := append(append([]string{}, left.Cols...), right.Cols...)
+	quals := append(append([]string{}, left.Quals...), right.Quals...)
+	return &Relation{Cols: cols, Quals: quals}
+}
+
+func nullRow(n int) []Value {
+	row := make([]Value, n)
+	for i := range row {
+		row[i] = Null()
+	}
+	return row
+}
+
+// executeJoin dispatches to hash join when the ON clause is a pure
+// equi-join, otherwise to a nested loop. The hash join builds on the
+// smaller side — the "broadcast join" optimisation of §4.2 (the target and
+// conditioning tables are tiny next to the feature-family table).
+func executeJoin(j *sp.Join, left, right *Relation) (*Relation, error) {
+	if keys := extractEquiKeys(j.On, left, right); keys != nil {
+		return hashJoin(j.Type, left, right, keys)
+	}
+	return nestedLoopJoin(j, left, right)
+}
+
+func hashJoin(jt sp.JoinType, left, right *Relation, keys []equiKey) (*Relation, error) {
+	out := joinedRelation(left, right)
+
+	rightKey := func(row []Value) (string, error) {
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			v, err := eval(k.rightExpr, &evalContext{rel: right, row: row, rowIdx: -1})
+			if err != nil {
+				return "", err
+			}
+			if v.IsNull() {
+				return "", nil // NULL keys never match
+			}
+			parts[i] = v.Key()
+		}
+		return strings.Join(parts, "\x1f"), nil
+	}
+	leftKey := func(row []Value) (string, error) {
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			v, err := eval(k.leftExpr, &evalContext{rel: left, row: row, rowIdx: -1})
+			if err != nil {
+				return "", err
+			}
+			if v.IsNull() {
+				return "", nil
+			}
+			parts[i] = v.Key()
+		}
+		return strings.Join(parts, "\x1f"), nil
+	}
+
+	// Build on the right side (conventionally the broadcast side).
+	table := make(map[string][]int)
+	for i, row := range right.Rows {
+		key, err := rightKey(row)
+		if err != nil {
+			return nil, err
+		}
+		if key == "" {
+			continue
+		}
+		table[key] = append(table[key], i)
+	}
+	rightMatched := make([]bool, len(right.Rows))
+	for _, lrow := range left.Rows {
+		key, err := leftKey(lrow)
+		if err != nil {
+			return nil, err
+		}
+		matches := table[key]
+		if key == "" {
+			matches = nil
+		}
+		if len(matches) == 0 {
+			if jt == sp.JoinLeft || jt == sp.JoinFullOuter {
+				out.Rows = append(out.Rows, append(append([]Value{}, lrow...), nullRow(right.NumCols())...))
+			}
+			continue
+		}
+		for _, ri := range matches {
+			rightMatched[ri] = true
+			out.Rows = append(out.Rows, append(append([]Value{}, lrow...), right.Rows[ri]...))
+		}
+	}
+	if jt == sp.JoinFullOuter {
+		for ri, matched := range rightMatched {
+			if !matched {
+				out.Rows = append(out.Rows, append(nullRow(left.NumCols()), right.Rows[ri]...))
+			}
+		}
+	}
+	return out, nil
+}
+
+func nestedLoopJoin(j *sp.Join, left, right *Relation) (*Relation, error) {
+	out := joinedRelation(left, right)
+	rightMatched := make([]bool, len(right.Rows))
+	for _, lrow := range left.Rows {
+		matchedAny := false
+		for ri, rrow := range right.Rows {
+			combined := append(append([]Value{}, lrow...), rrow...)
+			v, err := eval(j.On, &evalContext{rel: out, row: combined, rowIdx: -1})
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				matchedAny = true
+				rightMatched[ri] = true
+				out.Rows = append(out.Rows, combined)
+			}
+		}
+		if !matchedAny && (j.Type == sp.JoinLeft || j.Type == sp.JoinFullOuter) {
+			out.Rows = append(out.Rows, append(append([]Value{}, lrow...), nullRow(right.NumCols())...))
+		}
+	}
+	if j.Type == sp.JoinFullOuter {
+		for ri, matched := range rightMatched {
+			if !matched {
+				out.Rows = append(out.Rows, append(nullRow(left.NumCols()), right.Rows[ri]...))
+			}
+		}
+	}
+	return out, nil
+}
+
+// CrossProduct materialises the full cross product of two relations — the
+// naive hypothesis-generation strategy that the broadcast-join optimisation
+// replaces (kept for the ablation bench).
+func CrossProduct(left, right *Relation) *Relation {
+	out := joinedRelation(left, right)
+	for _, lrow := range left.Rows {
+		for _, rrow := range right.Rows {
+			out.Rows = append(out.Rows, append(append([]Value{}, lrow...), rrow...))
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+// Package sqlexec executes the SQL dialect parsed by internal/sqlparse over
+// in-memory relations. It provides the catalog, expression evaluator,
+// aggregates, joins (nested-loop and hash/broadcast), UNION, GROUP BY,
+// ORDER BY and LIMIT — everything needed to run the Appendix-C hypothesis
+// preparation queries against the TSDB.
+package sqlexec
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates runtime value types.
+type Kind int
+
+// Value kinds.
+const (
+	KNull Kind = iota
+	KNumber
+	KString
+	KTime
+	KMap  // tag maps: string -> string
+	KList // SPLIT results
+)
+
+// Value is a runtime SQL value.
+type Value struct {
+	Kind Kind
+	F    float64
+	S    string
+	T    time.Time
+	M    map[string]string
+	L    []Value
+}
+
+// Convenience constructors.
+func Null() Value                      { return Value{Kind: KNull} }
+func Number(f float64) Value           { return Value{Kind: KNumber, F: f} }
+func Str(s string) Value               { return Value{Kind: KString, S: s} }
+func TimeVal(t time.Time) Value        { return Value{Kind: KTime, T: t} }
+func MapVal(m map[string]string) Value { return Value{Kind: KMap, M: m} }
+func ListVal(items ...Value) Value     { return Value{Kind: KList, L: items} }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KNull }
+
+// Truthy interprets the value as a boolean condition (NULL and 0 are false;
+// non-empty strings are true).
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KNumber:
+		return v.F != 0
+	case KString:
+		return v.S != ""
+	case KTime:
+		return !v.T.IsZero()
+	case KMap:
+		return len(v.M) > 0
+	case KList:
+		return len(v.L) > 0
+	default:
+		return false
+	}
+}
+
+// AsFloat coerces the value to float64 where sensible.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KNumber:
+		return v.F, true
+	case KTime:
+		return float64(v.T.Unix()), true
+	case KString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsString renders the value for string contexts (CONCAT and friends).
+func (v Value) AsString() string {
+	switch v.Kind {
+	case KNull:
+		return ""
+	case KNumber:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KString:
+		return v.S
+	case KTime:
+		return v.T.UTC().Format(time.RFC3339)
+	case KMap:
+		keys := make([]string, 0, len(v.M))
+		for k := range v.M {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v.M[k])
+		}
+		b.WriteByte('}')
+		return b.String()
+	case KList:
+		parts := make([]string, len(v.L))
+		for i, it := range v.L {
+			parts[i] = it.AsString()
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	default:
+		return ""
+	}
+}
+
+// Compare orders two values: -1, 0, +1. NULL sorts before everything.
+// Numbers and times compare mutually via unix seconds; otherwise values
+// compare as strings when kinds differ.
+func Compare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	// Numeric-compatible comparison.
+	if af, aok := numericKind(a); aok {
+		if bf, bok := numericKind(b); bok {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	as, bs := a.AsString(), b.AsString()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func numericKind(v Value) (float64, bool) {
+	switch v.Kind {
+	case KNumber:
+		return v.F, true
+	case KTime:
+		return float64(v.T.UnixNano()) / 1e9, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports SQL equality (NULL = anything is false).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Key renders a value as a canonical grouping key.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KNull:
+		return "\x00null"
+	case KNumber:
+		if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+			return "n:" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "n:" + strconv.FormatFloat(v.F, 'g', 17, 64)
+	case KTime:
+		return "t:" + strconv.FormatInt(v.T.UnixNano(), 10)
+	default:
+		return "s:" + v.AsString()
+	}
+}
+
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	return v.AsString()
+}

@@ -1,0 +1,336 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is any AST node.
+type Node interface{ String() string }
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a (possibly qualified) column reference such as value or
+// t.timestamp.
+type Ident struct{ Parts []string }
+
+func (e *Ident) exprNode()      {}
+func (e *Ident) String() string { return strings.Join(e.Parts, ".") }
+
+// Name returns the unqualified column name.
+func (e *Ident) Name() string { return e.Parts[len(e.Parts)-1] }
+
+// Qualifier returns the table qualifier ("" when unqualified).
+func (e *Ident) Qualifier() string {
+	if len(e.Parts) < 2 {
+		return ""
+	}
+	return strings.Join(e.Parts[:len(e.Parts)-1], ".")
+}
+
+// StringLit is a quoted string literal.
+type StringLit struct{ Value string }
+
+func (e *StringLit) exprNode() {}
+func (e *StringLit) String() string {
+	return fmt.Sprintf("'%s'", strings.ReplaceAll(e.Value, "'", "''"))
+}
+
+// NumberLit is a numeric literal (stored as text plus parsed value).
+type NumberLit struct {
+	Text  string
+	Value float64
+}
+
+func (e *NumberLit) exprNode()      {}
+func (e *NumberLit) String() string { return e.Text }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+func (e *NullLit) exprNode()      {}
+func (e *NullLit) String() string { return "NULL" }
+
+// Star is the bare * in SELECT * or COUNT(*).
+type Star struct{}
+
+func (e *Star) exprNode()      {}
+func (e *Star) String() string { return "*" }
+
+// FuncCall is a function application; Star marks COUNT(*).
+type FuncCall struct {
+	Name   string // upper-cased
+	Args   []Expr
+	IsStar bool
+}
+
+func (e *FuncCall) exprNode() {}
+func (e *FuncCall) String() string {
+	if e.IsStar {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// BinaryExpr is a binary operation: arithmetic, comparison, AND/OR, LIKE,
+// and || string concatenation.
+type BinaryExpr struct {
+	Op   string // upper-cased operator or keyword
+	L, R Expr
+}
+
+func (e *BinaryExpr) exprNode()      {}
+func (e *BinaryExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+func (e *UnaryExpr) exprNode()      {}
+func (e *UnaryExpr) String() string { return fmt.Sprintf("(%s %s)", e.Op, e.X) }
+
+// IndexExpr is subscripting: tag['host'] or SPLIT(h, '-')[0].
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+}
+
+func (e *IndexExpr) exprNode()      {}
+func (e *IndexExpr) String() string { return fmt.Sprintf("%s[%s]", e.Base, e.Index) }
+
+// BetweenExpr is x BETWEEN lo AND hi (optionally negated).
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (e *BetweenExpr) exprNode() {}
+func (e *BetweenExpr) String() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", e.X, not, e.Lo, e.Hi)
+}
+
+// InExpr is x IN (a, b, ...) (optionally negated).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (e *InExpr) exprNode() {}
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, it := range e.List {
+		items[i] = it.String()
+	}
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", e.X, not, strings.Join(items, ", "))
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (e *IsNullExpr) exprNode() {}
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+// CaseExpr is a searched CASE WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr // may be nil
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct{ Cond, Result Expr }
+
+func (e *CaseExpr) exprNode() {}
+func (e *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", e.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // "" when not aliased
+}
+
+func (s SelectItem) String() string {
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// TableRef is anything that can appear in FROM.
+type TableRef interface {
+	Node
+	tableNode()
+}
+
+// TableName references a named table, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (t *TableName) tableNode() {}
+func (t *TableName) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// Subquery is a parenthesised SELECT in FROM.
+type Subquery struct {
+	Stmt  *SelectStmt
+	Alias string
+}
+
+func (t *Subquery) tableNode() {}
+func (t *Subquery) String() string {
+	if t.Alias != "" {
+		return "(" + t.Stmt.String() + ") " + t.Alias
+	}
+	return "(" + t.Stmt.String() + ")"
+}
+
+// JoinType enumerates supported join kinds.
+type JoinType int
+
+// Join kinds.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinFullOuter
+)
+
+func (jt JoinType) String() string {
+	switch jt {
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinFullOuter:
+		return "FULL OUTER JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+// Join combines two table refs with an ON condition.
+type Join struct {
+	Type        JoinType
+	Left, Right TableRef
+	On          Expr
+}
+
+func (t *Join) tableNode() {}
+func (t *Join) String() string {
+	return fmt.Sprintf("%s %s %s ON %s", t.Left, t.Type, t.Right, t.On)
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String() + " ASC"
+}
+
+// SelectStmt is a full SELECT statement, possibly with UNION branches.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef // nil for FROM-less selects
+	Where    Expr
+	GroupBy  []Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 means no limit
+	Union    *SelectStmt
+	UnionAll bool
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.String()
+	}
+	b.WriteString(strings.Join(items, ", "))
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		b.WriteString(s.From.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			keys[i] = g.String()
+		}
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(keys, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			keys[i] = o.String()
+		}
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(keys, ", "))
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Union != nil {
+		if s.UnionAll {
+			b.WriteString(" UNION ALL ")
+		} else {
+			b.WriteString(" UNION ")
+		}
+		b.WriteString(s.Union.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser random token soup: it must return
+// an error or an AST, never panic, and never accept obviously truncated
+// statements as complete nonsense.
+func TestParseNeverPanics(t *testing.T) {
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "UNION",
+		"JOIN", "ON", "AND", "OR", "NOT", "BETWEEN", "IN", "AS", "NULL",
+		"(", ")", ",", "*", "+", "-", "=", "<", ">", "[", "]", ".",
+		"a", "b", "tsdb", "value", "'str'", "1", "2.5", "COUNT", "AVG",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[rng.Intn(len(vocab))]
+		}
+		query := strings.Join(parts, " ")
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", query, r)
+			}
+		}()
+		_, _ = Parse(query)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexNeverPanics feeds the lexer random bytes.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", input, r)
+			}
+		}()
+		_, _ = Lex(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseValidQueriesAlwaysRenderable: every successfully parsed query
+// must render to a string that re-parses.
+func TestParseValidQueriesAlwaysRenderable(t *testing.T) {
+	queries := []string{
+		"SELECT 1",
+		"SELECT a FROM t WHERE b IS NOT NULL",
+		"SELECT AVG(v), MAX(v) FROM t GROUP BY k ORDER BY k DESC LIMIT 3",
+		"SELECT CASE WHEN a THEN 1 ELSE 0 END FROM t",
+		"SELECT t.a FROM t LEFT JOIN u ON t.k = u.k",
+		"SELECT a FROM (SELECT a FROM b) s UNION ALL SELECT a FROM c",
+		"SELECT tag['host'], SPLIT(h, '-')[0] FROM tsdb",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := Parse(stmt.String()); err != nil {
+			t.Fatalf("re-parse %q (rendered %q): %v", q, stmt.String(), err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return stmt
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, 'str''ing', 1.5e3 FROM t -- comment\nWHERE x >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if toks[0].Text != "SELECT" || toks[0].Kind != TokKeyword {
+		t.Fatalf("first token %v", toks[0])
+	}
+	// The escaped string collapses to str'ing.
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokString && tok.Text == "str'ing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("escaped string not lexed")
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatal("missing EOF token")
+	}
+	_ = kinds
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string must error")
+	}
+	if _, err := Lex("SELECT a ; b"); err == nil {
+		t.Fatal("stray semicolon must error (single-statement dialect)")
+	}
+}
+
+func TestParseTargetMetricQuery(t *testing.T) {
+	// Listing 1 of the paper (adapted quoting).
+	q := `SELECT timestamp, tag['pipeline_name'], AVG(value) AS runtime_sec
+	      FROM tsdb
+	      WHERE metric_name = 'pipeline_runtime' AND timestamp BETWEEN 100 AND 200
+	      GROUP BY timestamp, tag['pipeline_name']
+	      ORDER BY timestamp ASC`
+	stmt := mustParse(t, q)
+	if len(stmt.Items) != 3 {
+		t.Fatalf("items %d", len(stmt.Items))
+	}
+	if stmt.Items[2].Alias != "runtime_sec" {
+		t.Fatalf("alias %q", stmt.Items[2].Alias)
+	}
+	if _, ok := stmt.Items[1].Expr.(*IndexExpr); !ok {
+		t.Fatalf("tag subscript not parsed: %T", stmt.Items[1].Expr)
+	}
+	if len(stmt.GroupBy) != 2 || len(stmt.OrderBy) != 1 || stmt.OrderBy[0].Desc {
+		t.Fatal("group/order clauses")
+	}
+	and, ok := stmt.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("where %v", stmt.Where)
+	}
+	if _, ok := and.R.(*BetweenExpr); !ok {
+		t.Fatalf("between not parsed: %T", and.R)
+	}
+}
+
+func TestParseProcessQuery(t *testing.T) {
+	// Listing 3 shape: SPLIT, CONCAT, IN list, GREATEST.
+	q := `SELECT timestamp,
+	             CONCAT(service_name, SPLIT(hostname, '-')[0]),
+	             AVG(stime + utime) AS cpu,
+	             AVG(GREATEST(write_b - cancelled_write_b, 0))
+	      FROM processes
+	      WHERE SPLIT(hostname, '-')[0] IN ('web', 'app', 'db', 'pipeline')
+	        AND timestamp BETWEEN 1 AND 2
+	      GROUP BY timestamp, CONCAT(service_name, SPLIT(hostname, '-')[0])
+	      ORDER BY timestamp ASC`
+	stmt := mustParse(t, q)
+	if len(stmt.Items) != 4 {
+		t.Fatalf("items %d", len(stmt.Items))
+	}
+	where := stmt.Where.(*BinaryExpr)
+	in, ok := where.L.(*InExpr)
+	if !ok || len(in.List) != 4 {
+		t.Fatalf("IN clause: %v", where.L)
+	}
+	if _, ok := in.X.(*IndexExpr); !ok {
+		t.Fatalf("indexed SPLIT: %T", in.X)
+	}
+}
+
+func TestParseJoinQuery(t *testing.T) {
+	// Listing 5 shape: unions + full outer joins with compound ON.
+	q := `SELECT timestamp, x, y, z
+	      FROM (SELECT a FROM ff_1 UNION SELECT a FROM ff_2) ff
+	      FULL OUTER JOIN target ON ff.timestamp = target.timestamp
+	      FULL OUTER JOIN cond ON target.timestamp = cond.timestamp AND target.pipeline_name = cond.pipeline_name
+	      ORDER BY timestamp ASC`
+	stmt := mustParse(t, q)
+	join, ok := stmt.From.(*Join)
+	if !ok || join.Type != JoinFullOuter {
+		t.Fatalf("outer join: %T", stmt.From)
+	}
+	inner, ok := join.Left.(*Join)
+	if !ok || inner.Type != JoinFullOuter {
+		t.Fatalf("nested join: %T", join.Left)
+	}
+	sub, ok := inner.Left.(*Subquery)
+	if !ok || sub.Alias != "ff" {
+		t.Fatalf("subquery alias: %v", inner.Left)
+	}
+	if sub.Stmt.Union == nil {
+		t.Fatal("union not parsed")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + b * c FROM t")
+	add := stmt.Items[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op %s", add.Op)
+	}
+	mul := add.R.(*BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("inner op %s", mul.Op)
+	}
+	// AND binds tighter than OR.
+	stmt2 := mustParse(t, "SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or := stmt2.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top where op %s", or.Op)
+	}
+	if and := or.R.(*BinaryExpr); and.Op != "AND" {
+		t.Fatalf("right where op %s", and.Op)
+	}
+}
+
+func TestParseNotVariants(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE a NOT IN (1, 2) AND b NOT BETWEEN 3 AND 4 AND NOT c = 5")
+	and1 := stmt.Where.(*BinaryExpr)
+	and2 := and1.L.(*BinaryExpr)
+	in := and2.L.(*InExpr)
+	if !in.Not {
+		t.Fatal("NOT IN lost")
+	}
+	btw := and2.R.(*BetweenExpr)
+	if !btw.Not {
+		t.Fatal("NOT BETWEEN lost")
+	}
+	if not, ok := and1.R.(*UnaryExpr); !ok || not.Op != "NOT" {
+		t.Fatalf("bare NOT: %v", and1.R)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE a IS NULL AND b IS NOT NULL")
+	and := stmt.Where.(*BinaryExpr)
+	l := and.L.(*IsNullExpr)
+	r := and.R.(*IsNullExpr)
+	if l.Not || !r.Not {
+		t.Fatal("IS NULL variants")
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t, "SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END FROM t")
+	ce := stmt.Items[0].Expr.(*CaseExpr)
+	if len(ce.Whens) != 2 || ce.Else == nil {
+		t.Fatalf("case arms: %v", ce)
+	}
+	if _, err := Parse("SELECT CASE END FROM t"); err == nil {
+		t.Fatal("empty CASE must error")
+	}
+}
+
+func TestParseLimitDistinctLike(t *testing.T) {
+	stmt := mustParse(t, "SELECT DISTINCT name FROM t WHERE name LIKE 'data%' LIMIT 20")
+	if !stmt.Distinct || stmt.Limit != 20 {
+		t.Fatal("distinct/limit")
+	}
+	like := stmt.Where.(*BinaryExpr)
+	if like.Op != "LIKE" {
+		t.Fatalf("like op %s", like.Op)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*), COUNT() FROM t")
+	c := stmt.Items[0].Expr.(*FuncCall)
+	if !c.IsStar {
+		t.Fatal("COUNT(*)")
+	}
+	c2 := stmt.Items[1].Expr.(*FuncCall)
+	if c2.IsStar || len(c2.Args) != 0 {
+		t.Fatal("COUNT()")
+	}
+}
+
+func TestParseStarItem(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t")
+	if _, ok := stmt.Items[0].Expr.(*Star); !ok {
+		t.Fatal("star item")
+	}
+}
+
+func TestParseNegativeNumbersAndUnaryMinus(t *testing.T) {
+	stmt := mustParse(t, "SELECT -a, 2 - -3 FROM t")
+	if _, ok := stmt.Items[0].Expr.(*UnaryExpr); !ok {
+		t.Fatal("unary minus")
+	}
+	sub := stmt.Items[1].Expr.(*BinaryExpr)
+	if sub.Op != "-" {
+		t.Fatal("binary minus")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET a = 1",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t ORDER",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t JOIN u",  // missing ON
+		"SELECT a FROM (SELECT b", // unterminated subquery
+		"SELECT f(a",              // unterminated call
+		"SELECT a[1 FROM t",       // unterminated subscript
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a..b FROM t",
+		"SELECT a FROM t extra garbage ,",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Fatalf("expected error for %q", q)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a, AVG(b) AS m FROM t WHERE c = 'x' GROUP BY a ORDER BY a ASC LIMIT 5",
+		"SELECT * FROM t FULL OUTER JOIN u ON t.a = u.a",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT tag['host'] FROM tsdb WHERE v NOT BETWEEN 1 AND 2",
+	}
+	for _, q := range queries {
+		stmt := mustParse(t, q)
+		rendered := stmt.String()
+		// The rendered SQL must itself parse to the same rendering (fixpoint).
+		again := mustParse(t, rendered)
+		if again.String() != rendered {
+			t.Fatalf("round trip mismatch:\n%s\n%s", rendered, again.String())
+		}
+	}
+}
+
+func TestSyntaxErrorMessageHasOffset(t *testing.T) {
+	_, err := Parse("SELECT a FROM t WHERE !")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error should carry offset: %v", err)
+	}
+}

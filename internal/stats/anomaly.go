@@ -1,0 +1,134 @@
+package stats
+
+import "math"
+
+// AnomalyWindow is a contiguous run of unusual samples, used to suggest
+// the "range to explain" of Figure 2 when the operator has not highlighted
+// one manually.
+type AnomalyWindow struct {
+	Start, End int // half-open sample range [Start, End)
+	// Severity is the mean absolute robust z-score inside the window.
+	Severity float64
+}
+
+// Len returns the window length in samples.
+func (w AnomalyWindow) Len() int { return w.End - w.Start }
+
+// RobustZScores returns |x - median| / (1.4826 * MAD) per sample — the
+// standard outlier scale that a few extreme values cannot corrupt. A
+// zero-MAD series yields all-zero scores.
+func RobustZScores(values []float64) []float64 {
+	n := len(values)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	med := Median(values)
+	dev := make([]float64, n)
+	for i, v := range values {
+		dev[i] = math.Abs(v - med)
+	}
+	mad := Median(dev)
+	scale := 1.4826 * mad
+	if scale <= 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = math.Abs(v-med) / scale
+	}
+	return out
+}
+
+// Median returns the middle value of vs (average of the two middles for
+// even lengths); 0 for empty input. The input is not modified.
+func Median(vs []float64) float64 {
+	n := len(vs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	// Insertion sort is fine at the sizes we see; avoid pulling in sort
+	// for a float slice copy... actually use the stdlib for clarity.
+	quickSelectSort(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func quickSelectSort(vs []float64) {
+	// Simple bottom-up heapsort to stay allocation-free; n is small
+	// relative to the cost of the regressions surrounding this call.
+	n := len(vs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(vs, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		vs[0], vs[end] = vs[end], vs[0]
+		siftDown(vs, 0, end)
+	}
+}
+
+func siftDown(vs []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && vs[child+1] > vs[child] {
+			child++
+		}
+		if vs[root] >= vs[child] {
+			return
+		}
+		vs[root], vs[child] = vs[child], vs[root]
+		root = child
+	}
+}
+
+// DetectAnomalousWindow finds the most severe contiguous anomalous run: a
+// maximal stretch of samples whose robust z-score exceeds threshold,
+// allowing gaps of up to maxGap below-threshold samples inside the run.
+// It returns the run with the highest total severity and true, or a zero
+// window and false when nothing exceeds the threshold.
+func DetectAnomalousWindow(values []float64, threshold float64, maxGap int) (AnomalyWindow, bool) {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	z := RobustZScores(values)
+	best := AnomalyWindow{}
+	bestTotal := 0.0
+	i := 0
+	for i < len(z) {
+		if z[i] < threshold {
+			i++
+			continue
+		}
+		// Extend a run from i, tolerating short gaps.
+		start := i
+		end := i + 1
+		gap := 0
+		total := z[i]
+		count := 1
+		for j := i + 1; j < len(z); j++ {
+			if z[j] >= threshold {
+				end = j + 1
+				gap = 0
+				total += z[j]
+				count++
+				continue
+			}
+			gap++
+			if gap > maxGap {
+				break
+			}
+		}
+		severity := total / float64(count)
+		if total > bestTotal {
+			bestTotal = total
+			best = AnomalyWindow{Start: start, End: end, Severity: severity}
+		}
+		i = end + 1
+	}
+	return best, bestTotal > 0
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Input must not be modified.
+	in := []float64{5, 1, 3}
+	Median(in)
+	if in[0] != 5 || in[2] != 3 {
+		t.Fatal("median must not mutate input")
+	}
+}
+
+func TestMedianMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = rng.NormFloat64()
+		}
+		got := Median(vs)
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		var want float64
+		if n%2 == 1 {
+			want = sorted[n/2]
+		} else {
+			want = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRobustZScores(t *testing.T) {
+	vals := []float64{9, 10, 11, 10, 9, 11, 10, 50}
+	z := RobustZScores(vals)
+	if z[7] < 10 {
+		t.Fatalf("outlier must score high, got %g", z[7])
+	}
+	for i := 0; i < 7; i++ {
+		if z[i] > 1 {
+			t.Fatalf("inlier %d scored %g", i, z[i])
+		}
+	}
+	// Constant series: all zeros, no division by zero.
+	flat := RobustZScores([]float64{5, 5, 5})
+	for _, v := range flat {
+		if v != 0 {
+			t.Fatal("flat series must be all zero")
+		}
+	}
+	if len(RobustZScores(nil)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestDetectAnomalousWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 500
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 10 + 0.5*rng.NormFloat64()
+		if i >= 300 && i < 330 {
+			vals[i] += 20
+		}
+	}
+	w, ok := DetectAnomalousWindow(vals, 3, 3)
+	if !ok {
+		t.Fatal("window not found")
+	}
+	if w.Start < 295 || w.Start > 305 || w.End < 325 || w.End > 335 {
+		t.Fatalf("window [%d, %d)", w.Start, w.End)
+	}
+	if w.Severity < 3 {
+		t.Fatalf("severity %g", w.Severity)
+	}
+	if w.Len() < 20 {
+		t.Fatalf("window length %d", w.Len())
+	}
+}
+
+func TestDetectAnomalousWindowPicksWorst(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 600
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 0.3 * rng.NormFloat64()
+		if i >= 100 && i < 110 {
+			vals[i] += 5 // small event
+		}
+		if i >= 400 && i < 440 {
+			vals[i] += 8 // the big one
+		}
+	}
+	w, ok := DetectAnomalousWindow(vals, 3, 3)
+	if !ok || w.Start < 395 || w.Start > 405 {
+		t.Fatalf("should pick the larger window, got [%d, %d) ok=%v", w.Start, w.End, ok)
+	}
+}
+
+func TestDetectAnomalousWindowToleratesGaps(t *testing.T) {
+	vals := make([]float64, 200)
+	for i := range vals {
+		// Slight baseline variation so the MAD scale is non-zero.
+		vals[i] = 1 + 0.05*float64(i%7)
+	}
+	for i := 100; i < 120; i++ {
+		if i != 108 && i != 109 { // a 2-sample dip inside the event
+			vals[i] = 40
+		}
+	}
+	w, ok := DetectAnomalousWindow(vals, 3, 3)
+	if !ok {
+		t.Fatal("not found")
+	}
+	if w.End-w.Start < 18 {
+		t.Fatalf("gap should not split the window: [%d, %d)", w.Start, w.End)
+	}
+	// With maxGap 0 the window splits and the larger half wins.
+	w0, ok := DetectAnomalousWindow(vals, 3, 0)
+	if !ok || w0.Len() > 10 {
+		t.Fatalf("zero-gap window [%d, %d)", w0.Start, w0.End)
+	}
+}
+
+func TestDetectAnomalousWindowNone(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	if _, ok := DetectAnomalousWindow(vals, 6, 3); ok {
+		t.Fatal("white noise should have no 6-sigma window")
+	}
+	if _, ok := DetectAnomalousWindow(nil, 3, 3); ok {
+		t.Fatal("empty input")
+	}
+}

@@ -1,0 +1,156 @@
+package stats
+
+import "math"
+
+// BetaDist is the Beta(Alpha, Beta) distribution. Appendix A of the paper
+// shows that under the NULL hypothesis (no dependency, OLS), the sample
+// r-squared with p predictors and n observations follows
+// Beta((p-1)/2, (n-p)/2).
+type BetaDist struct {
+	Alpha, Beta float64
+}
+
+// NullR2Distribution returns the Beta distribution of the OLS r^2 statistic
+// under the NULL, for n data points and p predictors.
+func NullR2Distribution(n, p int) BetaDist {
+	return BetaDist{Alpha: float64(p-1) / 2, Beta: float64(n-p) / 2}
+}
+
+// Mean returns the distribution mean a/(a+b).
+func (d BetaDist) Mean() float64 {
+	if d.Alpha+d.Beta == 0 {
+		return 0
+	}
+	return d.Alpha / (d.Alpha + d.Beta)
+}
+
+// Variance returns ab / ((a+b)^2 (a+b+1)).
+func (d BetaDist) Variance() float64 {
+	s := d.Alpha + d.Beta
+	if s == 0 {
+		return 0
+	}
+	return d.Alpha * d.Beta / (s * s * (s + 1))
+}
+
+// PDF evaluates the density at x in (0, 1).
+func (d BetaDist) PDF(x float64) float64 {
+	if x <= 0 || x >= 1 {
+		return 0
+	}
+	logPDF := (d.Alpha-1)*math.Log(x) + (d.Beta-1)*math.Log(1-x) - logBeta(d.Alpha, d.Beta)
+	return math.Exp(logPDF)
+}
+
+// CDF evaluates the cumulative distribution function via the regularised
+// incomplete beta function.
+func (d BetaDist) CDF(x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	return regularizedIncompleteBeta(d.Alpha, d.Beta, x)
+}
+
+// Survival returns P(X >= x) = 1 - CDF(x): the exact p-value of an observed
+// r^2 score under the NULL.
+func (d BetaDist) Survival(x float64) float64 { return 1 - d.CDF(x) }
+
+// Quantile inverts the CDF by bisection to 1e-10 precision.
+func (d BetaDist) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if d.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// logBeta computes log B(a, b) = lgamma(a) + lgamma(b) - lgamma(a+b).
+func logBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// regularizedIncompleteBeta computes I_x(a, b) using the continued-fraction
+// expansion (Numerical Recipes style; pure stdlib implementation).
+func regularizedIncompleteBeta(a, b, x float64) float64 {
+	if x < 0 || x > 1 {
+		return math.NaN()
+	}
+	if x == 0 || x == 1 {
+		return x
+	}
+	lbeta := logBeta(a, b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaContinuedFraction(a, b, x) / a
+	}
+	return 1 - math.Exp(b*math.Log(1-x)+a*math.Log(x)-lbeta)*betaContinuedFraction(b, a, 1-x)/b
+}
+
+func betaContinuedFraction(a, b, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBetaMeanVariance(t *testing.T) {
+	d := BetaDist{Alpha: 2, Beta: 3}
+	if math.Abs(d.Mean()-0.4) > 1e-12 {
+		t.Fatalf("mean %g", d.Mean())
+	}
+	want := 2.0 * 3.0 / (25.0 * 6.0)
+	if math.Abs(d.Variance()-want) > 1e-12 {
+		t.Fatalf("variance %g want %g", d.Variance(), want)
+	}
+}
+
+func TestNullR2DistributionMatchesPaper(t *testing.T) {
+	// The paper: mean of Beta((p-1)/2, (n-p)/2) is (p-1)/(n-1).
+	n, p := 1000, 500
+	d := NullR2Distribution(n, p)
+	wantMean := float64(p-1) / float64(n-1)
+	if math.Abs(d.Mean()-wantMean) > 1e-12 {
+		t.Fatalf("mean %g want %g", d.Mean(), wantMean)
+	}
+	// Variance spread falls as O(1/n) (paper: <= 1/(4(1+(n-1)/2))).
+	bound := 1.0 / (4 * (1 + float64(n-1)/2))
+	if d.Variance() > bound {
+		t.Fatalf("variance %g exceeds bound %g", d.Variance(), bound)
+	}
+}
+
+func TestBetaUniformSpecialCase(t *testing.T) {
+	// Beta(1,1) is Uniform(0,1): CDF(x) = x.
+	d := BetaDist{Alpha: 1, Beta: 1}
+	for _, x := range []float64{0.1, 0.35, 0.5, 0.9} {
+		if math.Abs(d.CDF(x)-x) > 1e-9 {
+			t.Fatalf("uniform CDF(%g) = %g", x, d.CDF(x))
+		}
+		if math.Abs(d.PDF(x)-1) > 1e-9 {
+			t.Fatalf("uniform PDF(%g) = %g", x, d.PDF(x))
+		}
+	}
+}
+
+func TestBetaSymmetry(t *testing.T) {
+	// For Beta(a,a), CDF(0.5) = 0.5.
+	for _, a := range []float64{0.5, 1, 2, 7.5} {
+		d := BetaDist{Alpha: a, Beta: a}
+		if math.Abs(d.CDF(0.5)-0.5) > 1e-9 {
+			t.Fatalf("Beta(%g,%g) CDF(0.5) = %g", a, a, d.CDF(0.5))
+		}
+	}
+}
+
+func TestBetaCDFMonotoneAndBounds(t *testing.T) {
+	d := BetaDist{Alpha: 3.5, Beta: 9}
+	if d.CDF(0) != 0 || d.CDF(1) != 1 || d.CDF(-1) != 0 || d.CDF(2) != 1 {
+		t.Fatal("CDF bounds")
+	}
+	prev := 0.0
+	for x := 0.01; x < 1; x += 0.01 {
+		c := d.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %g", x)
+		}
+		prev = c
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	d := BetaDist{Alpha: 4, Beta: 13}
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		x := d.Quantile(p)
+		if math.Abs(d.CDF(x)-p) > 1e-6 {
+			t.Fatalf("quantile(%g) = %g, CDF back = %g", p, x, d.CDF(x))
+		}
+	}
+	if d.Quantile(0) != 0 || d.Quantile(1) != 1 {
+		t.Fatal("quantile edge cases")
+	}
+}
+
+func TestBetaAgainstMonteCarloR2(t *testing.T) {
+	// Simulate the NULL: y and a single regressor x independent standard
+	// normals; r^2 = Pearson(x,y)^2 follows Beta(1/2, (n-2)/2).
+	rng := rand.New(rand.NewSource(21))
+	n := 40
+	trials := 3000
+	d := NullR2Distribution(n, 2)
+	var count int
+	threshold := 0.1
+	for tr := 0; tr < trials; tr++ {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		r := Pearson(x, y)
+		if r*r >= threshold {
+			count++
+		}
+	}
+	empirical := float64(count) / float64(trials)
+	theoretical := d.Survival(threshold)
+	if math.Abs(empirical-theoretical) > 0.03 {
+		t.Fatalf("empirical survival %g vs theoretical %g", empirical, theoretical)
+	}
+}
+
+func TestSurvival(t *testing.T) {
+	d := BetaDist{Alpha: 2, Beta: 5}
+	if math.Abs(d.Survival(0.3)+d.CDF(0.3)-1) > 1e-12 {
+		t.Fatal("survival + cdf must be 1")
+	}
+}

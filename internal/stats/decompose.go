@@ -1,0 +1,148 @@
+package stats
+
+import "math"
+
+// Decomposition splits a series into trend + seasonal + residual components,
+// the transformation behind pseudocauses (§3.4): conditioning on the
+// seasonal part Ys blocks the unknown causes of seasonality so that ranking
+// surfaces causes specific to the residual spike Yr.
+type Decomposition struct {
+	Trend    []float64
+	Seasonal []float64
+	Residual []float64
+}
+
+// DecomposeAdditive performs a classical additive decomposition with the
+// given seasonal period (in samples): centred moving-average trend,
+// period-averaged seasonality (normalised to zero mean), residual remainder.
+// period <= 1 yields a pure trend + residual split.
+func DecomposeAdditive(values []float64, period int) Decomposition {
+	n := len(values)
+	d := Decomposition{
+		Trend:    make([]float64, n),
+		Seasonal: make([]float64, n),
+		Residual: make([]float64, n),
+	}
+	if n == 0 {
+		return d
+	}
+	window := period
+	if window < 2 {
+		window = minInt(9, maxInt(3, n/10)|1) // small odd default smoothing window
+	}
+	d.Trend = MovingAverage(values, window)
+	if period > 1 {
+		// Average the detrended values within each phase of the period.
+		sums := make([]float64, period)
+		counts := make([]int, period)
+		for i, v := range values {
+			phase := i % period
+			sums[phase] += v - d.Trend[i]
+			counts[phase]++
+		}
+		phaseMean := make([]float64, period)
+		var total float64
+		for p := 0; p < period; p++ {
+			if counts[p] > 0 {
+				phaseMean[p] = sums[p] / float64(counts[p])
+			}
+			total += phaseMean[p]
+		}
+		// Normalise so the seasonal component sums to zero over one period.
+		offset := total / float64(period)
+		for p := range phaseMean {
+			phaseMean[p] -= offset
+		}
+		for i := range values {
+			d.Seasonal[i] = phaseMean[i%period]
+		}
+	}
+	for i, v := range values {
+		d.Residual[i] = v - d.Trend[i] - d.Seasonal[i]
+	}
+	return d
+}
+
+// MovingAverage returns the centred moving average of values with the given
+// window (made odd by rounding up); edges use the available partial window.
+func MovingAverage(values []float64, window int) []float64 {
+	n := len(values)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	// Prefix sums for O(n) averaging.
+	prefix := make([]float64, n+1)
+	for i, v := range values {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := 0; i < n; i++ {
+		lo := maxInt(0, i-half)
+		hi := minInt(n-1, i+half)
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out
+}
+
+// DetectPeriod estimates the dominant seasonal period of a series by
+// autocorrelation peak search over candidate lags in [minLag, maxLag].
+// It returns 0 when no lag achieves an autocorrelation above threshold.
+func DetectPeriod(values []float64, minLag, maxLag int, threshold float64) int {
+	n := len(values)
+	if n < 4 || minLag < 1 {
+		return 0
+	}
+	if maxLag >= n/2 {
+		maxLag = n/2 - 1
+	}
+	if maxLag < minLag {
+		return 0
+	}
+	mean := Mean(values)
+	var denom float64
+	centered := make([]float64, n)
+	for i, v := range values {
+		centered[i] = v - mean
+		denom += centered[i] * centered[i]
+	}
+	if denom <= 0 {
+		return 0
+	}
+	bestLag, bestAC := 0, threshold
+	prev := math.Inf(1)
+	for lag := minLag; lag <= maxLag; lag++ {
+		var num float64
+		for i := lag; i < n; i++ {
+			num += centered[i] * centered[i-lag]
+		}
+		ac := num / denom
+		// Require a local peak above the threshold, preferring the first
+		// (shortest) strong period.
+		if ac > bestAC && ac >= prev {
+			bestLag, bestAC = lag, ac
+		}
+		prev = ac
+	}
+	return bestLag
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

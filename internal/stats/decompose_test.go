@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sineWave(n, period int, amplitude float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amplitude * math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	return out
+}
+
+func TestMovingAverageConstant(t *testing.T) {
+	vals := []float64{5, 5, 5, 5, 5}
+	ma := MovingAverage(vals, 3)
+	for i, v := range ma {
+		if v != 5 {
+			t.Fatalf("ma[%d] = %g", i, v)
+		}
+	}
+	if len(MovingAverage(nil, 3)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestMovingAverageSmoothsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	n := 500
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	ma := MovingAverage(vals, 21)
+	if Variance(ma) >= Variance(vals)/3 {
+		t.Fatalf("smoothing should cut variance: %g vs %g", Variance(ma), Variance(vals))
+	}
+}
+
+func TestMovingAverageEvenWindowBecomesOdd(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	// Window 2 -> 3: centred average of neighbours.
+	ma := MovingAverage(vals, 2)
+	if ma[2] != 3 {
+		t.Fatalf("ma[2] = %g", ma[2])
+	}
+}
+
+func TestDecomposeAdditiveRecomposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, period := 300, 15
+	vals := sineWave(n, period, 4)
+	for i := range vals {
+		vals[i] += 0.1*float64(i) + 0.3*rng.NormFloat64()
+	}
+	d := DecomposeAdditive(vals, period)
+	for i := range vals {
+		sum := d.Trend[i] + d.Seasonal[i] + d.Residual[i]
+		if math.Abs(sum-vals[i]) > 1e-9 {
+			t.Fatalf("decomposition must recompose at %d: %g vs %g", i, sum, vals[i])
+		}
+	}
+}
+
+func TestDecomposeCapturesSeasonality(t *testing.T) {
+	n, period := 450, 15
+	vals := sineWave(n, period, 4)
+	d := DecomposeAdditive(vals, period)
+	// The seasonal component should carry most of the signal variance.
+	if Variance(d.Seasonal) < 0.5*Variance(vals) {
+		t.Fatalf("seasonal variance %g vs total %g", Variance(d.Seasonal), Variance(vals))
+	}
+	// Residual should be small relative to the signal.
+	if Variance(d.Residual) > 0.2*Variance(vals) {
+		t.Fatalf("residual variance %g too large", Variance(d.Residual))
+	}
+	// Seasonal component has (approximately) zero mean.
+	if math.Abs(Mean(d.Seasonal)) > 0.1 {
+		t.Fatalf("seasonal mean %g", Mean(d.Seasonal))
+	}
+}
+
+func TestDecomposeNoPeriod(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	d := DecomposeAdditive(vals, 0)
+	for _, s := range d.Seasonal {
+		if s != 0 {
+			t.Fatal("period <= 1 must yield zero seasonal component")
+		}
+	}
+	empty := DecomposeAdditive(nil, 5)
+	if len(empty.Trend) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestDetectPeriod(t *testing.T) {
+	vals := sineWave(600, 20, 3)
+	got := DetectPeriod(vals, 2, 100, 0.3)
+	if got < 18 || got > 22 {
+		t.Fatalf("detected period %d, want ~20", got)
+	}
+}
+
+func TestDetectPeriodNoiseReturnsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	if got := DetectPeriod(vals, 2, 100, 0.5); got != 0 {
+		t.Fatalf("white noise should have no period, got %d", got)
+	}
+}
+
+func TestDetectPeriodDegenerate(t *testing.T) {
+	if DetectPeriod([]float64{1, 2}, 1, 10, 0.3) != 0 {
+		t.Fatal("too short")
+	}
+	if DetectPeriod(make([]float64, 100), 1, 10, 0.3) != 0 {
+		t.Fatal("constant series")
+	}
+	if DetectPeriod(sineWave(100, 10, 1), 60, 40, 0.3) != 0 {
+		t.Fatal("bad lag range")
+	}
+}

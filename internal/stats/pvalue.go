@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ChebyshevPValue bounds P(r2_adj >= s | H0) using Chebyshev's inequality
+// with the variance of the adjusted r^2 statistic under the NULL
+// (Appendix A.2): var = 2(p-1) / ((n-p)(n-1)); p-value <= var / s^2.
+// The bound is clamped to [0, 1]. A non-positive score yields 1.
+func ChebyshevPValue(score float64, n, p int) float64 {
+	if score <= 0 {
+		return 1
+	}
+	if p < 2 {
+		// The variance formula degenerates for a single predictor; use the
+		// two-predictor bound, which is conservative for p = 1.
+		p = 2
+	}
+	if n <= p {
+		return 1
+	}
+	v := 2 * float64(p-1) / (float64(n-p) * float64(n-1))
+	pv := v / (score * score)
+	if pv > 1 {
+		return 1
+	}
+	return pv
+}
+
+// ExactNullPValue computes P(r2 >= s | H0) from the exact Beta null
+// distribution of plain OLS r^2 (Appendix A.1).
+func ExactNullPValue(score float64, n, p int) float64 {
+	if n <= p || p < 2 {
+		return 1
+	}
+	return NullR2Distribution(n, p).Survival(score)
+}
+
+// Bonferroni applies Bonferroni's correction to a slice of p-values for m
+// simultaneous tests: p' = min(1, p*m).
+func Bonferroni(pvals []float64) []float64 {
+	m := float64(len(pvals))
+	out := make([]float64, len(pvals))
+	for i, p := range pvals {
+		out[i] = math.Min(1, p*m)
+	}
+	return out
+}
+
+// BenjaminiHochberg applies the Benjamini–Hochberg FDR step-up procedure,
+// returning the adjusted p-values (q-values) in the original order.
+func BenjaminiHochberg(pvals []float64) []float64 {
+	m := len(pvals)
+	if m == 0 {
+		return nil
+	}
+	type pair struct {
+		p   float64
+		idx int
+	}
+	sorted := make([]pair, m)
+	for i, p := range pvals {
+		sorted[i] = pair{p, i}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].p < sorted[j].p })
+	out := make([]float64, m)
+	// Step-up: q_i = min over j >= i of p_(j) * m / j.
+	minSoFar := 1.0
+	for i := m - 1; i >= 0; i-- {
+		q := sorted[i].p * float64(m) / float64(i+1)
+		if q < minSoFar {
+			minSoFar = q
+		}
+		out[sorted[i].idx] = math.Min(1, minSoFar)
+	}
+	return out
+}
+
+// SignificantAtLevel returns the indices of hypotheses whose adjusted
+// p-value is below alpha.
+func SignificantAtLevel(adjusted []float64, alpha float64) []int {
+	var idx []int
+	for i, p := range adjusted {
+		if p < alpha {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestChebyshevPValueMatchesPaperExample(t *testing.T) {
+	// Paper (Appendix A.2): for L2-P50 with one day of minute data,
+	// n = 1440, p = 50 => p(s) ~ 4.9e-5 / s^2.
+	pv := ChebyshevPValue(1.0, 1440, 50)
+	if math.Abs(pv-4.9e-5) > 0.3e-5 {
+		t.Fatalf("p-value at s=1: %g, want ~4.9e-5", pv)
+	}
+	// And the worked example: s = 0.03, n = 1000, p = 50 => ~0.05 ... the
+	// paper rounds aggressively; accept the right order of magnitude.
+	pv2 := ChebyshevPValue(0.03, 1000, 50)
+	if pv2 < 0.05 || pv2 > 0.2 {
+		t.Fatalf("p-value at s=0.03: %g", pv2)
+	}
+}
+
+func TestChebyshevPValueEdgeCases(t *testing.T) {
+	if ChebyshevPValue(0, 100, 5) != 1 {
+		t.Fatal("zero score must give p = 1")
+	}
+	if ChebyshevPValue(0.5, 5, 10) != 1 {
+		t.Fatal("n <= p must give p = 1")
+	}
+	if ChebyshevPValue(1e-9, 1000, 50) != 1 {
+		t.Fatal("bound above 1 must clamp")
+	}
+}
+
+func TestChebyshevPValueDecreasesInScore(t *testing.T) {
+	prev := 2.0
+	for s := 0.05; s <= 1.0; s += 0.05 {
+		pv := ChebyshevPValue(s, 1440, 50)
+		if pv > prev {
+			t.Fatalf("p-value must be non-increasing, at s=%g got %g > %g", s, pv, prev)
+		}
+		prev = pv
+	}
+}
+
+func TestExactNullPValue(t *testing.T) {
+	// Exact p-value must be below the Chebyshev bound for moderate scores.
+	n, p := 1440, 50
+	for _, s := range []float64{0.1, 0.2, 0.5} {
+		exact := ExactNullPValue(s, n, p)
+		bound := ChebyshevPValue(s, n, p)
+		if exact > bound+1e-9 {
+			t.Fatalf("exact %g exceeds Chebyshev bound %g at s=%g", exact, bound, s)
+		}
+	}
+	if ExactNullPValue(0.5, 5, 10) != 1 {
+		t.Fatal("degenerate dimensions")
+	}
+}
+
+func TestBonferroni(t *testing.T) {
+	adj := Bonferroni([]float64{0.01, 0.2, 0.5})
+	want := []float64{0.03, 0.6, 1}
+	for i := range want {
+		if math.Abs(adj[i]-want[i]) > 1e-12 {
+			t.Fatalf("adj[%d] = %g want %g", i, adj[i], want[i])
+		}
+	}
+}
+
+func TestBenjaminiHochberg(t *testing.T) {
+	pvals := []float64{0.01, 0.04, 0.03, 0.005}
+	q := BenjaminiHochberg(pvals)
+	// Sorted p: 0.005, 0.01, 0.03, 0.04 => raw q: 0.02, 0.02, 0.04, 0.04.
+	wantByOriginal := []float64{0.02, 0.04, 0.04, 0.02}
+	for i := range wantByOriginal {
+		if math.Abs(q[i]-wantByOriginal[i]) > 1e-12 {
+			t.Fatalf("q[%d] = %g want %g (all %v)", i, q[i], wantByOriginal[i], q)
+		}
+	}
+	if BenjaminiHochberg(nil) != nil {
+		t.Fatal("empty input")
+	}
+}
+
+func TestBenjaminiHochbergMonotoneInP(t *testing.T) {
+	pvals := []float64{0.5, 0.001, 0.2, 0.04, 0.9, 0.0001}
+	q := BenjaminiHochberg(pvals)
+	// q-values must preserve the order of p-values.
+	idx := make([]int, len(pvals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pvals[idx[a]] < pvals[idx[b]] })
+	for i := 1; i < len(idx); i++ {
+		if q[idx[i]] < q[idx[i-1]]-1e-12 {
+			t.Fatalf("q not monotone in p: %v", q)
+		}
+	}
+	for _, v := range q {
+		if v < 0 || v > 1 {
+			t.Fatalf("q out of range: %v", q)
+		}
+	}
+}
+
+func TestSignificantAtLevel(t *testing.T) {
+	idx := SignificantAtLevel([]float64{0.01, 0.2, 0.04}, 0.05)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("significant %v", idx)
+	}
+	if SignificantAtLevel(nil, 0.05) != nil {
+		t.Fatal("empty input")
+	}
+}

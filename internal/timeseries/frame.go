@@ -1,0 +1,251 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"explainit/internal/linalg"
+)
+
+// Frame is a set of named columns aligned on a shared time index: the dense
+// multivariate representation that hypothesis scoring consumes. Missing
+// observations are NaN until Interpolate fills them.
+type Frame struct {
+	Index   []time.Time // shared, strictly increasing time grid
+	Columns []string    // column identifiers (series IDs)
+	values  []float64   // row-major: values[i*len(Columns)+j]
+}
+
+// NewFrame allocates a frame with the given index and columns, all NaN.
+func NewFrame(index []time.Time, columns []string) *Frame {
+	f := &Frame{
+		Index:   index,
+		Columns: columns,
+		values:  make([]float64, len(index)*len(columns)),
+	}
+	for i := range f.values {
+		f.values[i] = math.NaN()
+	}
+	return f
+}
+
+// Rows returns the number of time points.
+func (f *Frame) Rows() int { return len(f.Index) }
+
+// NumCols returns the number of columns.
+func (f *Frame) NumCols() int { return len(f.Columns) }
+
+// At returns the value at row i, column j.
+func (f *Frame) At(i, j int) float64 { return f.values[i*len(f.Columns)+j] }
+
+// Set assigns the value at row i, column j.
+func (f *Frame) Set(i, j int, v float64) { f.values[i*len(f.Columns)+j] = v }
+
+// Column returns a copy of column j's values.
+func (f *Frame) Column(j int) []float64 {
+	out := make([]float64, f.Rows())
+	for i := range out {
+		out[i] = f.At(i, j)
+	}
+	return out
+}
+
+// ColumnByName returns a copy of the named column and whether it exists.
+func (f *Frame) ColumnByName(name string) ([]float64, bool) {
+	for j, c := range f.Columns {
+		if c == name {
+			return f.Column(j), true
+		}
+	}
+	return nil, false
+}
+
+// Matrix converts the frame into a dense linalg matrix (copying values).
+func (f *Frame) Matrix() *linalg.Matrix {
+	m := linalg.NewMatrix(f.Rows(), f.NumCols())
+	copy(m.Data, f.values)
+	return m
+}
+
+// TimeGrid builds a regular grid over [r.From, r.To) at the given step.
+func TimeGrid(r TimeRange, step time.Duration) []time.Time {
+	if step <= 0 || !r.To.After(r.From) {
+		return nil
+	}
+	n := int(r.To.Sub(r.From) / step)
+	grid := make([]time.Time, 0, n)
+	for ts := r.From; ts.Before(r.To); ts = ts.Add(step) {
+		grid = append(grid, ts)
+	}
+	return grid
+}
+
+// Align places the given series onto a regular grid over r with the given
+// step. Each sample is bucketed to its flooring grid point; multiple samples
+// in a bucket are averaged. Grid points with no samples are NaN.
+func Align(series []*Series, r TimeRange, step time.Duration) (*Frame, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive step %v", step)
+	}
+	grid := TimeGrid(r, step)
+	cols := make([]string, len(series))
+	for j, s := range series {
+		cols[j] = s.ID()
+	}
+	f := NewFrame(grid, cols)
+	if len(grid) == 0 {
+		return f, nil
+	}
+	counts := make([]int, len(grid)*len(cols))
+	for j, s := range series {
+		for _, smp := range s.Slice(r) {
+			i := int(smp.TS.Sub(r.From) / step)
+			if i < 0 || i >= len(grid) {
+				continue
+			}
+			idx := i*len(cols) + j
+			if counts[idx] == 0 {
+				f.values[idx] = smp.Value
+			} else {
+				f.values[idx] += smp.Value
+			}
+			counts[idx]++
+		}
+	}
+	for idx, c := range counts {
+		if c > 1 {
+			f.values[idx] /= float64(c)
+		}
+	}
+	return f, nil
+}
+
+// Interpolate fills NaN gaps per column with the closest non-null
+// observation (nearest-neighbour, ties resolved toward the earlier sample),
+// matching the missing-value policy in Appendix C of the paper. Columns that
+// are entirely NaN are filled with zero.
+func (f *Frame) Interpolate() {
+	n, c := f.Rows(), f.NumCols()
+	for j := 0; j < c; j++ {
+		// Collect indices of observed values.
+		obs := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if !math.IsNaN(f.At(i, j)) {
+				obs = append(obs, i)
+			}
+		}
+		if len(obs) == 0 {
+			for i := 0; i < n; i++ {
+				f.Set(i, j, 0)
+			}
+			continue
+		}
+		if len(obs) == n {
+			continue
+		}
+		k := 0 // index into obs of the nearest observation at or before i
+		for i := 0; i < n; i++ {
+			if !math.IsNaN(f.At(i, j)) {
+				continue
+			}
+			for k+1 < len(obs) && obs[k+1] < i {
+				k++
+			}
+			// Candidates: obs[k] (could be after i when i precedes all
+			// observations) and the next observation.
+			best := obs[k]
+			if k+1 < len(obs) {
+				next := obs[k+1]
+				if abs(next-i) < abs(best-i) {
+					best = next
+				}
+			}
+			f.Set(i, j, f.At(best, j))
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// DropAllNaNColumns returns a new frame without columns that have no
+// observed values, along with the names of the dropped columns.
+func (f *Frame) DropAllNaNColumns() (*Frame, []string) {
+	keep := make([]int, 0, f.NumCols())
+	var dropped []string
+	for j := 0; j < f.NumCols(); j++ {
+		allNaN := true
+		for i := 0; i < f.Rows(); i++ {
+			if !math.IsNaN(f.At(i, j)) {
+				allNaN = false
+				break
+			}
+		}
+		if allNaN {
+			dropped = append(dropped, f.Columns[j])
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	if len(dropped) == 0 {
+		return f, nil
+	}
+	cols := make([]string, len(keep))
+	for nj, j := range keep {
+		cols[nj] = f.Columns[j]
+	}
+	out := NewFrame(f.Index, cols)
+	for i := 0; i < f.Rows(); i++ {
+		for nj, j := range keep {
+			out.Set(i, nj, f.At(i, j))
+		}
+	}
+	return out, dropped
+}
+
+// SliceRange returns a sub-frame restricted to rows whose timestamps fall in
+// the given range (sharing no storage with f).
+func (f *Frame) SliceRange(r TimeRange) *Frame {
+	lo, hi := 0, f.Rows()
+	for lo < hi && !r.Contains(f.Index[lo]) {
+		lo++
+	}
+	for hi > lo && !r.Contains(f.Index[hi-1]) {
+		hi--
+	}
+	out := NewFrame(f.Index[lo:hi], f.Columns)
+	copy(out.values, f.values[lo*f.NumCols():hi*f.NumCols()])
+	return out
+}
+
+// Lag returns a new frame whose columns are shifted forward by k steps
+// (values at row i come from row i-k); the first k rows of each column are
+// filled with the earliest available value. This implements the SQL LAG
+// feature used to prepare lagged predictors (§3.5 footnote).
+func (f *Frame) Lag(k int) *Frame {
+	if k <= 0 {
+		out := NewFrame(f.Index, f.Columns)
+		copy(out.values, f.values)
+		return out
+	}
+	cols := make([]string, f.NumCols())
+	for j, c := range f.Columns {
+		cols[j] = fmt.Sprintf("lag%d(%s)", k, c)
+	}
+	out := NewFrame(f.Index, cols)
+	for i := 0; i < f.Rows(); i++ {
+		src := i - k
+		if src < 0 {
+			src = 0
+		}
+		for j := 0; j < f.NumCols(); j++ {
+			out.Set(i, j, f.At(src, j))
+		}
+	}
+	return out
+}

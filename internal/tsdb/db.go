@@ -1,0 +1,310 @@
+// Package tsdb is a small in-memory time series database in the OpenTSDB
+// mould: metrics are identified by name plus key/value tags, samples are
+// appended per minute (or any resolution), and queries filter by metric
+// name, tag equality, tag patterns and time range. It plays the role of the
+// "external data sources" in ExplainIt!'s pipeline (Figure 4); the SQL layer
+// reads from it through the catalog in internal/sqlexec.
+package tsdb
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	ts "explainit/internal/timeseries"
+)
+
+// DB is a concurrency-safe in-memory time series store with an inverted
+// index from metric names and tag pairs to series.
+type DB struct {
+	mu     sync.RWMutex
+	series map[string]*ts.Series // by series ID
+	// Inverted indexes. Values are sets of series IDs.
+	byName map[string]map[string]struct{}
+	byTag  map[string]map[string]struct{} // key "k=v"
+	sorted bool
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		series: make(map[string]*ts.Series),
+		byName: make(map[string]map[string]struct{}),
+		byTag:  make(map[string]map[string]struct{}),
+		sorted: true,
+	}
+}
+
+// Put appends one observation. The series is created on first use.
+func (db *DB) Put(name string, tags ts.Tags, at time.Time, value float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := name + tags.String()
+	s, ok := db.series[id]
+	if !ok {
+		s = &ts.Series{Name: name, Tags: tags.Clone()}
+		db.series[id] = s
+		addIndex(db.byName, name, id)
+		for k, v := range tags {
+			addIndex(db.byTag, k+"="+v, id)
+		}
+	}
+	if n := len(s.Samples); n > 0 && at.Before(s.Samples[n-1].TS) {
+		db.sorted = false
+	}
+	s.Append(at, value)
+}
+
+// PutSeries bulk-loads a whole series (merging with any existing one).
+func (db *DB) PutSeries(s *ts.Series) {
+	for _, smp := range s.Samples {
+		db.Put(s.Name, s.Tags, smp.TS, smp.Value)
+	}
+}
+
+func addIndex(idx map[string]map[string]struct{}, key, id string) {
+	set, ok := idx[key]
+	if !ok {
+		set = make(map[string]struct{})
+		idx[key] = set
+	}
+	set[id] = struct{}{}
+}
+
+// ensureSorted sorts all series by timestamp if any out-of-order append
+// happened. Callers must hold at least the read lock; it upgrades briefly.
+func (db *DB) ensureSorted() {
+	db.mu.RLock()
+	sorted := db.sorted
+	db.mu.RUnlock()
+	if sorted {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.sorted {
+		return
+	}
+	for _, s := range db.series {
+		s.Sort()
+	}
+	db.sorted = true
+}
+
+// NumSeries returns the number of distinct series.
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// NumSamples returns the total number of stored samples.
+func (db *DB) NumSamples() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int
+	for _, s := range db.series {
+		n += s.Len()
+	}
+	return n
+}
+
+// MetricNames returns the sorted list of distinct metric names.
+func (db *DB) MetricNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.byName))
+	for n := range db.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TagValues returns the sorted distinct values seen for a tag key.
+func (db *DB) TagValues(key string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	prefix := key + "="
+	var vals []string
+	for kv := range db.byTag {
+		if strings.HasPrefix(kv, prefix) {
+			vals = append(vals, kv[len(prefix):])
+		}
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// Query selects series matching the given criteria. All zero-valued fields
+// are wildcards. NamePattern and tag-value patterns support '*' globs
+// (translated to regular expressions), which is how users write groupings
+// such as disk{host=datanode*} (§3.2).
+type Query struct {
+	Metric      string  // exact metric name ("" = any)
+	NamePattern string  // glob over metric names ("" = any)
+	Tags        ts.Tags // exact tag matches (all must hold)
+	TagPatterns ts.Tags // glob tag matches (all must hold)
+	Range       ts.TimeRange
+}
+
+// Run executes the query and returns matching series, each restricted to
+// the query range (samples are copied; the store is not aliased). Results
+// are ordered by series ID for determinism.
+func (db *DB) Run(q Query) ([]*ts.Series, error) {
+	db.ensureSorted()
+	var nameRe, tagRes = (*regexp.Regexp)(nil), map[string]*regexp.Regexp{}
+	if q.NamePattern != "" {
+		re, err := globToRegexp(q.NamePattern)
+		if err != nil {
+			return nil, err
+		}
+		nameRe = re
+	}
+	for k, pat := range q.TagPatterns {
+		re, err := globToRegexp(pat)
+		if err != nil {
+			return nil, err
+		}
+		tagRes[k] = re
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	// Start from the narrowest available index.
+	var candidates map[string]struct{}
+	if q.Metric != "" {
+		candidates = db.byName[q.Metric]
+	} else if len(q.Tags) > 0 {
+		// Choose the smallest tag set.
+		for k, v := range q.Tags {
+			set := db.byTag[k+"="+v]
+			if candidates == nil || len(set) < len(candidates) {
+				candidates = set
+			}
+		}
+	}
+	ids := make([]string, 0, len(db.series))
+	if candidates != nil {
+		for id := range candidates {
+			ids = append(ids, id)
+		}
+	} else {
+		for id := range db.series {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	var out []*ts.Series
+	for _, id := range ids {
+		s := db.series[id]
+		if q.Metric != "" && s.Name != q.Metric {
+			continue
+		}
+		if nameRe != nil && !nameRe.MatchString(s.Name) {
+			continue
+		}
+		if !s.Tags.Matches(q.Tags) {
+			continue
+		}
+		matched := true
+		for k, re := range tagRes {
+			if !re.MatchString(s.Tags[k]) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		rng := q.Range
+		if rng.IsZero() {
+			rng = ts.TimeRange{From: time.Unix(0, 0).UTC(), To: time.Unix(1<<62-1, 0).UTC()}
+		}
+		samples := s.Slice(rng)
+		if len(samples) == 0 {
+			continue
+		}
+		copySeries := &ts.Series{Name: s.Name, Tags: s.Tags.Clone(), Samples: append([]ts.Sample(nil), samples...)}
+		out = append(out, copySeries)
+	}
+	return out, nil
+}
+
+// globToRegexp translates a '*' glob into an anchored regular expression.
+func globToRegexp(glob string) (*regexp.Regexp, error) {
+	var b strings.Builder
+	b.WriteByte('^')
+	for i, part := range strings.Split(glob, "*") {
+		if i > 0 {
+			b.WriteString(".*")
+		}
+		b.WriteString(regexp.QuoteMeta(part))
+	}
+	b.WriteByte('$')
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: bad glob %q: %w", glob, err)
+	}
+	return re, nil
+}
+
+// Retain drops all samples outside the given range across every series and
+// removes series that become empty — the retention sweep any production
+// TSDB runs.
+func (db *DB) Retain(r ts.TimeRange) int {
+	db.ensureSorted()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	removed := 0
+	for id, s := range db.series {
+		kept := s.Slice(r)
+		removed += s.Len() - len(kept)
+		if len(kept) == 0 {
+			delete(db.series, id)
+			removeIndex(db.byName, s.Name, id)
+			for k, v := range s.Tags {
+				removeIndex(db.byTag, k+"="+v, id)
+			}
+			continue
+		}
+		s.Samples = append([]ts.Sample(nil), kept...)
+	}
+	return removed
+}
+
+func removeIndex(idx map[string]map[string]struct{}, key, id string) {
+	if set, ok := idx[key]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(idx, key)
+		}
+	}
+}
+
+// Bounds returns the earliest and latest sample timestamps in the store.
+// ok is false when the store is empty.
+func (db *DB) Bounds() (min, max time.Time, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, s := range db.series {
+		for _, smp := range s.Samples {
+			if !ok {
+				min, max, ok = smp.TS, smp.TS, true
+				continue
+			}
+			if smp.TS.Before(min) {
+				min = smp.TS
+			}
+			if smp.TS.After(max) {
+				max = smp.TS
+			}
+		}
+	}
+	return min, max, ok
+}

@@ -1,0 +1,237 @@
+package tsdb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	ts "explainit/internal/timeseries"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func seedDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	for i := 0; i < 10; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		db.Put("disk", ts.Tags{"host": "datanode-1", "type": "read_latency"}, at, float64(i))
+		db.Put("disk", ts.Tags{"host": "datanode-2", "type": "read_latency"}, at, float64(2*i))
+		db.Put("disk", ts.Tags{"host": "namenode-1", "type": "read_latency"}, at, float64(3*i))
+		db.Put("runtime", ts.Tags{"component": "pipeline-1"}, at, float64(10*i))
+		db.Put("input_rate", ts.Tags{"type": "event-1"}, at, float64(i*i))
+	}
+	return db
+}
+
+func TestPutAndCounts(t *testing.T) {
+	db := seedDB(t)
+	if db.NumSeries() != 5 {
+		t.Fatalf("series %d", db.NumSeries())
+	}
+	if db.NumSamples() != 50 {
+		t.Fatalf("samples %d", db.NumSamples())
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	db := seedDB(t)
+	names := db.MetricNames()
+	want := []string{"disk", "input_rate", "runtime"}
+	if len(names) != 3 {
+		t.Fatalf("names %v", names)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("names %v", names)
+		}
+	}
+}
+
+func TestTagValues(t *testing.T) {
+	db := seedDB(t)
+	hosts := db.TagValues("host")
+	if len(hosts) != 3 || hosts[0] != "datanode-1" || hosts[2] != "namenode-1" {
+		t.Fatalf("hosts %v", hosts)
+	}
+	if len(db.TagValues("nope")) != 0 {
+		t.Fatal("unknown key must be empty")
+	}
+}
+
+func TestQueryByMetric(t *testing.T) {
+	db := seedDB(t)
+	got, err := db.Run(Query{Metric: "disk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("disk series %d", len(got))
+	}
+	// Deterministic order by ID.
+	if got[0].Tags["host"] != "datanode-1" || got[2].Tags["host"] != "namenode-1" {
+		t.Fatalf("order %v %v", got[0].Tags, got[2].Tags)
+	}
+}
+
+func TestQueryByTags(t *testing.T) {
+	db := seedDB(t)
+	got, err := db.Run(Query{Tags: ts.Tags{"host": "datanode-2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "disk" {
+		t.Fatalf("got %d series", len(got))
+	}
+}
+
+func TestQueryGlobPatterns(t *testing.T) {
+	db := seedDB(t)
+	got, err := db.Run(Query{TagPatterns: ts.Tags{"host": "datanode*"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("datanode* matched %d", len(got))
+	}
+	byName, err := db.Run(Query{NamePattern: "*rate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byName) != 1 || byName[0].Name != "input_rate" {
+		t.Fatalf("*rate matched %v", byName)
+	}
+}
+
+func TestQueryTimeRange(t *testing.T) {
+	db := seedDB(t)
+	rng := ts.TimeRange{From: t0.Add(2 * time.Minute), To: t0.Add(5 * time.Minute)}
+	got, err := db.Run(Query{Metric: "runtime", Range: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Len() != 3 {
+		t.Fatalf("got %d series, %d samples", len(got), got[0].Len())
+	}
+	if got[0].Samples[0].Value != 20 {
+		t.Fatalf("first sample %v", got[0].Samples[0])
+	}
+}
+
+func TestQueryEmptyRangeExcludesSeries(t *testing.T) {
+	db := seedDB(t)
+	rng := ts.TimeRange{From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour)}
+	got, err := db.Run(Query{Range: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected no series, got %d", len(got))
+	}
+}
+
+func TestQueryResultIsCopy(t *testing.T) {
+	db := seedDB(t)
+	got, err := db.Run(Query{Metric: "runtime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0].Samples[0].Value = 9999
+	again, _ := db.Run(Query{Metric: "runtime"})
+	if again[0].Samples[0].Value == 9999 {
+		t.Fatal("query results must not alias the store")
+	}
+}
+
+func TestOutOfOrderAppendsGetSorted(t *testing.T) {
+	db := New()
+	db.Put("m", nil, t0.Add(5*time.Minute), 5)
+	db.Put("m", nil, t0.Add(1*time.Minute), 1)
+	db.Put("m", nil, t0.Add(3*time.Minute), 3)
+	got, err := db.Run(Query{Metric: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := got[0].Samples
+	if vals[0].Value != 1 || vals[1].Value != 3 || vals[2].Value != 5 {
+		t.Fatalf("not sorted: %v", vals)
+	}
+}
+
+func TestBadGlob(t *testing.T) {
+	db := seedDB(t)
+	// Globs are quoted so any input should compile; ensure no panic and
+	// that a glob with regex metacharacters matches literally.
+	db.Put("we[i]rd", nil, t0, 1)
+	got, err := db.Run(Query{NamePattern: "we[i]rd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("literal match failed: %d", len(got))
+	}
+}
+
+func TestRetain(t *testing.T) {
+	db := seedDB(t)
+	removed := db.Retain(ts.TimeRange{From: t0.Add(5 * time.Minute), To: t0.Add(10 * time.Minute)})
+	if removed != 25 {
+		t.Fatalf("removed %d", removed)
+	}
+	if db.NumSamples() != 25 {
+		t.Fatalf("left %d", db.NumSamples())
+	}
+	// Remove everything: series disappear from indexes.
+	db.Retain(ts.TimeRange{From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour)})
+	if db.NumSeries() != 0 || len(db.MetricNames()) != 0 {
+		t.Fatal("all series should be gone")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	db := New()
+	if _, _, ok := db.Bounds(); ok {
+		t.Fatal("empty db has no bounds")
+	}
+	db.Put("m", nil, t0.Add(3*time.Minute), 1)
+	db.Put("m", nil, t0, 1)
+	min, max, ok := db.Bounds()
+	if !ok || !min.Equal(t0) || !max.Equal(t0.Add(3*time.Minute)) {
+		t.Fatalf("bounds %v %v %v", min, max, ok)
+	}
+}
+
+func TestPutSeries(t *testing.T) {
+	db := New()
+	s := &ts.Series{Name: "cpu", Tags: ts.Tags{"host": "a"}}
+	s.Append(t0, 1)
+	s.Append(t0.Add(time.Minute), 2)
+	db.PutSeries(s)
+	if db.NumSamples() != 2 || db.NumSeries() != 1 {
+		t.Fatal("put series failed")
+	}
+}
+
+func TestConcurrentPutAndQuery(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Put("m", ts.Tags{"w": string(rune('a' + w))}, t0.Add(time.Duration(i)*time.Second), float64(i))
+				if i%50 == 0 {
+					if _, err := db.Run(Query{Metric: "m"}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.NumSamples() != 8*200 {
+		t.Fatalf("samples %d", db.NumSamples())
+	}
+}

@@ -1,0 +1,84 @@
+package tsdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	ts "explainit/internal/timeseries"
+)
+
+// The snapshot wire format avoids encoding maps directly: gob serialises
+// map keys in random order, which would make snapshots non-deterministic.
+// Tags travel as sorted key/value pairs instead.
+
+type snapshotTag struct {
+	K, V string
+}
+
+type snapshotSeries struct {
+	Name    string
+	Tags    []snapshotTag
+	Samples []ts.Sample
+}
+
+type snapshot struct {
+	Version int
+	Series  []snapshotSeries
+}
+
+const snapshotVersion = 1
+
+// Save writes the entire store to w as a gob snapshot. The output is
+// byte-deterministic for a given store state (sorted series, sorted tags).
+func (db *DB) Save(w io.Writer) error {
+	db.ensureSorted()
+	db.mu.RLock()
+	snap := snapshot{Version: snapshotVersion, Series: make([]snapshotSeries, 0, len(db.series))}
+	ids := make([]string, 0, len(db.series))
+	for id := range db.series {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := db.series[id]
+		ss := snapshotSeries{
+			Name:    s.Name,
+			Samples: append([]ts.Sample(nil), s.Samples...),
+		}
+		keys := make([]string, 0, len(s.Tags))
+		for k := range s.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ss.Tags = append(ss.Tags, snapshotTag{K: k, V: s.Tags[k]})
+		}
+		snap.Series = append(snap.Series, ss)
+	}
+	db.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load merges a snapshot produced by Save into the store and returns the
+// number of samples restored.
+func (db *DB) Load(r io.Reader) (int, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("tsdb: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("tsdb: unsupported snapshot version %d", snap.Version)
+	}
+	n := 0
+	for _, ss := range snap.Series {
+		tags := make(ts.Tags, len(ss.Tags))
+		for _, t := range ss.Tags {
+			tags[t.K] = t.V
+		}
+		db.PutSeries(&ts.Series{Name: ss.Name, Tags: tags, Samples: ss.Samples})
+		n += len(ss.Samples)
+	}
+	return n, nil
+}

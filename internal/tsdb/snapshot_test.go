@@ -1,0 +1,93 @@
+package tsdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	ts "explainit/internal/timeseries"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := seedDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	n, err := restored.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != db.NumSamples() {
+		t.Fatalf("restored %d of %d samples", n, db.NumSamples())
+	}
+	if restored.NumSeries() != db.NumSeries() {
+		t.Fatalf("series %d vs %d", restored.NumSeries(), db.NumSeries())
+	}
+	// Spot-check a series survives with tags and order intact.
+	got, err := restored.Run(Query{Tags: ts.Tags{"host": "datanode-2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Samples[3].Value != 6 {
+		t.Fatalf("restored series %v", got)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	db := seedDB(t)
+	var a, b bytes.Buffer
+	if err := db.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshots must be byte-identical")
+	}
+}
+
+func TestSnapshotMergesIntoExisting(t *testing.T) {
+	db := seedDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	target := New()
+	target.Put("extra", nil, t0, 1)
+	if _, err := target.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if target.NumSeries() != db.NumSeries()+1 {
+		t.Fatalf("merged series %d", target.NumSeries())
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	db := New()
+	if _, err := db.Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	db := New()
+	db.Put("m", nil, t0, 1)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the source after Save must not matter; mutating the
+	// restored store must not affect the source.
+	db.Put("m", nil, t0.Add(time.Minute), 2)
+	restored := New()
+	if _, err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumSamples() != 1 {
+		t.Fatalf("restored samples %d", restored.NumSamples())
+	}
+}

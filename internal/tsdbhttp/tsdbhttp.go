@@ -1,0 +1,299 @@
+// Package tsdbhttp exposes the in-memory TSDB over HTTP in the OpenTSDB
+// mould and provides the matching client connector. This is the shape of
+// integration the paper's first pipeline stage relies on ("we implemented
+// connectors … to interface with many data sources", §4.1): any process
+// can push observations to /api/put and the analysis engine can pull
+// series through /api/query.
+package tsdbhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	ts "explainit/internal/timeseries"
+	"explainit/internal/tsdb"
+)
+
+// PutRecord is the JSON wire form of one observation (OpenTSDB-style).
+type PutRecord struct {
+	Metric    string            `json:"metric"`
+	Timestamp int64             `json:"timestamp"` // unix seconds
+	Value     float64           `json:"value"`
+	Tags      map[string]string `json:"tags,omitempty"`
+}
+
+// SeriesPayload is one series in a query response.
+type SeriesPayload struct {
+	Metric string            `json:"metric"`
+	Tags   map[string]string `json:"tags,omitempty"`
+	// DPS maps unix seconds to values (OpenTSDB's "dps" object uses string
+	// keys; we use an ordered list to keep payloads deterministic).
+	Points []Point `json:"points"`
+}
+
+// Point is one timestamped value.
+type Point struct {
+	Timestamp int64   `json:"timestamp"`
+	Value     float64 `json:"value"`
+}
+
+// Handler serves the HTTP API over a DB.
+type Handler struct {
+	DB  *tsdb.DB
+	mux *http.ServeMux
+}
+
+// NewHandler builds the API handler.
+func NewHandler(db *tsdb.DB) *Handler {
+	h := &Handler{DB: db, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/api/put", h.handlePut)
+	h.mux.HandleFunc("/api/query", h.handleQuery)
+	h.mux.HandleFunc("/api/suggest", h.handleSuggest)
+	h.mux.HandleFunc("/api/stats", h.handleStats)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handlePut accepts a JSON array (or single object) of PutRecords.
+func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var records []PutRecord
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		var one PutRecord
+		if err := json.Unmarshal(body, &one); err != nil {
+			writeError(w, http.StatusBadRequest, "bad record: "+err.Error())
+			return
+		}
+		records = []PutRecord{one}
+	} else if err := json.Unmarshal(body, &records); err != nil {
+		writeError(w, http.StatusBadRequest, "bad records: "+err.Error())
+		return
+	}
+	for i, rec := range records {
+		if rec.Metric == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: empty metric", i))
+			return
+		}
+		h.DB.Put(rec.Metric, ts.Tags(rec.Tags), time.Unix(rec.Timestamp, 0).UTC(), rec.Value)
+	}
+	writeJSON(w, map[string]int{"stored": len(records)})
+}
+
+// handleQuery returns series matching ?metric=...&from=...&to=... with any
+// number of tag.<key>=<value-or-glob> filters and optional name=<glob>.
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := tsdb.Query{
+		Metric:      r.URL.Query().Get("metric"),
+		NamePattern: r.URL.Query().Get("name"),
+	}
+	for key, vals := range r.URL.Query() {
+		if !strings.HasPrefix(key, "tag.") || len(vals) == 0 {
+			continue
+		}
+		tagKey := strings.TrimPrefix(key, "tag.")
+		if strings.Contains(vals[0], "*") {
+			if q.TagPatterns == nil {
+				q.TagPatterns = ts.Tags{}
+			}
+			q.TagPatterns[tagKey] = vals[0]
+		} else {
+			if q.Tags == nil {
+				q.Tags = ts.Tags{}
+			}
+			q.Tags[tagKey] = vals[0]
+		}
+	}
+	var err error
+	if q.Range, err = parseRange(r.URL.Query()); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	series, err := h.DB.Run(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := make([]SeriesPayload, 0, len(series))
+	for _, s := range series {
+		sp := SeriesPayload{Metric: s.Name, Tags: s.Tags}
+		for _, smp := range s.Samples {
+			sp.Points = append(sp.Points, Point{Timestamp: smp.TS.Unix(), Value: smp.Value})
+		}
+		out = append(out, sp)
+	}
+	writeJSON(w, out)
+}
+
+func parseRange(vals url.Values) (ts.TimeRange, error) {
+	var r ts.TimeRange
+	parse := func(key string) (time.Time, error) {
+		v := vals.Get(key)
+		if v == "" {
+			return time.Time{}, nil
+		}
+		var sec int64
+		if _, err := fmt.Sscanf(v, "%d", &sec); err != nil {
+			return time.Time{}, fmt.Errorf("bad %s %q (unix seconds required)", key, v)
+		}
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	from, err := parse("from")
+	if err != nil {
+		return r, err
+	}
+	to, err := parse("to")
+	if err != nil {
+		return r, err
+	}
+	r.From, r.To = from, to
+	if !from.IsZero() && to.IsZero() {
+		r.To = time.Unix(1<<40, 0).UTC()
+	}
+	if from.IsZero() && !to.IsZero() {
+		r.From = time.Unix(0, 0).UTC()
+	}
+	return r, nil
+}
+
+// handleSuggest returns metric names, or tag values for ?key=<tagkey>.
+func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if key := r.URL.Query().Get("key"); key != "" {
+		writeJSON(w, h.DB.TagValues(key))
+		return
+	}
+	writeJSON(w, h.DB.MetricNames())
+}
+
+// handleStats reports store size.
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]int{
+		"series":  h.DB.NumSeries(),
+		"samples": h.DB.NumSamples(),
+	})
+}
+
+// Client talks to a remote tsdbhttp server: the "external data source"
+// connector of Figure 4.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the given base URL (e.g. http://host:4242).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+// Put sends observations to the server.
+func (c *Client) Put(records ...PutRecord) error {
+	body, err := json.Marshal(records)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/api/put", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// Query fetches series matching the filters. Glob values in tags are
+// passed through as tag patterns.
+func (c *Client) Query(metric string, tags map[string]string, from, to time.Time) ([]*ts.Series, error) {
+	vals := url.Values{}
+	if metric != "" {
+		vals.Set("metric", metric)
+	}
+	for k, v := range tags {
+		vals.Set("tag."+k, v)
+	}
+	if !from.IsZero() {
+		vals.Set("from", fmt.Sprintf("%d", from.Unix()))
+	}
+	if !to.IsZero() {
+		vals.Set("to", fmt.Sprintf("%d", to.Unix()))
+	}
+	resp, err := c.HTTP.Get(c.BaseURL + "/api/query?" + vals.Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var payload []SeriesPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	out := make([]*ts.Series, 0, len(payload))
+	for _, sp := range payload {
+		s := &ts.Series{Name: sp.Metric, Tags: ts.Tags(sp.Tags)}
+		for _, p := range sp.Points {
+			s.Append(time.Unix(p.Timestamp, 0).UTC(), p.Value)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Mirror copies every series matching the query from the remote server
+// into a local DB — how the analysis engine stages remote data before a
+// session.
+func (c *Client) Mirror(db *tsdb.DB, metric string, tags map[string]string, from, to time.Time) (int, error) {
+	series, err := c.Query(metric, tags, from, to)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, s := range series {
+		db.PutSeries(s)
+		n += s.Len()
+	}
+	return n, nil
+}
+
+func httpError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&e)
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	return fmt.Errorf("tsdbhttp: %s", e.Error)
+}

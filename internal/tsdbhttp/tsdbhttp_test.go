@@ -1,0 +1,196 @@
+package tsdbhttp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"explainit/internal/tsdb"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *tsdb.DB) {
+	t.Helper()
+	db := tsdb.New()
+	srv := httptest.NewServer(NewHandler(db))
+	t.Cleanup(srv.Close)
+	return srv, db
+}
+
+func TestPutAndQueryRoundTrip(t *testing.T) {
+	srv, _ := newServer(t)
+	c := NewClient(srv.URL)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var records []PutRecord
+	for i := 0; i < 10; i++ {
+		records = append(records, PutRecord{
+			Metric:    "disk",
+			Timestamp: base.Add(time.Duration(i) * time.Minute).Unix(),
+			Value:     float64(i),
+			Tags:      map[string]string{"host": "dn-1"},
+		})
+	}
+	if err := c.Put(records...); err != nil {
+		t.Fatal(err)
+	}
+	series, err := c.Query("disk", map[string]string{"host": "dn-1"}, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Len() != 10 {
+		t.Fatalf("series %v", series)
+	}
+	if series[0].Samples[9].Value != 9 || series[0].Tags["host"] != "dn-1" {
+		t.Fatalf("payload %v", series[0])
+	}
+}
+
+func TestQueryTimeRangeAndGlobs(t *testing.T) {
+	srv, _ := newServer(t)
+	c := NewClient(srv.URL)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, host := range []string{"datanode-1", "datanode-2", "namenode-1"} {
+		for i := 0; i < 5; i++ {
+			if err := c.Put(PutRecord{
+				Metric:    "cpu",
+				Timestamp: base.Add(time.Duration(i) * time.Minute).Unix(),
+				Value:     1,
+				Tags:      map[string]string{"host": host},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Glob tag filter.
+	series, err := c.Query("cpu", map[string]string{"host": "datanode*"}, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("glob matched %d", len(series))
+	}
+	// Time range restriction.
+	ranged, err := c.Query("cpu", nil, base.Add(time.Minute), base.Add(3*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ranged {
+		if s.Len() != 2 {
+			t.Fatalf("ranged samples %d", s.Len())
+		}
+	}
+}
+
+func TestMirror(t *testing.T) {
+	srv, _ := newServer(t)
+	c := NewClient(srv.URL)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		if err := c.Put(PutRecord{Metric: "m", Timestamp: base.Add(time.Duration(i) * time.Minute).Unix(), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := tsdb.New()
+	n, err := c.Mirror(local, "m", nil, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 || local.NumSamples() != 6 {
+		t.Fatalf("mirrored %d local %d", n, local.NumSamples())
+	}
+}
+
+func TestSuggestAndStats(t *testing.T) {
+	srv, db := newServer(t)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	db.Put("alpha", map[string]string{"host": "h1"}, base, 1)
+	db.Put("beta", map[string]string{"host": "h2"}, base, 1)
+
+	resp, err := http.Get(srv.URL + "/api/suggest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "alpha") || !strings.Contains(body, "beta") {
+		t.Fatalf("suggest body %q", body)
+	}
+
+	resp2, err := http.Get(srv.URL + "/api/suggest?key=host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	n, _ = resp2.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "h1") {
+		t.Fatalf("tag suggest %q", string(buf[:n]))
+	}
+
+	resp3, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	n, _ = resp3.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "\"series\":2") {
+		t.Fatalf("stats %q", string(buf[:n]))
+	}
+}
+
+func TestPutSingleObjectAndErrors(t *testing.T) {
+	srv, db := newServer(t)
+	// Single-object put.
+	resp, err := http.Post(srv.URL+"/api/put", "application/json",
+		strings.NewReader(`{"metric":"one","timestamp":100,"value":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || db.NumSamples() != 1 {
+		t.Fatalf("single put status %d samples %d", resp.StatusCode, db.NumSamples())
+	}
+	// Bad JSON.
+	resp, _ = http.Post(srv.URL+"/api/put", "application/json", strings.NewReader(`{broken`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json status %d", resp.StatusCode)
+	}
+	// Empty metric.
+	resp, _ = http.Post(srv.URL+"/api/put", "application/json",
+		strings.NewReader(`[{"metric":"","timestamp":1,"value":1}]`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty metric status %d", resp.StatusCode)
+	}
+	// Wrong methods.
+	resp, _ = http.Get(srv.URL + "/api/put")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET put status %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/api/query", "application/json", strings.NewReader(`{}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST query status %d", resp.StatusCode)
+	}
+	// Bad time parameter.
+	resp, _ = http.Get(srv.URL + "/api/query?from=notanumber")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from status %d", resp.StatusCode)
+	}
+}
+
+func TestClientErrorSurfacing(t *testing.T) {
+	srv, _ := newServer(t)
+	c := NewClient(srv.URL + "/")
+	if err := c.Put(PutRecord{Metric: "", Timestamp: 1}); err == nil {
+		t.Fatal("server error must surface")
+	}
+	if !strings.Contains(strings.ToLower(NewClient(srv.URL).BaseURL), "http") {
+		t.Fatal("base url")
+	}
+}

@@ -1,0 +1,224 @@
+// Package viz renders ASCII visualisations for score tables and the paper's
+// figures: timeline plots (Figures 5, 7, 8, 9), histograms/densities
+// (Figures 6, 12, 13), and prediction overlays (Figures 14, 15). The paper
+// stores plots in the Score Table for debugging and operator confidence
+// (§D, "Visualisations are important"); a terminal reproduction keeps that
+// property without an image stack.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Timeline renders a single series as a height x width ASCII chart with a
+// y-axis legend of min/max.
+func Timeline(title string, values []float64, width, height int) string {
+	if len(values) == 0 || width <= 0 || height <= 0 {
+		return title + ": (no data)\n"
+	}
+	cols := resample(values, width)
+	min, max := bounds(cols)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(cols)))
+	}
+	for c, v := range cols {
+		level := 0
+		if max > min {
+			level = int((v - min) / (max - min) * float64(height-1))
+		}
+		row := height - 1 - level
+		grid[row][c] = '*'
+		// Fill below the point for a solid area look.
+		for r := row + 1; r < height; r++ {
+			if grid[r][c] == ' ' {
+				grid[r][c] = '.'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [min=%.4g max=%.4g]\n", title, min, max)
+	for r, row := range grid {
+		marker := "      "
+		if r == 0 {
+			marker = fmt.Sprintf("%5.3g ", max)
+		} else if r == height-1 {
+			marker = fmt.Sprintf("%5.3g ", min)
+		}
+		b.WriteString(marker)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Overlay renders two series (observed vs predicted) on one chart:
+// 'o' marks the observation, 'x' the prediction, '#' where they coincide.
+// This is the E[Y | X, Z] diagnostic of Figures 14/15.
+func Overlay(title string, observed, predicted []float64, width, height int) string {
+	if len(observed) == 0 || len(observed) != len(predicted) || width <= 0 || height <= 0 {
+		return title + ": (no data)\n"
+	}
+	obs := resample(observed, width)
+	pred := resample(predicted, width)
+	min, max := bounds(append(append([]float64{}, obs...), pred...))
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(obs)))
+	}
+	level := func(v float64) int {
+		if max == min {
+			return height - 1
+		}
+		return height - 1 - int((v-min)/(max-min)*float64(height-1))
+	}
+	for c := range obs {
+		ro, rp := level(obs[c]), level(pred[c])
+		if ro == rp {
+			grid[ro][c] = '#'
+			continue
+		}
+		grid[ro][c] = 'o'
+		grid[rp][c] = 'x'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [o=observed x=predicted #=both, min=%.4g max=%.4g]\n", title, min, max)
+	for _, row := range grid {
+		b.WriteString("  ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Histogram renders a binned frequency chart with horizontal bars — used
+// for the bimodal runtime distribution of Figure 6 and the NULL densities
+// of Figures 12/13.
+func Histogram(title string, values []float64, bins, barWidth int) string {
+	if len(values) == 0 || bins <= 0 {
+		return title + ": (no data)\n"
+	}
+	min, max := bounds(values)
+	if max == min {
+		max = min + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		b := int((v - min) / (max - min) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (n=%d)\n", title, len(values))
+	for i, c := range counts {
+		lo := min + float64(i)*(max-min)/float64(bins)
+		hi := min + float64(i+1)*(max-min)/float64(bins)
+		bar := 0
+		if peak > 0 {
+			bar = c * barWidth / peak
+		}
+		fmt.Fprintf(&b, "  [%9.4g, %9.4g) %-*s %d\n", lo, hi, barWidth, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// DensityCompare renders two histograms side by side over a shared domain,
+// used to contrast r^2 vs adjusted r^2 under the NULL (Figure 12).
+func DensityCompare(title, nameA, nameB string, a, b []float64, bins int) string {
+	all := append(append([]float64{}, a...), b...)
+	if len(all) == 0 || bins <= 0 {
+		return title + ": (no data)\n"
+	}
+	min, max := bounds(all)
+	if max == min {
+		max = min + 1
+	}
+	binOf := func(v float64) int {
+		i := int((v - min) / (max - min) * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+	ca := make([]int, bins)
+	cb := make([]int, bins)
+	for _, v := range a {
+		ca[binOf(v)]++
+	}
+	for _, v := range b {
+		cb[binOf(v)]++
+	}
+	peak := 1
+	for i := 0; i < bins; i++ {
+		if ca[i] > peak {
+			peak = ca[i]
+		}
+		if cb[i] > peak {
+			peak = cb[i]
+		}
+	}
+	const w = 24
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n  %-*s | %-*s\n", title, w+22, nameA, w, nameB)
+	for i := 0; i < bins; i++ {
+		lo := min + float64(i)*(max-min)/float64(bins)
+		fmt.Fprintf(&sb, "  %8.3f %-*s | %-*s\n", lo,
+			w+13, strings.Repeat("#", ca[i]*w/peak),
+			w, strings.Repeat("#", cb[i]*w/peak))
+	}
+	return sb.String()
+}
+
+// resample reduces values to at most width points by bucket-averaging.
+func resample(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	per := float64(len(values)) / float64(width)
+	for b := 0; b < width; b++ {
+		lo := int(float64(b) * per)
+		hi := int(float64(b+1) * per)
+		if hi > len(values) {
+			hi = len(values)
+		}
+		if lo >= hi {
+			lo = hi - 1
+		}
+		var s float64
+		for _, v := range values[lo:hi] {
+			s += v
+		}
+		out[b] = s / float64(hi-lo)
+	}
+	return out
+}
+
+func bounds(values []float64) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}

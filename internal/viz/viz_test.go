@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func ramp(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func TestTimeline(t *testing.T) {
+	s := Timeline("runtime", ramp(100), 40, 8)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 9 { // title + 8 rows
+		t.Fatalf("lines %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "runtime") || !strings.Contains(lines[0], "max=") {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.Contains(s, "*") {
+		t.Fatal("no points plotted")
+	}
+	if got := Timeline("empty", nil, 10, 4); !strings.Contains(got, "no data") {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTimelineFlatSeries(t *testing.T) {
+	s := Timeline("flat", []float64{5, 5, 5, 5}, 10, 4)
+	if !strings.Contains(s, "*") {
+		t.Fatal("flat series should still plot")
+	}
+}
+
+func TestOverlay(t *testing.T) {
+	obs := ramp(50)
+	pred := make([]float64, 50)
+	copy(pred, obs)
+	s := Overlay("fit", obs, pred, 25, 6)
+	if !strings.Contains(s, "#") {
+		t.Fatal("identical series should coincide")
+	}
+	for i := range pred {
+		pred[i] = 49 - pred[i]
+	}
+	s2 := Overlay("misfit", obs, pred, 25, 6)
+	if !strings.Contains(s2, "o") || !strings.Contains(s2, "x") {
+		t.Fatal("diverging series should show both markers")
+	}
+	if got := Overlay("bad", obs, pred[:10], 25, 6); !strings.Contains(got, "no data") {
+		t.Fatal("length mismatch render")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := append(ramp(50), ramp(50)...)
+	s := Histogram("dist", vals, 5, 20)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if !strings.Contains(s, "#") {
+		t.Fatal("no bars")
+	}
+	if got := Histogram("none", nil, 5, 10); !strings.Contains(got, "no data") {
+		t.Fatal("empty histogram")
+	}
+	// Constant values should not divide by zero.
+	if got := Histogram("const", []float64{1, 1, 1}, 4, 10); !strings.Contains(got, "n=3") {
+		t.Fatalf("const histogram: %q", got)
+	}
+}
+
+func TestDensityCompare(t *testing.T) {
+	a := ramp(100)
+	b := make([]float64, 100)
+	for i := range b {
+		b[i] = 50
+	}
+	s := DensityCompare("null r2", "raw", "adjusted", a, b, 10)
+	if !strings.Contains(s, "raw") || !strings.Contains(s, "adjusted") {
+		t.Fatal("names missing")
+	}
+	if !strings.Contains(s, "#") {
+		t.Fatal("bars missing")
+	}
+	if got := DensityCompare("e", "a", "b", nil, nil, 5); !strings.Contains(got, "no data") {
+		t.Fatal("empty compare")
+	}
+}
+
+func TestResampleEdge(t *testing.T) {
+	if len(resample(ramp(5), 10)) != 5 {
+		t.Fatal("short input passes through")
+	}
+	if len(resample(ramp(100), 10)) != 10 {
+		t.Fatal("downsampling width")
+	}
+}
