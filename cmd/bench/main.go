@@ -1,0 +1,173 @@
+// Command bench runs the repository's Go benchmarks and writes a JSON
+// snapshot of ns/op, B/op and allocs/op per benchmark, so the performance
+// trajectory is tracked across PRs as BENCH_<n>.json files at the repo
+// root. An optional baseline snapshot produces per-benchmark speedups.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_1.json -baseline BENCH_0.json
+//	go run ./cmd/bench -bench 'BenchmarkScorer' -benchtime 5x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench covers the headline end-to-end paths plus the scorer and
+// kernel micro-benchmarks; the heavyweight table/figure sweeps are excluded
+// so a snapshot stays under a few minutes.
+const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL2P50$|" +
+	"BenchmarkScorerConditional$|BenchmarkScorerCorrMean$|BenchmarkEngineRank$|" +
+	"BenchmarkEndToEndExplain$|BenchmarkRidgeFitPrimal$|BenchmarkRidgeFitDual$|" +
+	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$"
+
+// Measurement is one benchmark's result in a snapshot.
+type Measurement struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the on-disk format of a BENCH_<n>.json file.
+type Snapshot struct {
+	Label      string                 `json:"label"`
+	Date       string                 `json:"date"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	NumCPU     int                    `json:"num_cpu"`
+	Benchtime  string                 `json:"benchtime"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+	// Baseline and Speedup are filled when -baseline is given: Speedup is
+	// baseline ns/op divided by this snapshot's ns/op (>1 means faster).
+	Baseline map[string]Measurement `json:"baseline,omitempty"`
+	Speedup  map[string]float64     `json:"speedup_vs_baseline,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8  10  123456 ns/op  2048 B/op  12 allocs/op"
+// (the -benchmem columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	label := flag.String("label", "", "snapshot label (defaults to the output filename)")
+	out := flag.String("out", "BENCH_1.json", "output snapshot path")
+	baseline := flag.String("baseline", "", "optional prior snapshot to compute speedups against")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *bench,
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		"-benchmem",
+		*pkg,
+	}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchtime:  *benchtime,
+		Benchmarks: map[string]Measurement{},
+	}
+	if snap.Label == "" {
+		snap.Label = strings.TrimSuffix(*out, ".json")
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		meas := Measurement{}
+		meas.N, _ = strconv.Atoi(m[2])
+		meas.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			meas.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			meas.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		// With -count > 1 keep the fastest run, the usual benchstat-free
+		// noise reduction.
+		if prev, ok := snap.Benchmarks[m[1]]; !ok || meas.NsPerOp < prev.NsPerOp {
+			snap.Benchmarks[m[1]] = meas
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no benchmark lines parsed from output:\n%s", raw)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		prev, err := readSnapshot(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Baseline = prev.Benchmarks
+		snap.Speedup = map[string]float64{}
+		for name, cur := range snap.Benchmarks {
+			if base, ok := prev.Benchmarks[name]; ok && cur.NsPerOp > 0 {
+				snap.Speedup[name] = round2(base.NsPerOp / cur.NsPerOp)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+	for name, sp := range snap.Speedup {
+		fmt.Printf("  %-32s %.2fx vs %s\n", name, sp, prevLabel(*baseline))
+	}
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func prevLabel(path string) string {
+	return strings.TrimSuffix(path, ".json")
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

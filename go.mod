@@ -1,0 +1,3 @@
+module explainit
+
+go 1.24.0

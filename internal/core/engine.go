@@ -192,22 +192,36 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 		}
 	}
 
+	// Conditioning work that only depends on (Y, Z) — the standardized and
+	// factored Z design plus the residualized target — is computed once
+	// here and shared by every worker instead of once per candidate. A
+	// preparation error is deliberately ignored: workers then rebuild the
+	// prep per candidate and surface the identical error on each Result.
+	var prep *condPrep
+	if zMat != nil && zMat.Cols > 0 {
+		if l2, ok := effective.(*L2Scorer); ok && l2.condCacheable(req.Target.Matrix, zMat) {
+			prep, _ = l2.prepareCond(req.Target.Matrix, zMat)
+		}
+	}
+
 	table := &ScoreTable{}
 	type job struct {
 		idx int
 		fam *Family
 	}
-	jobs := make(chan job)
+	// Buffered to the candidate count so submission never blocks on slow
+	// workers; Skipped is appended only on this producer goroutine, so it
+	// needs no lock.
+	jobs := make(chan job, len(req.Candidates))
 	results := make([]Result, len(req.Candidates))
 	valid := make([]bool, len(req.Candidates))
-	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res := e.scoreOne(effective, j.fam, req.Target, zFam, zMat, explainRows)
+				res := e.scoreOne(effective, j.fam, req.Target, zMat, prep, explainRows)
 				results[j.idx] = res
 				valid[j.idx] = true
 			}
@@ -215,21 +229,15 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 	}
 	for i, fam := range req.Candidates {
 		if excluded[fam.Name] {
-			mu.Lock()
 			table.Skipped = append(table.Skipped, fam.Name)
-			mu.Unlock()
 			continue
 		}
 		if err := fam.Validate(); err != nil {
-			mu.Lock()
 			table.Skipped = append(table.Skipped, fam.Name)
-			mu.Unlock()
 			continue
 		}
 		if fam.NumRows() != req.Target.NumRows() {
-			mu.Lock()
 			table.Skipped = append(table.Skipped, fam.Name)
-			mu.Unlock()
 			continue
 		}
 		jobs <- job{idx: i, fam: fam}
@@ -258,10 +266,16 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 	return table, nil
 }
 
-func (e *Engine) scoreOne(scorer Scorer, x, y, zFam *Family, zMat *linalg.Matrix, explainRows []int) Result {
+func (e *Engine) scoreOne(scorer Scorer, x, y *Family, zMat *linalg.Matrix, prep *condPrep, explainRows []int) Result {
 	start := time.Now()
 	res := Result{Family: x.Name, Features: x.NumFeatures()}
-	score, err := scorer.Score(x.Matrix, y.Matrix, zMat, explainRows)
+	var score float64
+	var err error
+	if l2, ok := scorer.(*L2Scorer); ok && prep != nil {
+		score, err = l2.score(x.Matrix, y.Matrix, zMat, prep, explainRows)
+	} else {
+		score, err = scorer.Score(x.Matrix, y.Matrix, zMat, explainRows)
+	}
 	res.Elapsed = time.Since(start)
 	if err != nil {
 		res.Err = err

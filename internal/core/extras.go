@@ -89,10 +89,7 @@ func PredictionOverlay(x, y, z *Family, width, height int) (string, error) {
 			return "", err
 		}
 		var err error
-		if ym, err = residualize(ym, z.Matrix, 10); err != nil {
-			return "", err
-		}
-		if xm, err = residualize(xm, z.Matrix, 10); err != nil {
+		if xm, ym, err = residualizeBoth(xm, ym, z.Matrix, 10); err != nil {
 			return "", err
 		}
 	}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-	"sync/atomic"
 
 	"explainit/internal/linalg"
 	"explainit/internal/regress"
@@ -82,8 +80,21 @@ type L2Scorer struct {
 	// Seed makes projection sampling reproducible across runs.
 	Seed int64
 
-	calls atomic.Int64
+	// projCache memoizes the Gaussian projection draws per (seed,
+	// rows→dims): every candidate family of the same width reuses one
+	// sample per draw index, which also makes projected rankings
+	// independent of worker scheduling. Do not copy a scorer after use.
+	projCache regress.ProjectionCache
 }
+
+// Large primes decorrelate the per-draw seeds of the X, Y and Z projections
+// without consuming a shared RNG stream (which would couple the draw to
+// scheduling order).
+const (
+	projSeedStride = 7919
+	projRoleY      = 104729
+	projRoleZ      = 2 * 104729
+)
 
 // Name implements Scorer.
 func (s *L2Scorer) Name() string {
@@ -109,11 +120,53 @@ func (s *L2Scorer) grid() []float64 {
 
 // Score implements Scorer.
 func (s *L2Scorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64, error) {
+	return s.score(x, y, z, nil, explainRows)
+}
+
+// condPrep caches the conditioning work that is identical for every
+// candidate of a request: the factored Z design and the residualized
+// target ry. Y and Z are fixed per request — only X varies — so the
+// engine builds one condPrep and shares it across workers.
+type condPrep struct {
+	zDesign *regress.RidgeDesign
+	ry      *linalg.Matrix
+	lambda  float64
+}
+
+// prepareCond factors Z once and residualizes the target against it.
+func (s *L2Scorer) prepareCond(y, z *linalg.Matrix) (*condPrep, error) {
+	design, err := regress.NewRidgeDesign(z)
+	if err != nil {
+		return nil, err
+	}
+	lambda := s.grid()[len(s.grid())/2]
+	ry, err := design.Residualize(y, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &condPrep{zDesign: design, ry: ry, lambda: lambda}, nil
+}
+
+// condCacheable reports whether one conditioning prep is valid for every
+// projection draw: projection must leave Y and Z untouched (it only
+// resamples matrices wider than ProjectDim).
+func (s *L2Scorer) condCacheable(y, z *linalg.Matrix) bool {
+	return s.ProjectDim <= 0 || (y.Cols <= s.ProjectDim && z.Cols <= s.ProjectDim)
+}
+
+func (s *L2Scorer) score(x, y, z *linalg.Matrix, prep *condPrep, explainRows []int) (float64, error) {
 	if x.Rows != y.Rows {
 		return 0, fmt.Errorf("core: %s: X has %d rows, Y has %d", s.Name(), x.Rows, y.Rows)
 	}
 	if z != nil && z.Rows != y.Rows {
 		return 0, fmt.Errorf("core: %s: Z has %d rows, Y has %d", s.Name(), z.Rows, y.Rows)
+	}
+	if z != nil && z.Cols > 0 && prep == nil && s.condCacheable(y, z) {
+		var err error
+		prep, err = s.prepareCond(y, z)
+		if err != nil {
+			return 0, err
+		}
 	}
 	samples := 1
 	if s.ProjectDim > 0 && s.ProjectionSamples > 1 && x.Cols > s.ProjectDim {
@@ -121,17 +174,16 @@ func (s *L2Scorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64, er
 	}
 	var total float64
 	for i := 0; i < samples; i++ {
-		// Fresh deterministic RNG per draw (thread-safe across workers).
-		rng := rand.New(rand.NewSource(s.Seed + 7919*s.calls.Add(1)))
 		px, py, pz := x, y, z
 		if s.ProjectDim > 0 {
-			px = regress.Project(rng, x, s.ProjectDim)
-			py = regress.Project(rng, y, s.ProjectDim)
+			base := s.Seed + projSeedStride*int64(i+1)
+			px = s.projCache.Project(base, x, s.ProjectDim)
+			py = s.projCache.Project(base+projRoleY, y, s.ProjectDim)
 			if z != nil {
-				pz = regress.Project(rng, z, s.ProjectDim)
+				pz = s.projCache.Project(base+projRoleZ, z, s.ProjectDim)
 			}
 		}
-		score, err := s.scoreOnce(px, py, pz, explainRows)
+		score, err := s.scoreOnce(px, py, pz, prep, explainRows)
 		if err != nil {
 			return 0, err
 		}
@@ -140,20 +192,26 @@ func (s *L2Scorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64, er
 	return total / float64(samples), nil
 }
 
-func (s *L2Scorer) scoreOnce(x, y, z *linalg.Matrix, explainRows []int) (float64, error) {
+func (s *L2Scorer) scoreOnce(x, y, z *linalg.Matrix, prep *condPrep, explainRows []int) (float64, error) {
 	// Conditional scoring (§3.5, Appendix B): residualise both X and Y on
 	// Z, then score the residual-on-residual regression. A zero score then
-	// certifies X ⊥ Y | Z under joint normality.
+	// certifies X ⊥ Y | Z under joint normality. Z is standardized and
+	// factored once (prep), not once per residualization.
 	if z != nil && z.Cols > 0 {
-		ry, err := residualize(y, z, s.grid()[len(s.grid())/2])
+		if prep == nil {
+			// A projected Z differs per draw, so the factorization is
+			// shared only between this draw's Y and X residualizations.
+			var err error
+			prep, err = s.prepareCond(y, z)
+			if err != nil {
+				return 0, err
+			}
+		}
+		rx, err := prep.zDesign.Residualize(x, prep.lambda)
 		if err != nil {
 			return 0, err
 		}
-		rx, err := residualize(x, z, s.grid()[len(s.grid())/2])
-		if err != nil {
-			return 0, err
-		}
-		x, y = rx, ry
+		x, y = rx, prep.ry
 	}
 	if explainRows != nil {
 		// Train on everything, report explained variance on the explain
@@ -183,22 +241,29 @@ func (s *L2Scorer) scoreOnce(x, y, z *linalg.Matrix, explainRows []int) (float64
 	return regress.CrossValidatedScore(x, y, s.grid(), s.folds())
 }
 
-// residualize returns y - ridge(y ~ z) fitted in-sample with penalty lambda.
-func residualize(y, z *linalg.Matrix, lambda float64) (*linalg.Matrix, error) {
-	model, err := regress.FitRidge(z, y, lambda)
+// residualizeBoth residualizes y then x on the same conditioning set,
+// standardizing and factoring Z only once.
+func residualizeBoth(x, y, z *linalg.Matrix, lambda float64) (rx, ry *linalg.Matrix, err error) {
+	design, err := regress.NewRidgeDesign(z)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return model.Residuals(z, y)
+	if ry, err = design.Residualize(y, lambda); err != nil {
+		return nil, nil, err
+	}
+	if rx, err = design.Residualize(x, lambda); err != nil {
+		return nil, nil, err
+	}
+	return rx, ry, nil
 }
 
 // bestLambda runs the CV grid search and returns the winning penalty.
 func bestLambda(x, y *linalg.Matrix, grid []float64, k int) (float64, error) {
-	folds, err := regress.TimeSeriesFolds(x.Rows, k)
+	folds, err := regress.TimeSeriesFoldRanges(x.Rows, k)
 	if err != nil {
 		return grid[len(grid)/2], nil // too little data: middle of the grid
 	}
-	res, err := regress.CrossValidate(regress.RidgeFitter, x, y, grid, folds)
+	res, err := regress.CrossValidateRidge(x, y, grid, folds)
 	if err != nil {
 		return 0, err
 	}
@@ -226,15 +291,32 @@ func (s *LassoScorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64,
 		lambda = 0.01
 	}
 	if z != nil && z.Cols > 0 {
-		ry, err := residualize(y, z, 1)
-		if err != nil {
-			return 0, err
-		}
-		rx, err := residualize(x, z, 1)
+		rx, ry, err := residualizeBoth(x, y, z, 1)
 		if err != nil {
 			return 0, err
 		}
 		x, y = rx, ry
+	}
+	if explainRows != nil {
+		// Match the L2 range-to-explain semantics: train on the full range,
+		// report explained variance on the explain rows only.
+		model, err := regress.FitLasso(x, y, lambda, 200, 1e-6)
+		if err != nil {
+			return 0, err
+		}
+		xe, err := x.SelectRows(explainRows)
+		if err != nil {
+			return 0, err
+		}
+		ye, err := y.SelectRows(explainRows)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := model.Predict(xe)
+		if err != nil {
+			return 0, err
+		}
+		return stats.ExplainedVarianceMean(ye, pred), nil
 	}
 	k := s.Folds
 	if k <= 0 {
@@ -261,7 +343,6 @@ func (s *LassoScorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64,
 	if err != nil {
 		return 0, err
 	}
-	_ = explainRows
 	return res.Score, nil
 }
 

@@ -93,11 +93,20 @@ func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
-	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.Data[i*m.Cols+j]
+	return m.ColInto(j, make([]float64, m.Rows))
+}
+
+// ColInto copies column j into dst (which must have length m.Rows) and
+// returns dst. It is the allocation-free variant of Col for hot loops that
+// reuse a scratch buffer.
+func (m *Matrix) ColInto(j int, dst []float64) []float64 {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: ColInto dst length %d, want %d", len(dst), m.Rows))
 	}
-	return out
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
 }
 
 // Clone returns a deep copy of m.
@@ -119,27 +128,18 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// Mul returns the matrix product m * b.
+// Mul returns the matrix product m * b. Large products run cache-blocked
+// across GOMAXPROCS goroutines; each output cell always accumulates over k
+// in ascending order, so results are identical at any worker count.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {
 		return nil, fmt.Errorf("%w: (%dx%d) * (%dx%d)", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	// ikj loop order keeps the inner loop streaming over contiguous rows of
-	// both b and out, which matters at the feature counts ExplainIt! sees.
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
-			}
-		}
-	}
+	workers := kernelWorkers(m.Rows * m.Cols * b.Cols)
+	parallelRows(m.Rows, workers, func(lo, hi int) {
+		mulRange(m, b, out, lo, hi)
+	})
 	return out, nil
 }
 
@@ -149,19 +149,10 @@ func (m *Matrix) MulT(b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: (%dx%d)^T * (%dx%d)", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(m.Cols, b.Cols)
-	for k := 0; k < m.Rows; k++ {
-		arow := m.Row(k)
-		brow := b.Row(k)
-		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bkj := range brow {
-				orow[j] += aki * bkj
-			}
-		}
-	}
+	workers := kernelWorkers(m.Rows * m.Cols * b.Cols)
+	parallelRows(m.Cols, workers, func(lo, hi int) {
+		mulTRange(m, b, out, lo, hi)
+	})
 	return out, nil
 }
 
@@ -171,36 +162,21 @@ func (m *Matrix) MulTRight(b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: (%dx%d) * (%dx%d)^T", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(m.Rows, b.Rows)
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, v := range arow {
-				s += v * brow[k]
-			}
-			orow[j] = s
-		}
-	}
+	workers := kernelWorkers(m.Rows * m.Cols * b.Rows)
+	parallelRows(m.Rows, workers, func(lo, hi int) {
+		mulTRightRange(m, b, out, lo, hi)
+	})
 	return out, nil
 }
 
 // Gram returns m^T * m, the p x p Gram matrix (p = m.Cols).
 func (m *Matrix) Gram() *Matrix {
 	out := NewMatrix(m.Cols, m.Cols)
-	for k := 0; k < m.Rows; k++ {
-		row := m.Row(k)
-		for i, vi := range row {
-			if vi == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j := i; j < len(row); j++ {
-				orow[j] += vi * row[j]
-			}
-		}
-	}
+	// Upper triangle only: roughly half the full product's flops.
+	workers := kernelWorkers(m.Rows * m.Cols * m.Cols / 2)
+	parallelTriangleRows(m.Cols, workers, func(lo, hi int) {
+		gramRange(m, out, lo, hi)
+	})
 	// Mirror the upper triangle into the lower triangle.
 	for i := 0; i < out.Rows; i++ {
 		for j := 0; j < i; j++ {
@@ -214,18 +190,10 @@ func (m *Matrix) Gram() *Matrix {
 // by the dual-form ridge solver when features outnumber observations.
 func (m *Matrix) GramOuter() *Matrix {
 	out := NewMatrix(m.Rows, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		ri := m.Row(i)
-		orow := out.Row(i)
-		for j := i; j < m.Rows; j++ {
-			rj := m.Row(j)
-			var s float64
-			for k, v := range ri {
-				s += v * rj[k]
-			}
-			orow[j] = s
-		}
-	}
+	workers := kernelWorkers(m.Rows * m.Rows * m.Cols / 2)
+	parallelTriangleRows(m.Rows, workers, func(lo, hi int) {
+		gramOuterRange(m, out, lo, hi)
+	})
 	for i := 0; i < out.Rows; i++ {
 		for j := 0; j < i; j++ {
 			out.Data[i*out.Cols+j] = out.Data[j*out.Cols+i]

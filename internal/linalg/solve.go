@@ -88,11 +88,13 @@ func SolveCholesky(l, b *Matrix) (*Matrix, error) {
 	return x, nil
 }
 
-// SolveSPD solves a * X = b for a symmetric positive definite a. When the
-// factorisation hits a zero pivot it retries once with a small diagonal
-// jitter, which is the standard remedy for rank-deficient Gram matrices
-// arising from duplicated or constant features.
-func SolveSPD(a, b *Matrix) (*Matrix, error) {
+// CholeskySPD factors a symmetric positive definite a, retrying with a small
+// diagonal jitter when the factorisation hits a zero pivot — the standard
+// remedy for rank-deficient Gram matrices arising from duplicated or
+// constant features. Callers that solve against the same matrix repeatedly
+// (e.g. the ridge λ grid) can cache the returned factor and feed it to
+// SolveCholesky with many right-hand sides.
+func CholeskySPD(a *Matrix) (*Matrix, error) {
 	l, err := Cholesky(a)
 	if err != nil {
 		jittered := a.Clone()
@@ -111,6 +113,16 @@ func SolveSPD(a, b *Matrix) (*Matrix, error) {
 				return nil, err
 			}
 		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves a * X = b for a symmetric positive definite a, with the
+// jittered-retry behaviour of CholeskySPD.
+func SolveSPD(a, b *Matrix) (*Matrix, error) {
+	l, err := CholeskySPD(a)
+	if err != nil {
+		return nil, err
 	}
 	return SolveCholesky(l, b)
 }

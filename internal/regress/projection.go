@@ -3,6 +3,7 @@ package regress
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"explainit/internal/linalg"
 )
@@ -18,6 +19,84 @@ func Project(rng *rand.Rand, m *linalg.Matrix, d int) *linalg.Matrix {
 	}
 	p := linalg.ProjectionMatrix(rng, m.Cols, d)
 	out, err := m.Mul(p)
+	if err != nil {
+		// Shapes are constructed to conform; a failure here is a bug.
+		panic(err)
+	}
+	return out
+}
+
+// ProjectionCache memoizes Gaussian projection matrices per (seed,
+// rows→dims) draw. Project resamples a fresh p x d matrix on every call;
+// within one scoring request the same draw is needed for every candidate
+// family of the same width, so the sample is generated once from a
+// deterministic per-draw seed and reused. The zero value is ready to use
+// and safe for concurrent scoring workers.
+type ProjectionCache struct {
+	mu       sync.Mutex
+	matrices map[projKey]*linalg.Matrix
+	bytes    int // total footprint of cached matrices
+}
+
+type projKey struct {
+	seed       int64
+	rows, dims int
+}
+
+// projCacheMaxBytes bounds the cache by footprint, not entry count, so a
+// long-lived scorer serving wide families cannot pin unbounded memory;
+// draws are seed-derived, so dropping entries only costs regeneration,
+// never determinism.
+const projCacheMaxBytes = 64 << 20
+
+// Matrix returns the memoized rows x dims projection matrix for the given
+// draw seed, sampling it on first use.
+func (c *ProjectionCache) Matrix(seed int64, rows, dims int) *linalg.Matrix {
+	key := projKey{seed: seed, rows: rows, dims: dims}
+	c.mu.Lock()
+	if p, ok := c.matrices[key]; ok {
+		c.mu.Unlock()
+		return p
+	}
+	c.mu.Unlock()
+	// Sample outside the lock: draws are deterministic per key, so two
+	// racing workers produce identical matrices and either may win.
+	p := linalg.ProjectionMatrix(rand.New(rand.NewSource(seed)), rows, dims)
+	size := rows * dims * 8
+	if size > projCacheMaxBytes/4 {
+		return p // too large to be worth pinning; regenerate per request
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exist, ok := c.matrices[key]; ok {
+		return exist
+	}
+	if c.matrices == nil {
+		c.matrices = make(map[projKey]*linalg.Matrix)
+	}
+	// Evict arbitrary entries until the new one fits: evicting one at a
+	// time (rather than flushing the map) keeps the rest of an in-flight
+	// request's working set hot.
+	for c.bytes+size > projCacheMaxBytes && len(c.matrices) > 0 {
+		for k, v := range c.matrices {
+			delete(c.matrices, k)
+			c.bytes -= v.Rows * v.Cols * 8
+			break
+		}
+	}
+	c.matrices[key] = p
+	c.bytes += size
+	return p
+}
+
+// Project is the memoized analogue of Project: it reduces m to at most d
+// columns using the cached draw for the given seed, or returns m unchanged
+// when it is already narrow enough.
+func (c *ProjectionCache) Project(seed int64, m *linalg.Matrix, d int) *linalg.Matrix {
+	if d <= 0 || m.Cols <= d {
+		return m
+	}
+	out, err := m.Mul(c.Matrix(seed, m.Cols, d))
 	if err != nil {
 		// Shapes are constructed to conform; a failure here is a bug.
 		panic(err)

@@ -8,6 +8,7 @@ package regress
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"explainit/internal/linalg"
 )
@@ -26,32 +27,67 @@ type Model struct {
 	TrainRowsCount int
 }
 
-// Predict applies the model to raw (unstandardised) inputs.
+// Predict applies the model to raw (unstandardised) inputs. The
+// standardization is fused into the product row by row, so no standardized
+// copy of x is materialised.
 func (m *Model) Predict(x *linalg.Matrix) (*linalg.Matrix, error) {
-	if x.Cols != m.Coef.Rows {
-		return nil, fmt.Errorf("regress: predict with %d features, model has %d", x.Cols, m.Coef.Rows)
-	}
-	xs := x.Clone().ApplyStandardization(m.XMeans, m.XStds)
-	pred, err := xs.Mul(m.Coef)
-	if err != nil {
+	pred := linalg.NewMatrix(x.Rows, m.Coef.Cols)
+	if err := m.PredictInto(x, pred); err != nil {
 		return nil, err
-	}
-	for i := 0; i < pred.Rows; i++ {
-		row := pred.Row(i)
-		for j := range row {
-			row[j] += m.YMeans[j]
-		}
 	}
 	return pred, nil
 }
 
-// Residuals returns y - Predict(x).
+// PredictInto writes the prediction into out (which must be x.Rows by
+// m.Coef.Cols), overwriting its contents — the scratch-buffer variant of
+// Predict for hot loops.
+func (m *Model) PredictInto(x, out *linalg.Matrix) error {
+	if x.Cols != m.Coef.Rows {
+		return fmt.Errorf("regress: predict with %d features, model has %d", x.Cols, m.Coef.Rows)
+	}
+	if out.Rows != x.Rows || out.Cols != m.Coef.Cols {
+		return fmt.Errorf("regress: prediction is %dx%d, out is %dx%d", x.Rows, m.Coef.Cols, out.Rows, out.Cols)
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	for i := 0; i < x.Rows; i++ {
+		xrow := x.Row(i)
+		prow := out.Row(i)
+		for k, v := range xrow {
+			v -= m.XMeans[k]
+			if m.XStds[k] > 1e-12 {
+				v /= m.XStds[k]
+			}
+			if v == 0 {
+				continue
+			}
+			crow := m.Coef.Row(k)
+			for j, c := range crow {
+				prow[j] += v * c
+			}
+		}
+		for j := range prow {
+			prow[j] += m.YMeans[j]
+		}
+	}
+	return nil
+}
+
+// Residuals returns y - Predict(x), reusing the prediction buffer for the
+// subtraction instead of allocating a third matrix.
 func (m *Model) Residuals(x, y *linalg.Matrix) (*linalg.Matrix, error) {
 	pred, err := m.Predict(x)
 	if err != nil {
 		return nil, err
 	}
-	return y.Sub(pred)
+	if y.Rows != pred.Rows || y.Cols != pred.Cols {
+		return nil, fmt.Errorf("%w: (%dx%d) - (%dx%d)", linalg.ErrShape, y.Rows, y.Cols, pred.Rows, pred.Cols)
+	}
+	for i, v := range y.Data {
+		pred.Data[i] = v - pred.Data[i]
+	}
+	return pred, nil
 }
 
 // FitOLS fits ordinary least squares on standardised features and centred
@@ -119,6 +155,173 @@ func FitRidge(x, y *linalg.Matrix, lambda float64) (*Model, error) {
 		return nil, err
 	}
 	return &Model{Coef: coef, XMeans: xMeans, XStds: xStds, YMeans: yMeans, Lambda: lambda, TrainRowsCount: x.Rows}, nil
+}
+
+// RidgeDesign caches everything about a fixed design matrix that does not
+// depend on the ridge penalty or the target: the standardized copy of X,
+// its Gram (primal, p <= n) or outer Gram (dual, p > n), and the Cholesky
+// factors of (G + λI) per λ. FitRidge recomputes all of that from scratch
+// on every call; across a CV λ grid, repeated residualizations against the
+// same conditioning set, or an engine request where only the target varies,
+// the Gram is by far the dominant cost and is identical every time. With a
+// design in hand, each additional (y, λ) fit costs one cross-product and
+// two triangular solves. Results match FitRidge to float64 rounding because
+// the arithmetic (standardization, Gram accumulation order, jittered
+// Cholesky) is exactly the same — only the redundancy is gone.
+//
+// A RidgeDesign is safe for concurrent use by multiple goroutines.
+type RidgeDesign struct {
+	xs            *linalg.Matrix // standardized copy of X
+	xMeans, xStds []float64
+	primal        bool
+	gram          *linalg.Matrix // p x p (primal) or n x n (dual), penalty-free
+
+	mu      sync.Mutex
+	factors map[float64]*linalg.Matrix // λ -> Cholesky factor of gram + (λ+jitter)I
+}
+
+// NewRidgeDesign standardizes x once and computes its (outer) Gram once.
+func NewRidgeDesign(x *linalg.Matrix) (*RidgeDesign, error) {
+	if x.Rows == 0 || x.Cols == 0 {
+		return nil, ErrNoData
+	}
+	xs := x.Clone()
+	xMeans, xStds := xs.StandardizeColumns()
+	d := &RidgeDesign{
+		xs:      xs,
+		xMeans:  xMeans,
+		xStds:   xStds,
+		primal:  xs.Cols <= xs.Rows,
+		factors: make(map[float64]*linalg.Matrix),
+	}
+	if d.primal {
+		d.gram = xs.Gram()
+	} else {
+		d.gram = xs.GramOuter()
+	}
+	return d, nil
+}
+
+// Rows returns the number of observations the design was built on.
+func (d *RidgeDesign) Rows() int { return d.xs.Rows }
+
+// Cols returns the number of features in the design.
+func (d *RidgeDesign) Cols() int { return d.xs.Cols }
+
+// factor returns the cached Cholesky factor of (gram + λI), computing and
+// memoizing it on first use. The same jitter policy as FitRidge/SolveSPD
+// applies, so the factor is bit-identical to what a fresh fit would use.
+func (d *RidgeDesign) factor(lambda float64) (*linalg.Matrix, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("regress: negative lambda %g", lambda)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if l, ok := d.factors[lambda]; ok {
+		return l, nil
+	}
+	g := d.gram.Clone().AddDiag(lambda + 1e-10)
+	l, err := linalg.CholeskySPD(g)
+	if err != nil {
+		return nil, err
+	}
+	d.factors[lambda] = l
+	return l, nil
+}
+
+// Prepare centres the target against this design and caches the λ-free
+// cross-product, so that a whole λ grid can be swept with Fit at O(p²·q)
+// per point instead of O(n·p²).
+func (d *RidgeDesign) Prepare(y *linalg.Matrix) (*RidgeTarget, error) {
+	if y.Rows != d.xs.Rows {
+		return nil, fmt.Errorf("regress: x has %d rows, y has %d", d.xs.Rows, y.Rows)
+	}
+	ys := y.Clone()
+	yMeans := ys.ColMeans()
+	ys.CenterColumns(yMeans)
+	t := &RidgeTarget{design: d, ys: ys, yMeans: yMeans}
+	if d.primal {
+		xty, err := d.xs.MulT(ys)
+		if err != nil {
+			return nil, err
+		}
+		t.xty = xty
+	}
+	return t, nil
+}
+
+// Fit solves the ridge problem for target y at penalty lambda against the
+// cached design. Equivalent to FitRidge(x, y, lambda) up to float64
+// rounding (identical in practice).
+func (d *RidgeDesign) Fit(y *linalg.Matrix, lambda float64) (*Model, error) {
+	t, err := d.Prepare(y)
+	if err != nil {
+		return nil, err
+	}
+	return t.Fit(lambda)
+}
+
+// Residualize returns y - ŷ where ŷ is the in-sample ridge prediction of y
+// from the design's own rows at penalty lambda. It reuses the cached
+// standardized X, so no per-call standardization or Gram is needed —
+// this is the scorer's conditioning step (§3.5) done once per Z.
+func (d *RidgeDesign) Residualize(y *linalg.Matrix, lambda float64) (*linalg.Matrix, error) {
+	model, err := d.Fit(y, lambda)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := d.xs.Mul(model.Coef)
+	if err != nil {
+		return nil, err
+	}
+	out := y.Clone()
+	for i := 0; i < out.Rows; i++ {
+		orow := out.Row(i)
+		prow := pred.Row(i)
+		for j := range orow {
+			orow[j] -= prow[j] + model.YMeans[j]
+		}
+	}
+	return out, nil
+}
+
+// RidgeTarget is a target prepared against a RidgeDesign; Fit sweeps λ
+// values reusing every λ-independent intermediate.
+type RidgeTarget struct {
+	design *RidgeDesign
+	ys     *linalg.Matrix // centred target
+	yMeans []float64
+	xty    *linalg.Matrix // X^T y, primal only
+}
+
+// Fit solves for the coefficients at the given penalty.
+func (t *RidgeTarget) Fit(lambda float64) (*Model, error) {
+	d := t.design
+	l, err := d.factor(lambda)
+	if err != nil {
+		return nil, err
+	}
+	var coef *linalg.Matrix
+	if d.primal {
+		coef, err = linalg.SolveCholesky(l, t.xty)
+	} else {
+		var w *linalg.Matrix
+		w, err = linalg.SolveCholesky(l, t.ys)
+		if err == nil {
+			coef, err = d.xs.MulT(w)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Coef:           coef,
+		XMeans:         d.xMeans,
+		XStds:          d.xStds,
+		YMeans:         t.yMeans,
+		Lambda:         lambda,
+		TrainRowsCount: d.xs.Rows,
+	}, nil
 }
 
 // DefaultLambdaGrid is the L-point ridge penalty grid used in the paper's

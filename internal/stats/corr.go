@@ -163,8 +163,10 @@ func ExplainedVarianceMean(y, yhat *linalg.Matrix) float64 {
 		return 0
 	}
 	var total float64
+	ybuf := make([]float64, y.Rows)
+	pbuf := make([]float64, y.Rows)
 	for j := 0; j < y.Cols; j++ {
-		r2 := RSquared(y.Col(j), yhat.Col(j))
+		r2 := RSquared(y.ColInto(j, ybuf), yhat.ColInto(j, pbuf))
 		if r2 < 0 {
 			r2 = 0
 		}
