@@ -164,6 +164,43 @@ func BenchmarkTSDBIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestWAL is the durable counterpart of BenchmarkTSDBIngest:
+// the same 10k samples streamed through the WAL group-commit batch path
+// (the route LoadCSV/LoadJSONL and /api/put take on a durable store),
+// including the fsync per batch.
+func BenchmarkIngestWAL(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tags := ts.Tags{"host": "dn-1", "type": "read"}
+	const batchSize = 512
+	batch := make([]tsdb.Record, 0, batchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := tsdb.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10000; j++ {
+			batch = append(batch, tsdb.Record{
+				Metric: "disk", Tags: tags,
+				TS: at.Add(time.Duration(j) * time.Minute), Value: float64(j),
+			})
+			if len(batch) == batchSize {
+				if err := db.PutBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if err := db.PutBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		batch = batch[:0]
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSimulatorGenerate(b *testing.B) {
 	cfg := simulator.DefaultCaseStudyConfig()
 	cfg.Nuisance = 10

@@ -28,7 +28,7 @@ import (
 const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL2P50$|" +
 	"BenchmarkScorerConditional$|BenchmarkScorerCorrMean$|BenchmarkEngineRank$|" +
 	"BenchmarkEndToEndExplain$|BenchmarkRidgeFitPrimal$|BenchmarkRidgeFitDual$|" +
-	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$"
+	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$|BenchmarkIngestWAL$"
 
 // Measurement is one benchmark's result in a snapshot.
 type Measurement struct {

@@ -7,6 +7,14 @@
 //	explainitd -listen :9101
 //
 // and point a coordinator's cluster.Dial at the addresses.
+//
+// With -data-dir the worker also opens a durable shard-local time series
+// store (WAL + compressed chunks, the groundwork for data-local scoring
+// once ingest is sharded across workers). The store is crash-recovered on
+// start; SIGINT/SIGTERM trigger a graceful shutdown that stops accepting
+// RPCs and flushes the WAL into chunks:
+//
+//	explainitd -listen :9101 -data-dir /var/lib/explainit/shard-0
 package main
 
 import (
@@ -14,22 +22,62 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"explainit/internal/cluster"
+	"explainit/internal/tsdb"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9101", "address to serve scoring RPCs on")
+	dataDir := flag.String("data-dir", "", "durable shard-local store directory (WAL + compressed chunks)")
 	flag.Parse()
+
+	var db *tsdb.DB
+	if *dataDir != "" {
+		var err error
+		db, err = tsdb.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explainitd: opening data dir:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "explainitd: recovered %d samples (%d series) from %s\n",
+			db.NumSamples(), db.NumSeries(), *dataDir)
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "explainitd:", err)
 		os.Exit(1)
 	}
+
+	shuttingDown := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "explainitd: %v: shutting down\n", sig)
+		close(shuttingDown)
+		l.Close() // unblocks cluster.Serve
+	}()
+
 	fmt.Fprintf(os.Stderr, "explainitd: serving hypothesis scoring on %s\n", l.Addr())
-	if err := cluster.Serve(l); err != nil {
-		fmt.Fprintln(os.Stderr, "explainitd:", err)
-		os.Exit(1)
+	serveErr := cluster.Serve(l)
+
+	if db != nil {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "explainitd: closing store:", err)
+			os.Exit(1)
+		}
+	}
+	select {
+	case <-shuttingDown:
+		// Listener error was caused by our own shutdown; exit cleanly.
+	default:
+		if serveErr != nil {
+			fmt.Fprintln(os.Stderr, "explainitd:", serveErr)
+			os.Exit(1)
+		}
 	}
 }

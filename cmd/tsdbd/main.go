@@ -1,17 +1,32 @@
-// Command tsdbd serves the in-memory time series database over HTTP
-// (OpenTSDB-style /api/put and /api/query endpoints), optionally restoring
-// from and periodically persisting to a snapshot file. It is the
-// stand-alone "external data source" the analysis engine's connectors talk
-// to (Figure 4 of the paper).
+// Command tsdbd serves the time series database over HTTP (OpenTSDB-style
+// /api/put and /api/query endpoints). It is the stand-alone "external data
+// source" the analysis engine's connectors talk to (Figure 4 of the
+// paper).
+//
+// With -data-dir the store is durable: every put batch is committed to a
+// write-ahead log before it is acknowledged, sealed log segments are
+// compacted into compressed columnar chunks in the background, and a
+// restart (or crash) recovers all committed data. SIGINT/SIGTERM trigger a
+// graceful shutdown that drains the HTTP server and flushes the WAL into
+// chunks:
+//
+//	tsdbd -listen :4242 -data-dir /var/lib/explainit/tsdb
+//
+// The legacy in-memory mode with periodic gob snapshots remains available
+// via -snapshot (mutually exclusive with -data-dir):
 //
 //	tsdbd -listen :4242 -snapshot /var/lib/explainit/tsdb.snap
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"explainit/internal/tsdb"
@@ -20,28 +35,83 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:4242", "address to serve the HTTP API on")
-	snapshot := flag.String("snapshot", "", "snapshot file to restore from and persist to")
-	interval := flag.Duration("snapshot-interval", time.Minute, "how often to persist the snapshot")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + compressed chunks)")
+	snapshot := flag.String("snapshot", "", "legacy in-memory mode: snapshot file to restore from and persist to")
+	interval := flag.Duration("snapshot-interval", time.Minute, "how often to persist the -snapshot file")
 	flag.Parse()
 
-	db := tsdb.New()
-	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			n, lerr := db.Load(f)
-			f.Close()
-			if lerr != nil {
-				fmt.Fprintln(os.Stderr, "tsdbd: restoring snapshot:", lerr)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "tsdbd: restored %d samples (%d series)\n", n, db.NumSeries())
-		}
-		go persistLoop(db, *snapshot, *interval)
+	if *dataDir != "" && *snapshot != "" {
+		fmt.Fprintln(os.Stderr, "tsdbd: -data-dir and -snapshot are mutually exclusive")
+		os.Exit(1)
 	}
 
-	fmt.Fprintf(os.Stderr, "tsdbd: serving on http://%s\n", *listen)
-	if err := http.ListenAndServe(*listen, tsdbhttp.NewHandler(db)); err != nil {
-		fmt.Fprintln(os.Stderr, "tsdbd:", err)
-		os.Exit(1)
+	var db *tsdb.DB
+	if *dataDir != "" {
+		var err error
+		db, err = tsdb.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsdbd: opening data dir:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tsdbd: recovered %d samples (%d series) from %s\n",
+			db.NumSamples(), db.NumSeries(), *dataDir)
+	} else {
+		db = tsdb.New()
+		if *snapshot != "" {
+			if f, err := os.Open(*snapshot); err == nil {
+				n, lerr := db.Load(f)
+				f.Close()
+				if lerr != nil {
+					fmt.Fprintln(os.Stderr, "tsdbd: restoring snapshot:", lerr)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "tsdbd: restored %d samples (%d series)\n", n, db.NumSeries())
+			}
+			go persistLoop(db, *snapshot, *interval)
+		}
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: tsdbhttp.NewHandler(db)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "tsdbd: serving on http://%s\n", *listen)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "tsdbd: %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "tsdbd:", err)
+			shutdownStore(db, *snapshot)
+			os.Exit(1)
+		}
+	}
+	shutdownStore(db, *snapshot)
+}
+
+// shutdownStore flushes whatever durability mechanism is active: the WAL
+// is compacted into chunks and closed, or the legacy snapshot is written
+// one last time.
+func shutdownStore(db *tsdb.DB, snapshot string) {
+	if db.Durable() {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tsdbd: closing store:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if snapshot != "" {
+		if err := persistOnce(db, snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "tsdbd: final snapshot:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -8,6 +8,8 @@
 //  1. Load telemetry into the built-in time series store (Put, LoadCSV,
 //     LoadJSONL) and group metrics into feature families (BuildFamilies for
 //     name/tag groupings, DefineFamiliesSQL for arbitrary SQL groupings).
+//     New keeps the store in memory; Open(dir) backs it with a durable
+//     WAL + compressed-chunk storage engine that survives restarts.
 //  2. Pick the target family and, optionally, families to condition on —
 //     or derive a pseudocause from the target's own seasonality.
 //  3. Explain: every candidate family is scored for conditional dependence
@@ -48,13 +50,39 @@ type Client struct {
 	workers  *cluster.Pool // non-nil after ConnectWorkers
 }
 
-// New creates an empty client.
+// New creates an empty client with a purely in-memory store: a restart
+// loses all telemetry. Use Open for a durable store.
 func New() *Client {
 	return &Client{
 		db:       tsdb.New(),
 		families: make(map[string]*core.Family),
 	}
 }
+
+// Open creates a client whose time series store is durably persisted
+// under dir by the storage engine (write-ahead log + compressed columnar
+// chunks): all previously committed telemetry is recovered on Open, every
+// Put/LoadCSV/LoadJSONL is logged before it becomes queryable, and query
+// results are identical to an in-memory client fed the same data. Call
+// Close when done.
+func Open(dir string) (*Client, error) {
+	db, err := tsdb.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		db:       db,
+		families: make(map[string]*core.Family),
+	}, nil
+}
+
+// Flush forces WAL data into compressed chunks (no-op for an in-memory
+// client).
+func (c *Client) Flush() error { return c.db.Flush() }
+
+// Close flushes and releases the durable store, surfacing any write error
+// the storage engine recorded. It is a no-op for an in-memory client.
+func (c *Client) Close() error { return c.db.Close() }
 
 // Put records one observation.
 func (c *Client) Put(metric string, tags Tags, at time.Time, value float64) {

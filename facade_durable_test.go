@@ -1,0 +1,70 @@
+package explainit
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const durableCSV = `timestamp,metric,tags,value
+2026-01-01T00:00:00Z,disk,host=dn-1;type=read,1.5
+2026-01-01T00:01:00Z,disk,host=dn-1;type=read,2.5
+2026-01-01T00:00:00Z,disk,host=dn-2;type=read,3.5
+2026-01-01T00:00:00Z,runtime,component=p1,10
+2026-01-01T00:01:00Z,runtime,component=p1,11
+`
+
+func TestOpenDurableClientRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.LoadCSV(strings.NewReader(durableCSV))
+	if err != nil || n != 5 {
+		t.Fatalf("loaded %d (%v)", n, err)
+	}
+	c.Put("extra", Tags{"k": "v"}, time.Date(2026, 1, 1, 0, 2, 0, 0, time.UTC), 7)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything committed through the WAL batch path survives.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumSeries() != 4 {
+		t.Fatalf("recovered %d series", re.NumSeries())
+	}
+	mem := New()
+	if _, err := mem.LoadCSV(strings.NewReader(durableCSV)); err != nil {
+		t.Fatal(err)
+	}
+	mem.Put("extra", Tags{"k": "v"}, time.Date(2026, 1, 1, 0, 2, 0, 0, time.UTC), 7)
+
+	got, err := re.Query("select metric_name, count(*) c from tsdb group by metric_name order by metric_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mem.Query("select metric_name, count(*) c from tsdb group by metric_name order by metric_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows %d vs %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if got.Rows[i][0] != want.Rows[i][0] || got.Rows[i][1] != want.Rows[i][1] {
+			t.Fatalf("row %d: %v vs %v", i, got.Rows[i], want.Rows[i])
+		}
+	}
+	from, to, ok := re.Bounds()
+	if !ok {
+		t.Fatal("no bounds after recovery")
+	}
+	if _, err := re.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Block file format — the immutable columnar archive the compactor writes
+// from sealed WAL segments:
+//
+//	8 bytes  magic "XITBLK01"
+//	uvarint  flushedThrough: highest WAL segment seq covered by this block
+//	uvarint  series count
+//	per series (sorted by series key for determinism):
+//	  uvarint len(metric), metric
+//	  uvarint tag count; per tag (sorted): len-prefixed key, value
+//	  uvarint chunk count
+//	  per chunk (ascending window start): varint window-start nanos,
+//	    uvarint len(chunk data), chunk data (see chunk.go)
+//	4 bytes  LE CRC32 over everything above
+//
+// Blocks are written to a temp file, fsynced, renamed into place and the
+// directory fsynced, so a crash can only ever leave a complete block or a
+// stray .tmp (removed on open) — never a torn one.
+
+const blockMagic = "XITBLK01"
+
+func blockName(seq uint64) string { return fmt.Sprintf("block-%08d.blk", seq) }
+
+func blockSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "block-%d.blk", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listBlocks returns the block sequence numbers in dir, ascending, after
+// sweeping any interrupted .tmp files.
+func listBlocks(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		if seq, ok := blockSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// blockSeries is one series' chunks inside a block under construction.
+type blockSeries struct {
+	metric string
+	tags   map[string]string
+	chunks []blockChunk
+}
+
+type blockChunk struct {
+	windowStart int64 // aligned chunk window start, unix nanos
+	data        []byte
+}
+
+// writeBlock atomically persists a block file.
+func writeBlock(dir string, seq, flushedThrough uint64, series []blockSeries) error {
+	buf := []byte(blockMagic)
+	buf = binary.AppendUvarint(buf, flushedThrough)
+	buf = binary.AppendUvarint(buf, uint64(len(series)))
+	var keys []string
+	for _, s := range series {
+		buf = appendLenBytes(buf, s.metric)
+		buf = binary.AppendUvarint(buf, uint64(len(s.tags)))
+		keys = keys[:0]
+		for k := range s.tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			buf = appendLenBytes(buf, k)
+			buf = appendLenBytes(buf, s.tags[k])
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.chunks)))
+		for _, c := range s.chunks {
+			buf = binary.AppendVarint(buf, c.windowStart)
+			buf = binary.AppendUvarint(buf, uint64(len(c.data)))
+			buf = append(buf, c.data...)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	path := filepath.Join(dir, blockName(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: block create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: block write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: block sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readBlockMeta verifies a block's integrity and returns its checkpoint.
+func readBlockMeta(dir string, seq uint64) (flushedThrough uint64, err error) {
+	buf, err := checkedBlockBytes(dir, seq)
+	if err != nil {
+		return 0, err
+	}
+	ft, _, err := readUvarint(buf, len(blockMagic))
+	return ft, err
+}
+
+// readBlock streams every record of the block to fn, series by series in
+// stored order, chunks in window order, samples in chunk order. The Tags
+// map is shared across one series' records; callers must not retain it
+// across calls without cloning.
+func readBlock(dir string, seq uint64, fn func(Record) error) error {
+	buf, err := checkedBlockBytes(dir, seq)
+	if err != nil {
+		return err
+	}
+	off := len(blockMagic)
+	if _, off, err = readUvarint(buf, off); err != nil { // flushedThrough
+		return err
+	}
+	nseries, off, err := readUvarint(buf, off)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nseries; i++ {
+		var metric string
+		if metric, off, err = readLenBytes(buf, off); err != nil {
+			return err
+		}
+		ntags, o, err := readUvarint(buf, off)
+		if err != nil {
+			return err
+		}
+		off = o
+		var tags map[string]string
+		if ntags > 0 {
+			tags = make(map[string]string, ntags)
+			for t := uint64(0); t < ntags; t++ {
+				var k, v string
+				if k, off, err = readLenBytes(buf, off); err != nil {
+					return err
+				}
+				if v, off, err = readLenBytes(buf, off); err != nil {
+					return err
+				}
+				tags[k] = v
+			}
+		}
+		nchunks, o2, err := readUvarint(buf, off)
+		if err != nil {
+			return err
+		}
+		off = o2
+		for c := uint64(0); c < nchunks; c++ {
+			if _, off, err = readVarint(buf, off); err != nil { // windowStart
+				return err
+			}
+			clen, o3, err := readUvarint(buf, off)
+			if err != nil {
+				return err
+			}
+			off = o3
+			if off+int(clen) > len(buf) {
+				return fmt.Errorf("storage: block %d: chunk overruns file", seq)
+			}
+			var ferr error
+			if _, err := decodeChunk(buf[off:off+int(clen)], func(s sample) {
+				if ferr != nil {
+					return
+				}
+				ferr = fn(Record{Metric: metric, Tags: tags, TS: nanoTime(s.nanos), Value: s.value})
+			}); err != nil {
+				return fmt.Errorf("storage: block %d: %w", seq, err)
+			}
+			if ferr != nil {
+				return ferr
+			}
+			off += int(clen)
+		}
+	}
+	return nil
+}
+
+// checkedBlockBytes loads a block file, verifying magic and CRC, and
+// returns the bytes without the trailing checksum.
+func checkedBlockBytes(dir string, seq uint64) ([]byte, error) {
+	path := filepath.Join(dir, blockName(seq))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < len(blockMagic)+4 || string(buf[:len(blockMagic)]) != blockMagic {
+		return nil, fmt.Errorf("storage: %s: bad block magic", filepath.Base(path))
+	}
+	body := buf[:len(buf)-4]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("storage: %s: checksum mismatch", filepath.Base(path))
+	}
+	return body, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

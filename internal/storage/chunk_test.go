@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func roundTripChunk(t *testing.T, in []sample) []sample {
+	t.Helper()
+	data := encodeChunk(nil, in)
+	var out []sample
+	n, err := decodeChunk(data, func(s sample) { out = append(out, s) })
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(data) {
+		t.Fatalf("consumed %d of %d bytes", n, len(data))
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d of %d samples", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].nanos != in[i].nanos {
+			t.Fatalf("sample %d: ts %d != %d", i, out[i].nanos, in[i].nanos)
+		}
+		if math.Float64bits(out[i].value) != math.Float64bits(in[i].value) {
+			t.Fatalf("sample %d: value bits %x != %x", i, math.Float64bits(out[i].value), math.Float64bits(in[i].value))
+		}
+	}
+	return out
+}
+
+func TestChunkRoundTripRegular(t *testing.T) {
+	base := int64(1767225600_000000000) // 2026-01-01T00:00:00Z
+	var in []sample
+	for i := 0; i < 500; i++ {
+		in = append(in, sample{nanos: base + int64(i)*60e9, value: 20 + math.Sin(float64(i)/30)})
+	}
+	roundTripChunk(t, in)
+	// Regular minute cadence: delta-of-delta timestamps are all zero, so
+	// the whole chunk must be far below raw 16 B/sample.
+	if got := len(encodeChunk(nil, in)); got > len(in)*10 {
+		t.Fatalf("chunk %d bytes for %d samples: compression ineffective", got, len(in))
+	}
+}
+
+func TestChunkRoundTripConstantValues(t *testing.T) {
+	var in []sample
+	for i := 0; i < 256; i++ {
+		in = append(in, sample{nanos: int64(i) * 1e9, value: 42.5})
+	}
+	data := encodeChunk(nil, in)
+	roundTripChunk(t, in)
+	// Repeated values cost one bit each after the first.
+	if len(data) > 64+len(in) {
+		t.Fatalf("constant-value chunk too large: %d bytes", len(data))
+	}
+}
+
+func TestChunkRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var in []sample
+	ts := int64(-5e9) // negative timestamps must survive too
+	for i := 0; i < 1000; i++ {
+		ts += rng.Int63n(120e9) - 10e9
+		in = append(in, sample{nanos: ts, value: math.Float64frombits(rng.Uint64())})
+	}
+	roundTripChunk(t, in)
+}
+
+func TestChunkRoundTripSpecialValues(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, math.SmallestNonzeroFloat64, -1e-300, 1.0000000001}
+	var in []sample
+	for i, v := range vals {
+		in = append(in, sample{nanos: int64(i) * 60e9, value: v})
+	}
+	roundTripChunk(t, in)
+}
+
+func TestChunkEmptyAndSingle(t *testing.T) {
+	roundTripChunk(t, nil)
+	roundTripChunk(t, []sample{{nanos: 123456789, value: math.Pi}})
+}
+
+func TestBitStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	type piece struct {
+		v uint64
+		n uint
+	}
+	var pieces []piece
+	w := bitWriter{}
+	for i := 0; i < 500; i++ {
+		n := uint(rng.Intn(64) + 1)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		pieces = append(pieces, piece{v, n})
+		w.writeBits(v, n)
+	}
+	r := bitReader{buf: w.buf}
+	for i, p := range pieces {
+		got, err := r.readBits(p.n)
+		if err != nil {
+			t.Fatalf("piece %d: %v", i, err)
+		}
+		if got != p.v {
+			t.Fatalf("piece %d: got %x want %x (n=%d)", i, got, p.v, p.n)
+		}
+	}
+}

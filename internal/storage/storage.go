@@ -1,0 +1,79 @@
+// Package storage is the durable backend beneath the in-memory TSDB: a
+// CRC32-framed, segment-rotating write-ahead log for ingest, immutable
+// compressed columnar chunk files (Gorilla-style delta-of-delta timestamps
+// and XOR-encoded values) for the archive, and crash recovery that replays
+// sealed segments, truncates torn tail records and skips anything already
+// checkpointed into a block. The tsdb package layers its inverted index and
+// query engine on top; this package only knows about durably ordered
+// (metric, tags, timestamp, value) records.
+//
+// On-disk layout of a store directory:
+//
+//	wal-00000001.seg   sealed WAL segment (awaiting compaction)
+//	wal-00000002.seg   active WAL segment (tail may be torn after a crash)
+//	block-00000001.blk immutable compressed chunk file
+//
+// Writes go to the active segment in batches ("group commit"): one frame
+// per Append call, one fsync per frame under the default policy. When a
+// segment exceeds Options.SegmentSize it is sealed and the background
+// compactor rewrites every sealed segment into a block file, then deletes
+// them. Each block records the highest WAL segment it covers
+// (flushedThrough), so a crash between block write and segment delete never
+// replays records twice.
+package storage
+
+import (
+	"time"
+)
+
+// Record is one observation in the durable log. Timestamps are persisted
+// as UTC nanoseconds; locations are not round-tripped.
+type Record struct {
+	Metric string
+	Tags   map[string]string
+	TS     time.Time
+	Value  float64
+}
+
+// SyncPolicy controls when the WAL is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) fsyncs after every Append frame: a batch is
+	// durable once Append returns.
+	SyncBatch SyncPolicy = iota
+	// SyncRotate fsyncs only when a segment is sealed, flushed or closed.
+	// A crash may lose the tail of the active segment.
+	SyncRotate
+)
+
+// Options tunes a Store. The zero value selects the defaults.
+type Options struct {
+	// SegmentSize is the WAL rotation threshold in bytes (default 4 MiB).
+	SegmentSize int64
+	// ChunkWindow is the time-partition width of a chunk: samples of one
+	// series are split into chunks aligned on ChunkWindow boundaries
+	// (default 2h).
+	ChunkWindow time.Duration
+	// MaxChunkSamples caps the samples per chunk (default 4096).
+	MaxChunkSamples int
+	// Sync selects the fsync policy (default SyncBatch).
+	Sync SyncPolicy
+	// NoBackgroundCompaction disables the compactor goroutine; sealed
+	// segments are only flushed by explicit Flush/Close calls. Used by
+	// tests that simulate crashes.
+	NoBackgroundCompaction bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.ChunkWindow <= 0 {
+		o.ChunkWindow = 2 * time.Hour
+	}
+	if o.MaxChunkSamples <= 0 {
+		o.MaxChunkSamples = 4096
+	}
+	return o
+}

@@ -1,0 +1,401 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ts "explainit/internal/timeseries"
+)
+
+// Store is the durable engine: an append-only WAL for fresh writes, a set
+// of immutable compressed blocks for everything already compacted, and the
+// recovery logic that stitches the two back together on Open.
+type Store struct {
+	dir  string
+	opts Options
+	wal  *wal
+
+	// mu serialises compaction, flush and close against each other and
+	// guards the checkpoint bookkeeping below. closed is atomic so the
+	// Append hot path never waits behind an in-flight compaction.
+	mu             sync.Mutex
+	blocks         []uint64 // block seqs, ascending
+	nextBlock      uint64
+	flushedThrough uint64 // highest WAL segment seq already in a block
+	closed         atomic.Bool
+
+	compactCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+	// compactErr remembers the first background-compaction failure; it is
+	// surfaced by Flush and Close rather than lost in a goroutine.
+	compactErr error
+}
+
+// Open prepares the store directory for reading and writing: it sweeps
+// interrupted block writes, verifies block checksums, deletes WAL segments
+// already checkpointed into a block, truncates the torn tail of the last
+// segment, and seals every surviving segment so that recovery never mixes
+// with fresh appends. Call Replay before the first Append to stream the
+// recovered state.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+
+	blocks, err := listBlocks(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	for _, seq := range blocks {
+		ft, err := readBlockMeta(dir, seq)
+		if err != nil {
+			return nil, err
+		}
+		if ft > s.flushedThrough {
+			s.flushedThrough = ft
+		}
+		if seq >= s.nextBlock {
+			s.nextBlock = seq + 1
+		}
+	}
+	if s.nextBlock == 0 {
+		s.nextBlock = 1
+	}
+	s.blocks = blocks
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var lastSeq uint64
+	live := segs[:0]
+	for _, seq := range segs {
+		if seq <= s.flushedThrough {
+			// Already compacted into a block; the crash happened between
+			// block write and segment delete. Finish the delete.
+			if err := os.Remove(filepath.Join(dir, segmentName(seq))); err != nil {
+				return nil, fmt.Errorf("storage: %w", err)
+			}
+			continue
+		}
+		live = append(live, seq)
+		if seq > lastSeq {
+			lastSeq = seq
+		}
+	}
+	if len(live) > 0 {
+		// Only the segment that was active at crash time can have a torn
+		// tail from an interrupted write; chop it back to whole frames.
+		if _, err := truncateTorn(filepath.Join(dir, segmentName(lastSeq))); err != nil {
+			return nil, err
+		}
+	}
+
+	// All surviving segments are sealed: the WAL starts a fresh segment on
+	// the first Append, so recovery state is immutable from here on. New
+	// segment numbers must also clear the block checkpoint — reusing a
+	// sequence ≤ flushedThrough would get the segment deleted as
+	// already-compacted on the next open.
+	if lastSeq < s.flushedThrough {
+		lastSeq = s.flushedThrough
+	}
+	s.wal = newWAL(dir, lastSeq, opts.SegmentSize, opts.Sync)
+
+	if !opts.NoBackgroundCompaction {
+		s.wg.Add(1)
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// Replay streams every durable record to fn: first the compacted blocks in
+// order, then the sealed WAL segments in order. Within a sealed segment,
+// records after a torn or corrupt frame are dropped (the group-commit
+// contract: a frame — a whole batch, up to the frame size target — is
+// recovered wholly or not at all). The Tags map
+// passed to fn may be shared between records of one series; clone it
+// before retaining. Call before the first Append; afterwards it kicks the
+// compactor so recovered WAL segments get compacted into blocks.
+func (s *Store) Replay(fn func(Record) error) error {
+	s.mu.Lock()
+	blocks := append([]uint64(nil), s.blocks...)
+	s.mu.Unlock()
+	for _, seq := range blocks {
+		if err := readBlock(s.dir, seq, fn); err != nil {
+			return err
+		}
+	}
+	for _, seq := range s.sealedSegments() {
+		if _, _, err := scanSegment(filepath.Join(s.dir, segmentName(seq)), fn); err != nil {
+			return err
+		}
+	}
+	s.kickCompactor()
+	return nil
+}
+
+// Append durably writes one batch of records (a single WAL frame, one
+// fsync under the default policy). Safe for concurrent use.
+func (s *Store) Append(recs []Record) error {
+	if s.closed.Load() {
+		return errors.New("storage: append on closed store")
+	}
+	sealed, err := s.wal.Append(recs)
+	if err != nil {
+		return err
+	}
+	if sealed {
+		s.kickCompactor()
+	}
+	return nil
+}
+
+// Flush seals the active WAL segment and synchronously compacts every
+// sealed segment into a block, so that all appended data lives in
+// compressed chunks and the WAL is empty.
+func (s *Store) Flush() error {
+	if _, err := s.wal.Seal(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Attempt the synchronous compaction even if a background run failed
+	// (the failure may have been transient); surface both outcomes.
+	err := s.compactSealedLocked()
+	if cerr := s.compactErr; cerr != nil {
+		s.compactErr = nil
+		err = errors.Join(cerr, err)
+	}
+	return err
+}
+
+// Close flushes outstanding WAL data into blocks, stops the compactor and
+// releases file handles. The store must not be used afterwards.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.done)
+	s.wg.Wait()
+
+	err := s.Flush()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// kill abruptly drops the WAL file handle without sealing or flushing —
+// the crash-simulation hook used by recovery tests. Background compaction
+// is stopped so a dying process can't keep rewriting the directory.
+func (s *Store) kill() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.done)
+	s.wg.Wait()
+	s.wal.Close()
+}
+
+// Stats reports the store's on-disk footprint.
+type Stats struct {
+	WALSegments int
+	WALBytes    int64
+	Blocks      int
+	BlockBytes  int64
+}
+
+// Stats sums the store directory's current WAL and block sizes.
+func (s *Store) Stats() (Stats, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if _, ok := segmentSeq(e.Name()); ok {
+			st.WALSegments++
+			st.WALBytes += info.Size()
+		} else if _, ok := blockSeq(e.Name()); ok {
+			st.Blocks++
+			st.BlockBytes += info.Size()
+		}
+	}
+	return st, nil
+}
+
+// sealedSegments lists the on-disk segments no longer being appended to
+// and not yet compacted, ascending.
+func (s *Store) sealedSegments() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealedSegmentsLocked()
+}
+
+func (s *Store) kickCompactor() {
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Store) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+			s.mu.Lock()
+			if err := s.compactSealedLocked(); err != nil && s.compactErr == nil {
+				s.compactErr = err
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// compactSealedLocked rewrites every sealed WAL segment into one block
+// file with per-series, time-partitioned compressed chunks, then deletes
+// the segments. Records in a torn or corrupt segment tail are dropped,
+// matching what recovery would replay. Caller holds s.mu.
+func (s *Store) compactSealedLocked() error {
+	sealed := s.sealedSegmentsLocked()
+	if len(sealed) == 0 {
+		return nil
+	}
+
+	// Gather records grouped by series, preserving append order.
+	type seriesAcc struct {
+		metric  string
+		tags    map[string]string
+		samples []sample
+	}
+	bySeries := make(map[string]*seriesAcc)
+	var order []string
+	for _, seq := range sealed {
+		_, _, err := scanSegment(filepath.Join(s.dir, segmentName(seq)), func(r Record) error {
+			key := r.Metric + tagKey(r.Tags)
+			acc, ok := bySeries[key]
+			if !ok {
+				acc = &seriesAcc{metric: r.Metric, tags: r.Tags}
+				bySeries[key] = acc
+				order = append(order, key)
+			}
+			acc.samples = append(acc.samples, sample{nanos: r.TS.UnixNano(), value: r.Value})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	flushedThrough := sealed[len(sealed)-1]
+	if len(bySeries) > 0 {
+		sort.Strings(order) // deterministic block layout
+		series := make([]blockSeries, 0, len(order))
+		for _, key := range order {
+			acc := bySeries[key]
+			series = append(series, blockSeries{
+				metric: acc.metric,
+				tags:   acc.tags,
+				chunks: s.buildChunks(acc.samples),
+			})
+		}
+		seq := s.nextBlock
+		if err := writeBlock(s.dir, seq, flushedThrough, series); err != nil {
+			return err
+		}
+		s.blocks = append(s.blocks, seq)
+		s.nextBlock = seq + 1
+	}
+	// The block (if any) is durable; retire the segments. A crash before
+	// any Remove is healed on Open via the flushedThrough checkpoint.
+	s.flushedThrough = flushedThrough
+	for _, seq := range sealed {
+		if err := os.Remove(filepath.Join(s.dir, segmentName(seq))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) sealedSegmentsLocked() []uint64 {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return nil
+	}
+	active := s.wal.activeSeq()
+	sealed := segs[:0]
+	for _, seq := range segs {
+		if seq > s.flushedThrough && seq < active {
+			sealed = append(sealed, seq)
+		}
+	}
+	return sealed
+}
+
+// buildChunks partitions one series' samples into ChunkWindow-aligned,
+// size-capped chunks and encodes each. Samples stay in append order inside
+// a window; windows are emitted in ascending start order.
+func (s *Store) buildChunks(samples []sample) []blockChunk {
+	window := s.opts.ChunkWindow.Nanoseconds()
+	byWindow := make(map[int64][]sample)
+	var starts []int64
+	for _, smp := range samples {
+		start := floorDiv(smp.nanos, window) * window
+		if _, ok := byWindow[start]; !ok {
+			starts = append(starts, start)
+		}
+		byWindow[start] = append(byWindow[start], smp)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	var chunks []blockChunk
+	for _, start := range starts {
+		win := byWindow[start]
+		for len(win) > 0 {
+			n := len(win)
+			if n > s.opts.MaxChunkSamples {
+				n = s.opts.MaxChunkSamples
+			}
+			chunks = append(chunks, blockChunk{
+				windowStart: start,
+				data:        encodeChunk(nil, win[:n]),
+			})
+			win = win[n:]
+		}
+	}
+	return chunks
+}
+
+// tagKey renders tags in the canonical sorted "{k=v,...}" form — the one
+// definition of series identity shared with the tsdb's inverted index.
+func tagKey(tags map[string]string) string { return ts.Tags(tags).String() }
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func nanoTime(n int64) time.Time { return time.Unix(0, n).UTC() }

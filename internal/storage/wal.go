@@ -1,0 +1,442 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WAL segment format:
+//
+//	8 bytes  magic "XITWAL01"
+//	frames:  [4B LE payload length][payload][4B LE CRC32(payload)]
+//
+// One frame is one Append batch — unless the batch encodes past
+// frameTargetBytes, in which case it spans several frames written and
+// fsynced together. The payload encodes:
+//
+//	uvarint record count
+//	per record:
+//	  uvarint len(metric), metric bytes
+//	  uvarint tag count; per tag (sorted by key): uvarint len(k) k, uvarint len(v) v
+//	  varint  timestamp (UTC unix nanoseconds)
+//	  8B LE   IEEE-754 bits of the value
+//
+// Recovery scans frames until the first torn or CRC-mismatching frame and
+// ignores (or truncates) everything after it. Atomicity is per frame: a
+// batch within the target size is recovered wholly or not at all, while an
+// oversized batch interrupted mid-write may recover to a frame-boundary
+// prefix.
+
+const (
+	walMagic      = "XITWAL01"
+	frameLenSize  = 4
+	frameCRCSize  = 4
+	maxFrameBytes = 64 << 20 // sanity bound against garbage length fields
+)
+
+var errTorn = errors.New("storage: torn wal frame")
+
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+// segmentSeq parses the sequence number out of a segment file name.
+func segmentSeq(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%d.seg", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the WAL segment sequence numbers in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := segmentSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// wal is the segment-rotating write-ahead log. It owns the active segment
+// file; sealed segments are immutable and belong to the compactor.
+type wal struct {
+	dir     string
+	segSize int64
+	sync    SyncPolicy
+
+	mu   sync.Mutex
+	f    *os.File // active segment, nil until the first Append after a seal
+	seq  uint64   // sequence of the active (or next) segment
+	size int64    // bytes written to the active segment
+
+	buf     []byte   // framed-output scratch, reused across Appends
+	recBuf  []byte   // per-record encoding scratch
+	recEnds []int    // end offset of each encoded record in recBuf
+	keys    []string // tag-key sort scratch
+}
+
+// newWAL prepares a WAL whose first created segment will be lastSeq+1.
+// No file is created until the first Append.
+func newWAL(dir string, lastSeq uint64, segSize int64, sync SyncPolicy) *wal {
+	return &wal{dir: dir, segSize: segSize, sync: sync, seq: lastSeq}
+}
+
+// frameTargetBytes is the soft cap on one frame's payload: batches that
+// encode larger are split across several frames (written and fsynced
+// together, so Append stays one group commit). Keeping frames far below
+// maxFrameBytes guarantees recovery never rejects an acknowledged frame.
+const frameTargetBytes = 1 << 20
+
+// Append durably writes one batch (group commit: one Write and one fsync
+// per call, however many frames the batch spans) and reports whether the
+// active segment was sealed afterwards.
+func (w *wal) Append(recs []Record) (sealed bool, err error) {
+	if len(recs) == 0 {
+		return false, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		if err := w.openSegmentLocked(); err != nil {
+			return false, err
+		}
+	}
+
+	// Encode all records back to back, remembering each one's end offset
+	// so the framing pass below can split on record boundaries.
+	w.recBuf = w.recBuf[:0]
+	w.recEnds = w.recEnds[:0]
+	for _, r := range recs {
+		w.recBuf = w.appendRecord(w.recBuf, r)
+		w.recEnds = append(w.recEnds, len(w.recBuf))
+	}
+
+	w.buf = w.buf[:0]
+	for i := 0; i < len(recs); {
+		frameStart := 0
+		if i > 0 {
+			frameStart = w.recEnds[i-1]
+		}
+		j := i + 1
+		for j < len(recs) && w.recEnds[j]-frameStart <= frameTargetBytes {
+			j++
+		}
+		body := w.recBuf[frameStart:w.recEnds[j-1]]
+		if len(body) > maxFrameBytes-2*binary.MaxVarintLen64 {
+			// A single record this size cannot be framed recoverably;
+			// writing it would ack data the next open truncates as torn.
+			return false, fmt.Errorf("storage: record encodes to %d bytes, above the %d wal frame limit", len(body), maxFrameBytes)
+		}
+		lenAt := len(w.buf)
+		w.buf = append(w.buf, make([]byte, frameLenSize)...)
+		w.buf = binary.AppendUvarint(w.buf, uint64(j-i))
+		w.buf = append(w.buf, body...)
+		payload := w.buf[lenAt+frameLenSize:]
+		binary.LittleEndian.PutUint32(w.buf[lenAt:lenAt+frameLenSize], uint32(len(payload)))
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.ChecksumIEEE(payload))
+		i = j
+	}
+
+	if _, err := w.f.Write(w.buf); err != nil {
+		// A short write leaves a torn frame that would make every later
+		// frame in this segment unrecoverable (scans stop at the first bad
+		// frame). Rewind to the last good offset; failing that, abandon
+		// the segment so subsequent batches go to a fresh one.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.sealLocked()
+		} else if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.sealLocked()
+		}
+		return false, fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.size += int64(len(w.buf))
+	if w.sync == SyncBatch {
+		if err := w.f.Sync(); err != nil {
+			// Durability of the written frames is unknown; seal the
+			// segment so the failure can't contaminate later batches. The
+			// unacked frames are intact on disk and may be replayed —
+			// at-least-once on error beats silent loss.
+			w.sealLocked()
+			return false, fmt.Errorf("storage: wal sync: %w", err)
+		}
+	}
+	if w.size >= w.segSize {
+		if err := w.sealLocked(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (w *wal) appendRecord(buf []byte, r Record) []byte {
+	buf = appendLenBytes(buf, r.Metric)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Tags)))
+	w.keys = w.keys[:0]
+	for k := range r.Tags {
+		w.keys = append(w.keys, k)
+	}
+	sort.Strings(w.keys)
+	for _, k := range w.keys {
+		buf = appendLenBytes(buf, k)
+		buf = appendLenBytes(buf, r.Tags[k])
+	}
+	buf = binary.AppendVarint(buf, r.TS.UnixNano())
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	return buf
+}
+
+func (w *wal) openSegmentLocked() error {
+	w.seq++
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(w.seq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		w.seq--
+		return fmt.Errorf("storage: creating wal segment: %w", err)
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: wal header: %w", err)
+	}
+	w.f = f
+	w.size = int64(len(walMagic))
+	return nil
+}
+
+// sealLocked syncs and closes the active segment; the next Append opens a
+// fresh one. Sealed segments are picked up by the compactor.
+func (w *wal) sealLocked() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		w.f = nil
+		return fmt.Errorf("storage: wal seal sync: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.f = nil
+		return fmt.Errorf("storage: wal seal close: %w", err)
+	}
+	w.f = nil
+	return nil
+}
+
+// Seal closes the active segment so every written frame becomes eligible
+// for compaction. Reports whether there was a non-empty active segment.
+func (w *wal) Seal() (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	hadData := w.f != nil && w.size > int64(len(walMagic))
+	if w.f != nil && !hadData {
+		// Empty segment: close and remove rather than leaking a file the
+		// compactor would turn into an empty block.
+		name := filepath.Join(w.dir, segmentName(w.seq))
+		err := w.f.Close()
+		w.f = nil
+		if err != nil {
+			return false, err
+		}
+		return false, os.Remove(name)
+	}
+	return hadData, w.sealLocked()
+}
+
+// Close abruptly releases the active segment handle (without fsync under
+// SyncRotate); Store.Close seals first for a clean shutdown.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// activeSeq returns the sequence of the segment new frames go to (the
+// upper, exclusive bound of sealed segments).
+func (w *wal) activeSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		// Nothing open: every existing segment (seq <= w.seq) is sealed.
+		return w.seq + 1
+	}
+	return w.seq
+}
+
+func appendLenBytes(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// scanSegment streams every intact frame's records to fn, in order. It
+// stops silently at the first torn frame or CRC mismatch and returns the
+// byte offset of the valid prefix; complete is false when a tail was
+// dropped. fn errors abort the scan.
+func scanSegment(path string, fn func(Record) error) (validLen int64, complete bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return 0, false, fmt.Errorf("storage: %s: bad wal magic", filepath.Base(path))
+	}
+	off := len(walMagic)
+	for off < len(data) {
+		frameEnd, err := decodeFrame(data[off:], fn)
+		if errors.Is(err, errTorn) {
+			return int64(off), false, nil
+		}
+		if err != nil {
+			return int64(off), false, err
+		}
+		off += frameEnd
+	}
+	return int64(off), true, nil
+}
+
+// decodeFrame parses one frame at the head of data, streaming its records
+// to fn, and returns the frame's total length. errTorn marks a frame that
+// is incomplete or fails its checksum.
+func decodeFrame(data []byte, fn func(Record) error) (int, error) {
+	if len(data) < frameLenSize {
+		return 0, errTorn
+	}
+	n := int(binary.LittleEndian.Uint32(data[:frameLenSize]))
+	if n <= 0 || n > maxFrameBytes {
+		return 0, errTorn
+	}
+	total := frameLenSize + n + frameCRCSize
+	if len(data) < total {
+		return 0, errTorn
+	}
+	payload := data[frameLenSize : frameLenSize+n]
+	want := binary.LittleEndian.Uint32(data[frameLenSize+n : total])
+	if crc32.ChecksumIEEE(payload) != want {
+		return 0, errTorn
+	}
+	if err := decodeBatch(payload, fn); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func decodeBatch(payload []byte, fn func(Record) error) error {
+	count, off, err := readUvarint(payload, 0)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var rec Record
+		rec.Metric, off, err = readLenBytes(payload, off)
+		if err != nil {
+			return err
+		}
+		var ntags uint64
+		ntags, off, err = readUvarint(payload, off)
+		if err != nil {
+			return err
+		}
+		if ntags > 0 {
+			rec.Tags = make(map[string]string, ntags)
+			for t := uint64(0); t < ntags; t++ {
+				var k, v string
+				k, off, err = readLenBytes(payload, off)
+				if err != nil {
+					return err
+				}
+				v, off, err = readLenBytes(payload, off)
+				if err != nil {
+					return err
+				}
+				rec.Tags[k] = v
+			}
+		}
+		var nanos int64
+		nanos, off, err = readVarint(payload, off)
+		if err != nil {
+			return err
+		}
+		if off+8 > len(payload) {
+			return io.ErrUnexpectedEOF
+		}
+		rec.TS = time.Unix(0, nanos).UTC()
+		rec.Value = math.Float64frombits(binary.LittleEndian.Uint64(payload[off : off+8]))
+		off += 8
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if off != len(payload) {
+		return fmt.Errorf("storage: wal frame has %d trailing bytes", len(payload)-off)
+	}
+	return nil
+}
+
+// truncateTorn chops a torn tail off the segment at path, bringing it back
+// to its longest valid frame prefix. Returns the number of bytes dropped.
+func truncateTorn(path string) (int64, error) {
+	validLen, complete, err := scanSegment(path, func(Record) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	if complete {
+		return 0, nil
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	dropped := info.Size() - validLen
+	if dropped <= 0 {
+		return 0, nil
+	}
+	if err := os.Truncate(path, validLen); err != nil {
+		return 0, err
+	}
+	return dropped, nil
+}
+
+func readUvarint(b []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, off, io.ErrUnexpectedEOF
+	}
+	return v, off + n, nil
+}
+
+func readVarint(b []byte, off int) (int64, int, error) {
+	v, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return 0, off, io.ErrUnexpectedEOF
+	}
+	return v, off + n, nil
+}
+
+func readLenBytes(b []byte, off int) (string, int, error) {
+	n, off, err := readUvarint(b, off)
+	if err != nil {
+		return "", off, err
+	}
+	if off+int(n) > len(b) {
+		return "", off, io.ErrUnexpectedEOF
+	}
+	return string(b[off : off+int(n)]), off + int(n), nil
+}

@@ -14,11 +14,15 @@ import (
 	"sync"
 	"time"
 
+	"explainit/internal/storage"
 	ts "explainit/internal/timeseries"
 )
 
-// DB is a concurrency-safe in-memory time series store with an inverted
-// index from metric names and tag pairs to series.
+// DB is a concurrency-safe time series store with an inverted index from
+// metric names and tag pairs to series. By default it is purely in-memory;
+// Open returns a DB additionally backed by a durable storage engine (WAL +
+// compressed chunks, see internal/storage) to which every Put is
+// write-through.
 type DB struct {
 	mu     sync.RWMutex
 	series map[string]*ts.Series // by series ID
@@ -26,6 +30,15 @@ type DB struct {
 	byName map[string]map[string]struct{}
 	byTag  map[string]map[string]struct{} // key "k=v"
 	sorted bool
+
+	// Scratch buffers for building series IDs without allocating on the
+	// per-Put hot path (guarded by mu).
+	idScratch  []byte
+	keyScratch []string
+
+	store  *storage.Store // non-nil in durable mode
+	werrMu sync.Mutex
+	walErr error // first WAL append failure from the error-less Put path
 }
 
 // New creates an empty database.
@@ -38,13 +51,74 @@ func New() *DB {
 	}
 }
 
-// Put appends one observation. The series is created on first use.
+// Put appends one observation. The series is created on first use. In
+// durable mode the record is WAL-logged first; log failures are sticky and
+// surface from Close/Flush (use PutBatch for an error-checked path).
+// Concurrent Puts commit to the WAL in fsync order, which for concurrent
+// writers to the same series at the same timestamp may differ from the
+// in-memory apply order — such racing writes have no defined order in
+// either mode.
 func (db *DB) Put(name string, tags ts.Tags, at time.Time, value float64) {
+	if st := db.storeHandle(); st != nil {
+		recs := [1]storage.Record{{Metric: name, Tags: tags, TS: at, Value: value}}
+		if err := st.Append(recs[:]); err != nil {
+			db.setWALErr(err)
+		}
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	id := name + tags.String()
-	s, ok := db.series[id]
+	db.putLocked(name, tags, at, value)
+	db.mu.Unlock()
+}
+
+// PutBatch appends a batch of observations. In durable mode the whole
+// batch is committed to the WAL as one group commit (one fsync) before it
+// becomes visible in memory — the bulk-ingest path connectors stream
+// through.
+func (db *DB) PutBatch(recs []Record) error {
+	if st := db.storeHandle(); st != nil {
+		if err := st.Append(recs); err != nil {
+			return err
+		}
+	}
+	db.mu.Lock()
+	for _, r := range recs {
+		db.putLocked(r.Metric, ts.Tags(r.Tags), r.TS, r.Value)
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// putLocked inserts one observation; caller holds the write lock. The
+// series ID is assembled into a reusable scratch buffer so looking up an
+// existing series allocates nothing (the common case under sustained
+// ingest); only a brand-new series materialises the ID string. The bytes
+// must stay identical to name + tags.String() — the canonical series
+// identity the storage compactor and Series.ID also use.
+func (db *DB) putLocked(name string, tags ts.Tags, at time.Time, value float64) {
+	buf := append(db.idScratch[:0], name...)
+	buf = append(buf, '{')
+	if len(tags) > 0 {
+		keys := db.keyScratch[:0]
+		for k := range tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		db.keyScratch = keys
+		for i, k := range keys {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, k...)
+			buf = append(buf, '=')
+			buf = append(buf, tags[k]...)
+		}
+	}
+	buf = append(buf, '}')
+	db.idScratch = buf
+
+	s, ok := db.series[string(buf)] // compiler elides the conversion alloc
 	if !ok {
+		id := string(buf)
 		s = &ts.Series{Name: name, Tags: tags.Clone()}
 		db.series[id] = s
 		addIndex(db.byName, name, id)
@@ -85,6 +159,12 @@ func (db *DB) ensureSorted() {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.sortLocked()
+}
+
+// sortLocked sorts all series in place if needed; caller holds the write
+// lock.
+func (db *DB) sortLocked() {
 	if db.sorted {
 		return
 	}
@@ -256,7 +336,9 @@ func globToRegexp(glob string) (*regexp.Regexp, error) {
 
 // Retain drops all samples outside the given range across every series and
 // removes series that become empty — the retention sweep any production
-// TSDB runs.
+// TSDB runs. The sweep is in-memory only: on a durable store the pruned
+// samples still exist in blocks/WAL and reappear after a reopen
+// (block-level retention compaction is future work, see DESIGN.md).
 func (db *DB) Retain(r ts.TimeRange) int {
 	db.ensureSorted()
 	db.mu.Lock()

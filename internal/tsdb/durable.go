@@ -1,0 +1,107 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+
+	"explainit/internal/storage"
+	ts "explainit/internal/timeseries"
+)
+
+// Record is one observation in the durable interchange form (the WAL batch
+// unit). Tags may be nil; timestamps are persisted as UTC nanoseconds.
+type Record = storage.Record
+
+// Open returns a DB backed by a durable storage engine rooted at dir: a
+// write-ahead log for fresh ingest and compressed columnar chunks for
+// compacted history. All previously committed data is recovered (sealed
+// WAL segments replayed, torn tail records truncated, checkpointed blocks
+// loaded) and the in-memory inverted index is rebuilt, after which queries
+// behave — and return — exactly as on an in-memory DB fed the same Puts.
+func Open(dir string) (*DB, error) {
+	return OpenWithOptions(dir, storage.Options{})
+}
+
+// OpenWithOptions is Open with explicit storage tuning.
+func OpenWithOptions(dir string, opts storage.Options) (*DB, error) {
+	st, err := storage.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	db := New()
+	db.mu.Lock()
+	err = st.Replay(func(rec storage.Record) error {
+		db.putLocked(rec.Metric, ts.Tags(rec.Tags), rec.TS, rec.Value)
+		return nil
+	})
+	db.mu.Unlock()
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("tsdb: recovering %s: %w", dir, err)
+	}
+	db.store = st
+	return db, nil
+}
+
+// storeHandle reads the storage backend pointer under the lock, so Put
+// paths racing Close never see a half-published pointer (Close nils it).
+func (db *DB) storeHandle() *storage.Store {
+	db.mu.RLock()
+	st := db.store
+	db.mu.RUnlock()
+	return st
+}
+
+// Durable reports whether the DB is backed by the storage engine.
+func (db *DB) Durable() bool { return db.storeHandle() != nil }
+
+// Flush forces all WAL data into compressed chunk blocks. It is a no-op
+// for an in-memory DB.
+func (db *DB) Flush() error {
+	st := db.storeHandle()
+	if st == nil {
+		return nil
+	}
+	if err := db.takeWALErr(); err != nil {
+		return err
+	}
+	return st.Flush()
+}
+
+// Close flushes and releases the storage engine (no-op for an in-memory
+// DB). It returns any WAL append error swallowed by the error-less Put
+// path, so no write failure goes unnoticed. The store handle is kept so
+// that writes racing or following Close fail loudly (PutBatch errors, Put
+// records a sticky error) instead of being acknowledged memory-only.
+func (db *DB) Close() error {
+	st := db.storeHandle()
+	if st == nil {
+		return nil
+	}
+	return errors.Join(db.takeWALErr(), st.Close())
+}
+
+// StorageStats reports the on-disk footprint of the durable backend.
+func (db *DB) StorageStats() (storage.Stats, error) {
+	st := db.storeHandle()
+	if st == nil {
+		return storage.Stats{}, nil
+	}
+	return st.Stats()
+}
+
+func (db *DB) setWALErr(err error) {
+	db.werrMu.Lock()
+	if db.walErr == nil {
+		db.walErr = err
+	}
+	db.werrMu.Unlock()
+}
+
+func (db *DB) takeWALErr() error {
+	db.werrMu.Lock()
+	defer db.werrMu.Unlock()
+	err := db.walErr
+	db.walErr = nil
+	return err
+}

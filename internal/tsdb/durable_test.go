@@ -1,0 +1,306 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"explainit/internal/storage"
+	ts "explainit/internal/timeseries"
+)
+
+// feedBoth applies the same sequence of puts to an in-memory DB and a
+// durable one, returning both.
+func feedBoth(t *testing.T, dur *DB, puts func(put func(string, ts.Tags, time.Time, float64))) *DB {
+	t.Helper()
+	mem := New()
+	puts(func(name string, tags ts.Tags, at time.Time, v float64) {
+		mem.Put(name, tags, at, v)
+		dur.Put(name, tags, at, v)
+	})
+	return mem
+}
+
+// mixedWorkload exercises several series, out-of-order samples, duplicate
+// timestamps and awkward float values.
+func mixedWorkload(put func(string, ts.Tags, time.Time, float64)) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		put("disk", ts.Tags{"host": "dn-1", "type": "read"}, at, 20+math.Sin(float64(i)/30))
+		put("disk", ts.Tags{"host": "dn-2", "type": "read"}, at, rng.NormFloat64())
+		put("runtime", ts.Tags{"component": "pipeline-1"}, at, float64(i))
+	}
+	// Out-of-order and duplicate timestamps.
+	put("runtime", ts.Tags{"component": "pipeline-1"}, t0.Add(5*time.Minute), -1)
+	put("runtime", ts.Tags{"component": "pipeline-1"}, t0.Add(5*time.Minute), -2)
+	// Tagless series and special values.
+	put("weird", nil, t0, math.Inf(1))
+	put("weird", nil, t0.Add(time.Minute), math.NaN())
+	put("weird", nil, t0.Add(2*time.Minute), math.Copysign(0, -1))
+}
+
+// sameQueryResults requires bitwise-identical results for a spread of
+// queries: same series order, names, tags, timestamps (as instants) and
+// IEEE-754 value bits.
+func sameQueryResults(t *testing.T, got, want *DB) {
+	t.Helper()
+	queries := []Query{
+		{},
+		{Metric: "disk"},
+		{Metric: "runtime"},
+		{Tags: ts.Tags{"host": "dn-2"}},
+		{NamePattern: "*i*"},
+		{TagPatterns: ts.Tags{"host": "dn-*"}},
+		{Metric: "disk", Range: ts.TimeRange{From: t0.Add(30 * time.Minute), To: t0.Add(90 * time.Minute)}},
+	}
+	for qi, q := range queries {
+		gs, err := got.Run(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		ws, err := want.Run(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if len(gs) != len(ws) {
+			t.Fatalf("query %d: %d series vs %d", qi, len(gs), len(ws))
+		}
+		for i := range ws {
+			g, w := gs[i], ws[i]
+			if g.Name != w.Name || g.Tags.String() != w.Tags.String() {
+				t.Fatalf("query %d series %d: %s%s vs %s%s", qi, i, g.Name, g.Tags, w.Name, w.Tags)
+			}
+			if len(g.Samples) != len(w.Samples) {
+				t.Fatalf("query %d series %s: %d samples vs %d", qi, g.ID(), len(g.Samples), len(w.Samples))
+			}
+			for j := range w.Samples {
+				if !g.Samples[j].TS.Equal(w.Samples[j].TS) {
+					t.Fatalf("query %d series %s sample %d: ts %v vs %v", qi, g.ID(), j, g.Samples[j].TS, w.Samples[j].TS)
+				}
+				if math.Float64bits(g.Samples[j].Value) != math.Float64bits(w.Samples[j].Value) {
+					t.Fatalf("query %d series %s sample %d: value bits %x vs %x", qi, g.ID(), j,
+						math.Float64bits(g.Samples[j].Value), math.Float64bits(w.Samples[j].Value))
+				}
+			}
+		}
+	}
+	// The gob snapshot is byte-deterministic over the logical state, so
+	// byte-equality is the strongest whole-store equivalence check.
+	var gb, wb bytes.Buffer
+	if err := got.Save(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Save(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb.Bytes(), wb.Bytes()) {
+		t.Fatal("gob snapshots differ between durable and in-memory stores")
+	}
+}
+
+func TestDurableRoundTripEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	dur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := feedBoth(t, dur, mixedWorkload)
+
+	// Before Close: same results straight from the write-through path.
+	sameQueryResults(t, dur, mem)
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After Close + reopen: results recovered from compressed chunks.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	sameQueryResults(t, re, mem)
+}
+
+func TestDurableBatchPathEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	dur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := New()
+	var batch []Record
+	mixedWorkload(func(name string, tags ts.Tags, at time.Time, v float64) {
+		mem.Put(name, tags, at, v)
+		batch = append(batch, Record{Metric: name, Tags: tags, TS: at, Value: v})
+		if len(batch) == 64 {
+			if err := dur.PutBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	})
+	if err := dur.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sameQueryResults(t, dur, mem)
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	sameQueryResults(t, re, mem)
+}
+
+func TestDurableCrashRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	// Background compaction off so the staged torn tail stays in place.
+	dur, err := OpenWithOptions(dir, storage.Options{NoBackgroundCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := feedBoth(t, dur, mixedWorkload)
+
+	// Crash: abandon dur without Close, then tear the active segment's
+	// tail the way an interrupted write would.
+	seg := findActiveSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Every complete batch (here: every Put) survives; the torn garbage
+	// is truncated. Results must match the in-memory reference exactly.
+	sameQueryResults(t, re, mem)
+}
+
+func findActiveSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no wal segment (err %v)", err)
+	}
+	return matches[len(matches)-1]
+}
+
+func TestDurableChunksSmallerThanGobSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	dur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A day of minute-cadence telemetry across 40 series — the shape of
+	// the example datasets the simulator generates.
+	rng := rand.New(rand.NewSource(5))
+	var batch []Record
+	for s := 0; s < 40; s++ {
+		tags := ts.Tags{"host": "node-" + string(rune('a'+s%26)), "idx": string(rune('0' + s/26))}
+		for i := 0; i < 1440; i++ {
+			batch = append(batch, Record{
+				Metric: "metric",
+				Tags:   tags,
+				TS:     t0.Add(time.Duration(i) * time.Minute),
+				Value:  50 + 10*math.Sin(float64(i)/120) + rng.NormFloat64(),
+			})
+		}
+	}
+	if err := dur.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := dur.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := dur.StorageStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks == 0 {
+		t.Fatal("no blocks written")
+	}
+	if st.BlockBytes >= int64(snap.Len())/2 {
+		t.Fatalf("compressed chunks %d B not measurably smaller than gob snapshot %d B", st.BlockBytes, snap.Len())
+	}
+	t.Logf("chunks: %d B, gob snapshot: %d B (%.1fx smaller)", st.BlockBytes, snap.Len(), float64(snap.Len())/float64(st.BlockBytes))
+}
+
+func TestDurablePutErrorSurfacesOnClose(t *testing.T) {
+	dir := t.TempDir()
+	dur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the storage engine failing mid-flight: the store is gone,
+	// so further Puts on a zombie handle are just in-memory; but a WAL
+	// error recorded by Put must surface from Close.
+	dur2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur2.setWALErr(os.ErrClosed)
+	if err := dur2.Close(); err == nil {
+		t.Fatal("sticky WAL error must surface from Close")
+	}
+}
+
+func TestDurablePutAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	dur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after Close must not be silently acknowledged memory-only:
+	// PutBatch errors, Put records a sticky error the next Close returns.
+	if err := dur.PutBatch([]Record{{Metric: "m", TS: t0, Value: 1}}); err == nil {
+		t.Fatal("PutBatch after Close must fail")
+	}
+	dur.Put("m", nil, t0, 1)
+	if err := dur.Close(); err == nil {
+		t.Fatal("Close must surface the sticky WAL error from Put-after-Close")
+	}
+}
+
+func TestInMemoryCloseAndFlushAreNoOps(t *testing.T) {
+	db := New()
+	db.Put("m", nil, t0, 1)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Durable() {
+		t.Fatal("in-memory db must not report durable")
+	}
+}

@@ -32,9 +32,15 @@ const snapshotVersion = 1
 
 // Save writes the entire store to w as a gob snapshot. The output is
 // byte-deterministic for a given store state (sorted series, sorted tags).
+//
+// The whole snapshot — sorting lazily-unsorted series and copying them —
+// is assembled under the write lock: sorting with only a read lock held
+// would race with concurrent Puts and could emit an unsorted (hence
+// non-deterministic) snapshot. Encoding happens after the lock is
+// released, off the copied state.
 func (db *DB) Save(w io.Writer) error {
-	db.ensureSorted()
-	db.mu.RLock()
+	db.mu.Lock()
+	db.sortLocked()
 	snap := snapshot{Version: snapshotVersion, Series: make([]snapshotSeries, 0, len(db.series))}
 	ids := make([]string, 0, len(db.series))
 	for id := range db.series {
@@ -57,7 +63,7 @@ func (db *DB) Save(w io.Writer) error {
 		}
 		snap.Series = append(snap.Series, ss)
 	}
-	db.mu.RUnlock()
+	db.mu.Unlock()
 	return gob.NewEncoder(w).Encode(&snap)
 }
 

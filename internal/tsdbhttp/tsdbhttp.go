@@ -96,12 +96,23 @@ func (h *Handler) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad records: "+err.Error())
 		return
 	}
+	batch := make([]tsdb.Record, 0, len(records))
 	for i, rec := range records {
 		if rec.Metric == "" {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("record %d: empty metric", i))
 			return
 		}
-		h.DB.Put(rec.Metric, ts.Tags(rec.Tags), time.Unix(rec.Timestamp, 0).UTC(), rec.Value)
+		batch = append(batch, tsdb.Record{
+			Metric: rec.Metric,
+			Tags:   rec.Tags,
+			TS:     time.Unix(rec.Timestamp, 0).UTC(),
+			Value:  rec.Value,
+		})
+	}
+	// One group-commit WAL frame per HTTP put request on a durable store.
+	if err := h.DB.PutBatch(batch); err != nil {
+		writeError(w, http.StatusInternalServerError, "storing records: "+err.Error())
+		return
 	}
 	writeJSON(w, map[string]int{"stored": len(records)})
 }
