@@ -2,6 +2,8 @@ package explainit
 
 import (
 	"math/rand"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -200,6 +202,48 @@ func BenchmarkIngestWAL(b *testing.B) {
 		}
 	}
 }
+
+// benchIngestWALConcurrent is the concurrent-writer counterpart of
+// BenchmarkIngestWAL: many writer goroutines stream their own series
+// through the durable error-less Put path (one WAL frame + fsync per
+// record, the telemetry-daemon shape). One benchmark op is the whole
+// workload. On a single-shard store every writer serialises behind one
+// WAL; with hash-sharded stores the writers land on different shards and
+// their fsyncs overlap in the kernel — which is where the concurrent
+// ingest speedup comes from even on few cores.
+func benchIngestWALConcurrent(b *testing.B, shards int) {
+	const writers = 32
+	const perWriter = 256
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, err := tsdb.OpenWithOptions(b.TempDir(), tsdb.Options{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tags := ts.Tags{"host": "dn-" + strconv.Itoa(w)}
+				for j := 0; j < perWriter; j++ {
+					db.Put("disk", tags, at.Add(time.Duration(j)*time.Minute), float64(j))
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkIngestWALConcurrent(b *testing.B)       { benchIngestWALConcurrent(b, 16) }
+func BenchmarkIngestWALConcurrentShard1(b *testing.B) { benchIngestWALConcurrent(b, 1) }
 
 func BenchmarkSimulatorGenerate(b *testing.B) {
 	cfg := simulator.DefaultCaseStudyConfig()

@@ -28,7 +28,8 @@ import (
 const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL2P50$|" +
 	"BenchmarkScorerConditional$|BenchmarkScorerCorrMean$|BenchmarkEngineRank$|" +
 	"BenchmarkEndToEndExplain$|BenchmarkRidgeFitPrimal$|BenchmarkRidgeFitDual$|" +
-	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$|BenchmarkIngestWAL$"
+	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$|BenchmarkIngestWAL$|" +
+	"BenchmarkIngestWALConcurrent$|BenchmarkIngestWALConcurrentShard1$"
 
 // Measurement is one benchmark's result in a snapshot.
 type Measurement struct {

@@ -66,7 +66,10 @@ func main() {
 
 	db := tsdb.New()
 	for _, s := range sc.Series {
-		db.PutSeries(s)
+		if err := db.PutSeries(s); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 	n, err := connector.WriteCSV(db, os.Stdout, tsdb.Query{})
 	if err != nil {

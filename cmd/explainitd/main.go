@@ -8,13 +8,14 @@
 //
 // and point a coordinator's cluster.Dial at the addresses.
 //
-// With -data-dir the worker also opens a durable shard-local time series
-// store (WAL + compressed chunks, the groundwork for data-local scoring
-// once ingest is sharded across workers). The store is crash-recovered on
-// start; SIGINT/SIGTERM trigger a graceful shutdown that stops accepting
-// RPCs and flushes the WAL into chunks:
+// With -data-dir the worker also opens a durable worker-local time series
+// store (hash-sharded, one WAL + block dir per shard — the groundwork for
+// data-local scoring once ingest is partitioned across workers; -shards
+// picks the count at creation). The store is crash-recovered on start;
+// SIGINT/SIGTERM trigger a graceful shutdown that stops accepting RPCs and
+// flushes the WALs into chunks:
 //
-//	explainitd -listen :9101 -data-dir /var/lib/explainit/shard-0
+//	explainitd -listen :9101 -data-dir /var/lib/explainit/worker-0 -shards 4
 package main
 
 import (
@@ -31,19 +32,20 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9101", "address to serve scoring RPCs on")
-	dataDir := flag.String("data-dir", "", "durable shard-local store directory (WAL + compressed chunks)")
+	dataDir := flag.String("data-dir", "", "durable worker-local store directory (per-shard WAL + compressed chunks)")
+	shards := flag.Int("shards", 0, "shard count for the store (0 = default; an existing -data-dir keeps its creation-time count)")
 	flag.Parse()
 
 	var db *tsdb.DB
 	if *dataDir != "" {
 		var err error
-		db, err = tsdb.Open(*dataDir)
+		db, err = tsdb.OpenWithOptions(*dataDir, tsdb.Options{Shards: *shards})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "explainitd: opening data dir:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "explainitd: recovered %d samples (%d series) from %s\n",
-			db.NumSamples(), db.NumSeries(), *dataDir)
+		fmt.Fprintf(os.Stderr, "explainitd: recovered %d samples (%d series) from %s (%d shards)\n",
+			db.NumSamples(), db.NumSeries(), *dataDir, db.NumShards())
 	}
 
 	l, err := net.Listen("tcp", *listen)

@@ -35,7 +35,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:4242", "address to serve the HTTP API on")
-	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + compressed chunks)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (per-shard WAL + compressed chunks)")
+	shards := flag.Int("shards", 0, "shard count for the store (0 = default; an existing -data-dir keeps its creation-time count)")
 	snapshot := flag.String("snapshot", "", "legacy in-memory mode: snapshot file to restore from and persist to")
 	interval := flag.Duration("snapshot-interval", time.Minute, "how often to persist the -snapshot file")
 	flag.Parse()
@@ -48,15 +49,15 @@ func main() {
 	var db *tsdb.DB
 	if *dataDir != "" {
 		var err error
-		db, err = tsdb.Open(*dataDir)
+		db, err = tsdb.OpenWithOptions(*dataDir, tsdb.Options{Shards: *shards})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tsdbd: opening data dir:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "tsdbd: recovered %d samples (%d series) from %s\n",
-			db.NumSamples(), db.NumSeries(), *dataDir)
+		fmt.Fprintf(os.Stderr, "tsdbd: recovered %d samples (%d series) from %s (%d shards)\n",
+			db.NumSamples(), db.NumSeries(), *dataDir, db.NumShards())
 	} else {
-		db = tsdb.New()
+		db = tsdb.NewWithShards(*shards)
 		if *snapshot != "" {
 			if f, err := os.Open(*snapshot); err == nil {
 				n, lerr := db.Load(f)

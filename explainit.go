@@ -60,13 +60,22 @@ func New() *Client {
 }
 
 // Open creates a client whose time series store is durably persisted
-// under dir by the storage engine (write-ahead log + compressed columnar
-// chunks): all previously committed telemetry is recovered on Open, every
-// Put/LoadCSV/LoadJSONL is logged before it becomes queryable, and query
-// results are identical to an in-memory client fed the same data. Call
-// Close when done.
+// under dir by the storage engine (hash-sharded per-shard write-ahead
+// logs + compressed columnar chunks): all previously committed telemetry
+// is recovered on Open, every Put/LoadCSV/LoadJSONL is logged before it
+// becomes queryable, and query results are identical to an in-memory
+// client fed the same data. Call Close when done.
 func Open(dir string) (*Client, error) {
-	db, err := tsdb.Open(dir)
+	return OpenShards(dir, 0)
+}
+
+// OpenShards is Open with an explicit shard count for a new store
+// directory (0 selects the default). Ingest and query fan out across
+// shards — each with its own lock, indexes and WAL — while query results
+// stay bitwise identical at any count. An existing directory's count is
+// pinned at creation and wins over the argument.
+func OpenShards(dir string, shards int) (*Client, error) {
+	db, err := tsdb.OpenWithOptions(dir, tsdb.Options{Shards: shards})
 	if err != nil {
 		return nil, err
 	}

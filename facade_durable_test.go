@@ -68,3 +68,54 @@ func TestOpenDurableClientRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOpenShardsFacade pins the sharded facade: an explicit shard count
+// round-trips through Close/Open (the directory pins it) and query
+// results match a single-shard client byte for byte.
+func TestOpenShardsFacade(t *testing.T) {
+	ref, err := OpenShards(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.LoadCSV(strings.NewReader(durableCSV)); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	c, err := OpenShards(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadCSV(strings.NewReader(durableCSV)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir) // reopens with the pinned count
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	const q = "select timestamp, metric_name, tag, value from tsdb order by metric_name, tag, timestamp"
+	got, err := re.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows %d vs %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}

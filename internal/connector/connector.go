@@ -27,8 +27,9 @@ type Record struct {
 }
 
 // loadBatchSize is how many records the loaders buffer before handing
-// them to the TSDB in one PutBatch. On a durable store each batch is one
-// WAL group-commit frame (one fsync), which is what makes bulk ingest
+// them to the TSDB in one PutBatch. On a durable store the batch is
+// partitioned per shard and each shard's slice is one WAL group-commit
+// frame — the per-shard fsyncs overlap, which is what makes bulk ingest
 // through the log fast.
 const loadBatchSize = 512
 

@@ -99,21 +99,32 @@ func writeBlock(dir string, seq, flushedThrough uint64, series []blockSeries) er
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 
-	path := filepath.Join(dir, blockName(seq))
+	if err := WriteFileAtomic(filepath.Join(dir, blockName(seq)), buf); err != nil {
+		return fmt.Errorf("storage: block write: %w", err)
+	}
+	return nil
+}
+
+// WriteFileAtomic durably replaces path with data: write to a temp file,
+// fsync it, rename into place, fsync the directory. A crash leaves either
+// the old file, the new one, or a stray temp (swept by listBlocks /
+// ignored elsewhere) — never a torn file. This is the one atomic-write
+// recipe in the system; the tsdb layer uses it for its shard meta file.
+func WriteFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: block create: %w", err)
+		return err
 	}
-	if _, err := f.Write(buf); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("storage: block write: %w", err)
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("storage: block sync: %w", err)
+		return err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -123,7 +134,7 @@ func writeBlock(dir string, seq, flushedThrough uint64, series []blockSeries) er
 		os.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return SyncDir(filepath.Dir(path))
 }
 
 // readBlockMeta verifies a block's integrity and returns its checkpoint.
@@ -137,30 +148,32 @@ func readBlockMeta(dir string, seq uint64) (flushedThrough uint64, err error) {
 }
 
 // readBlock streams every record of the block to fn, series by series in
-// stored order, chunks in window order, samples in chunk order. The Tags
+// stored order, chunks in window order, samples in chunk order, and
+// returns the block's flushedThrough checkpoint (so callers that need
+// both records and metadata read and CRC-check the file once). The Tags
 // map is shared across one series' records; callers must not retain it
 // across calls without cloning.
-func readBlock(dir string, seq uint64, fn func(Record) error) error {
+func readBlock(dir string, seq uint64, fn func(Record) error) (flushedThrough uint64, err error) {
 	buf, err := checkedBlockBytes(dir, seq)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	off := len(blockMagic)
-	if _, off, err = readUvarint(buf, off); err != nil { // flushedThrough
-		return err
+	if flushedThrough, off, err = readUvarint(buf, off); err != nil {
+		return 0, err
 	}
 	nseries, off, err := readUvarint(buf, off)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for i := uint64(0); i < nseries; i++ {
 		var metric string
 		if metric, off, err = readLenBytes(buf, off); err != nil {
-			return err
+			return 0, err
 		}
 		ntags, o, err := readUvarint(buf, off)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		off = o
 		var tags map[string]string
@@ -169,30 +182,30 @@ func readBlock(dir string, seq uint64, fn func(Record) error) error {
 			for t := uint64(0); t < ntags; t++ {
 				var k, v string
 				if k, off, err = readLenBytes(buf, off); err != nil {
-					return err
+					return 0, err
 				}
 				if v, off, err = readLenBytes(buf, off); err != nil {
-					return err
+					return 0, err
 				}
 				tags[k] = v
 			}
 		}
 		nchunks, o2, err := readUvarint(buf, off)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		off = o2
 		for c := uint64(0); c < nchunks; c++ {
 			if _, off, err = readVarint(buf, off); err != nil { // windowStart
-				return err
+				return 0, err
 			}
 			clen, o3, err := readUvarint(buf, off)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			off = o3
 			if off+int(clen) > len(buf) {
-				return fmt.Errorf("storage: block %d: chunk overruns file", seq)
+				return 0, fmt.Errorf("storage: block %d: chunk overruns file", seq)
 			}
 			var ferr error
 			if _, err := decodeChunk(buf[off:off+int(clen)], func(s sample) {
@@ -201,15 +214,15 @@ func readBlock(dir string, seq uint64, fn func(Record) error) error {
 				}
 				ferr = fn(Record{Metric: metric, Tags: tags, TS: nanoTime(s.nanos), Value: s.value})
 			}); err != nil {
-				return fmt.Errorf("storage: block %d: %w", seq, err)
+				return 0, fmt.Errorf("storage: block %d: %w", seq, err)
 			}
 			if ferr != nil {
-				return ferr
+				return 0, ferr
 			}
 			off += int(clen)
 		}
 	}
-	return nil
+	return flushedThrough, nil
 }
 
 // checkedBlockBytes loads a block file, verifying magic and CRC, and
@@ -231,7 +244,8 @@ func checkedBlockBytes(dir string, seq uint64) ([]byte, error) {
 	return body, nil
 }
 
-func syncDir(dir string) error {
+// SyncDir fsyncs a directory, making renames and unlinks in it durable.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

@@ -1,0 +1,52 @@
+package storage
+
+import "path/filepath"
+
+// ReplayDir streams every durable record in a store directory to fn
+// without opening the directory for writing: blocks in sequence order
+// first, then the WAL segments not yet checkpointed into a block, in
+// order. Unlike Open it is read-only — torn segment tails are skipped but
+// not truncated, and nothing is compacted or deleted. The Tags map passed
+// to fn may be shared between records of one series; clone it before
+// retaining. The tsdb layer uses this to migrate a pre-sharding store
+// layout into per-shard stores.
+func ReplayDir(dir string, fn func(Record) error) error {
+	blocks, err := listBlocks(dir)
+	if err != nil {
+		return err
+	}
+	var flushedThrough uint64
+	for _, seq := range blocks {
+		ft, err := readBlock(dir, seq, fn)
+		if err != nil {
+			return err
+		}
+		if ft > flushedThrough {
+			flushedThrough = ft
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq <= flushedThrough {
+			continue // already replayed from a block
+		}
+		if _, _, err := scanSegment(filepath.Join(dir, segmentName(seq)), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsStoreFile reports whether name is a store data file (a WAL segment or
+// a block). Used by the tsdb layer to detect and retire a legacy
+// single-store directory layout.
+func IsStoreFile(name string) bool {
+	if _, ok := segmentSeq(name); ok {
+		return true
+	}
+	_, ok := blockSeq(name)
+	return ok
+}

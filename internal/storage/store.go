@@ -135,7 +135,7 @@ func (s *Store) Replay(fn func(Record) error) error {
 	blocks := append([]uint64(nil), s.blocks...)
 	s.mu.Unlock()
 	for _, seq := range blocks {
-		if err := readBlock(s.dir, seq, fn); err != nil {
+		if _, err := readBlock(s.dir, seq, fn); err != nil {
 			return err
 		}
 	}
@@ -273,6 +273,63 @@ func (s *Store) compactLoop() {
 	}
 }
 
+// blockBuilder accumulates records grouped by series (first-seen order,
+// append order within a series) and assembles the deterministic
+// series-sorted block layout. It is the one definition of that layout,
+// shared by WAL compaction and retention rewrite.
+type blockBuilder struct {
+	bySeries map[string]*seriesAcc
+	order    []string
+}
+
+type seriesAcc struct {
+	metric  string
+	tags    map[string]string
+	samples []sample
+}
+
+func newBlockBuilder() *blockBuilder {
+	return &blockBuilder{bySeries: make(map[string]*seriesAcc)}
+}
+
+// series returns the accumulator for r's series, creating it on first
+// sight. cloneTags must be set when r.Tags may be shared or mutated after
+// the call (block replay reuses one map per series).
+func (b *blockBuilder) series(r Record, clone bool) *seriesAcc {
+	key := r.Metric + tagKey(r.Tags)
+	acc, ok := b.bySeries[key]
+	if !ok {
+		tags := r.Tags
+		if clone {
+			tags = cloneTags(tags)
+		}
+		acc = &seriesAcc{metric: r.Metric, tags: tags}
+		b.bySeries[key] = acc
+		b.order = append(b.order, key)
+	}
+	return acc
+}
+
+// build encodes the accumulated samples into the canonical block layout:
+// series sorted by key, each chunked by s's chunking rules. Series left
+// without samples (fully filtered) are omitted.
+func (b *blockBuilder) build(s *Store) []blockSeries {
+	sort.Strings(b.order) // deterministic block layout
+	series := make([]blockSeries, 0, len(b.order))
+	for _, key := range b.order {
+		acc := b.bySeries[key]
+		if len(acc.samples) == 0 {
+			continue
+		}
+		series = append(series, blockSeries{
+			metric: acc.metric,
+			tags:   acc.tags,
+			chunks: s.buildChunks(acc.samples),
+		})
+	}
+	return series
+}
+
 // compactSealedLocked rewrites every sealed WAL segment into one block
 // file with per-series, time-partitioned compressed chunks, then deletes
 // the segments. Records in a torn or corrupt segment tail are dropped,
@@ -283,23 +340,10 @@ func (s *Store) compactSealedLocked() error {
 		return nil
 	}
 
-	// Gather records grouped by series, preserving append order.
-	type seriesAcc struct {
-		metric  string
-		tags    map[string]string
-		samples []sample
-	}
-	bySeries := make(map[string]*seriesAcc)
-	var order []string
+	bb := newBlockBuilder()
 	for _, seq := range sealed {
 		_, _, err := scanSegment(filepath.Join(s.dir, segmentName(seq)), func(r Record) error {
-			key := r.Metric + tagKey(r.Tags)
-			acc, ok := bySeries[key]
-			if !ok {
-				acc = &seriesAcc{metric: r.Metric, tags: r.Tags}
-				bySeries[key] = acc
-				order = append(order, key)
-			}
+			acc := bb.series(r, false)
 			acc.samples = append(acc.samples, sample{nanos: r.TS.UnixNano(), value: r.Value})
 			return nil
 		})
@@ -309,19 +353,9 @@ func (s *Store) compactSealedLocked() error {
 	}
 
 	flushedThrough := sealed[len(sealed)-1]
-	if len(bySeries) > 0 {
-		sort.Strings(order) // deterministic block layout
-		series := make([]blockSeries, 0, len(order))
-		for _, key := range order {
-			acc := bySeries[key]
-			series = append(series, blockSeries{
-				metric: acc.metric,
-				tags:   acc.tags,
-				chunks: s.buildChunks(acc.samples),
-			})
-		}
+	if len(bb.order) > 0 {
 		seq := s.nextBlock
-		if err := writeBlock(s.dir, seq, flushedThrough, series); err != nil {
+		if err := writeBlock(s.dir, seq, flushedThrough, bb.build(s)); err != nil {
 			return err
 		}
 		s.blocks = append(s.blocks, seq)

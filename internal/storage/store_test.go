@@ -36,17 +36,6 @@ func replayAll(t *testing.T, s *Store) []Record {
 	return out
 }
 
-func cloneTags(tags map[string]string) map[string]string {
-	if tags == nil {
-		return nil
-	}
-	out := make(map[string]string, len(tags))
-	for k, v := range tags {
-		out[k] = v
-	}
-	return out
-}
-
 func sameRecords(t *testing.T, got, want []Record) {
 	t.Helper()
 	if len(got) != len(want) {

@@ -1,15 +1,18 @@
-// Package tsdb is a small in-memory time series database in the OpenTSDB
-// mould: metrics are identified by name plus key/value tags, samples are
-// appended per minute (or any resolution), and queries filter by metric
-// name, tag equality, tag patterns and time range. It plays the role of the
-// "external data sources" in ExplainIt!'s pipeline (Figure 4); the SQL layer
-// reads from it through the catalog in internal/sqlexec.
+// Package tsdb is a small time series database in the OpenTSDB mould:
+// metrics are identified by name plus key/value tags, samples are appended
+// per minute (or any resolution), and queries filter by metric name, tag
+// equality, tag patterns and time range. It plays the role of the
+// "external data sources" in ExplainIt!'s pipeline (Figure 4); the SQL
+// layer reads from it through the catalog in internal/sqlexec.
 package tsdb
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -18,12 +21,35 @@ import (
 	ts "explainit/internal/timeseries"
 )
 
-// DB is a concurrency-safe time series store with an inverted index from
-// metric names and tag pairs to series. By default it is purely in-memory;
-// Open returns a DB additionally backed by a durable storage engine (WAL +
-// compressed chunks, see internal/storage) to which every Put is
-// write-through.
+// DB is a concurrency-safe time series store hash-sharded by series
+// identity: each shard owns a disjoint slice of the series universe with
+// its own mutex and inverted indexes, so concurrent writers and readers
+// touching different series do not contend on one lock. Query results are
+// merged across shards ordered by series ID, making them bitwise
+// independent of the shard count. By default the store is purely
+// in-memory; Open returns a DB where every shard is additionally backed by
+// its own durable storage engine (per-shard WAL + compressed chunks, see
+// internal/storage) to which every Put is write-through.
 type DB struct {
+	shards []*shard
+
+	werrMu sync.Mutex
+	walErr error // first WAL append failure from the error-less Put path
+}
+
+// shard is one lock domain: the series whose identity hashes to it, the
+// inverted indexes over just those series, and (in durable mode) the
+// storage engine holding exactly their samples.
+type shard struct {
+	// wmu orders durable writers against each other and against the
+	// retention sweep: it is held across (WAL append, memory apply) so a
+	// record is never durable-pruned by a concurrent Retain after its WAL
+	// commit but before its memory apply (which would make memory and
+	// disk diverge). Writers already serialise on the WAL internally, so
+	// wmu costs them nothing extra; readers never take it, so queries
+	// don't wait on fsyncs. Unused (never locked) in memory-only mode.
+	// Lock order: wmu before mu.
+	wmu    sync.Mutex
 	mu     sync.RWMutex
 	series map[string]*ts.Series // by series ID
 	// Inverted indexes. Values are sets of series IDs.
@@ -31,19 +57,50 @@ type DB struct {
 	byTag  map[string]map[string]struct{} // key "k=v"
 	sorted bool
 
-	// Scratch buffers for building series IDs without allocating on the
-	// per-Put hot path (guarded by mu).
-	idScratch  []byte
-	keyScratch []string
-
-	store  *storage.Store // non-nil in durable mode
-	werrMu sync.Mutex
-	walErr error // first WAL append failure from the error-less Put path
+	store *storage.Store // immutable after Open; nil in memory-only mode
 }
 
-// New creates an empty database.
-func New() *DB {
-	return &DB{
+// DefaultShards is the shard count used when neither NewWithShards /
+// Options.Shards nor the EXPLAINIT_SHARDS environment variable picks one.
+const DefaultShards = 8
+
+// maxShards bounds the shard count: beyond a few hundred the per-shard
+// fixed costs (locks, maps, WAL segments) outweigh any contention win.
+const maxShards = 256
+
+// defaultShardCount resolves the ambient shard count: EXPLAINIT_SHARDS if
+// set to a sane value (the CI race matrix uses this to sweep shard
+// counts), else DefaultShards.
+func defaultShardCount() int {
+	if v := os.Getenv("EXPLAINIT_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 && n <= maxShards {
+			return n
+		}
+	}
+	return DefaultShards
+}
+
+// New creates an empty in-memory database with the default shard count.
+func New() *DB { return NewWithShards(0) }
+
+// NewWithShards creates an empty in-memory database with n shards
+// (n <= 0 selects the default). Query results do not depend on n.
+func NewWithShards(n int) *DB {
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	db := &DB{shards: make([]*shard, n)}
+	for i := range db.shards {
+		db.shards[i] = newShard()
+	}
+	return db
+}
+
+func newShard() *shard {
+	return &shard{
 		series: make(map[string]*ts.Series),
 		byName: make(map[string]map[string]struct{}),
 		byTag:  make(map[string]map[string]struct{}),
@@ -51,59 +108,43 @@ func New() *DB {
 	}
 }
 
-// Put appends one observation. The series is created on first use. In
-// durable mode the record is WAL-logged first; log failures are sticky and
-// surface from Close/Flush (use PutBatch for an error-checked path).
-// Concurrent Puts commit to the WAL in fsync order, which for concurrent
-// writers to the same series at the same timestamp may differ from the
-// in-memory apply order — such racing writes have no defined order in
-// either mode.
-func (db *DB) Put(name string, tags ts.Tags, at time.Time, value float64) {
-	if st := db.storeHandle(); st != nil {
-		recs := [1]storage.Record{{Metric: name, Tags: tags, TS: at, Value: value}}
-		if err := st.Append(recs[:]); err != nil {
-			db.setWALErr(err)
-		}
-	}
-	db.mu.Lock()
-	db.putLocked(name, tags, at, value)
-	db.mu.Unlock()
+// NumShards returns the shard count.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// idBuf is a reusable canonical-ID builder. Put-path callers borrow one
+// from idPool (or keep a private one) so building the ID — done once per
+// record, outside any shard lock — never allocates in steady state.
+type idBuf struct {
+	buf  []byte
+	keys []string
 }
 
-// PutBatch appends a batch of observations. In durable mode the whole
-// batch is committed to the WAL as one group commit (one fsync) before it
-// becomes visible in memory — the bulk-ingest path connectors stream
-// through.
-func (db *DB) PutBatch(recs []Record) error {
-	if st := db.storeHandle(); st != nil {
-		if err := st.Append(recs); err != nil {
-			return err
-		}
-	}
-	db.mu.Lock()
-	for _, r := range recs {
-		db.putLocked(r.Metric, ts.Tags(r.Tags), r.TS, r.Value)
-	}
-	db.mu.Unlock()
-	return nil
-}
+var idPool = sync.Pool{New: func() any { return new(idBuf) }}
 
-// putLocked inserts one observation; caller holds the write lock. The
-// series ID is assembled into a reusable scratch buffer so looking up an
-// existing series allocates nothing (the common case under sustained
-// ingest); only a brand-new series materialises the ID string. The bytes
-// must stay identical to name + tags.String() — the canonical series
-// identity the storage compactor and Series.ID also use.
-func (db *DB) putLocked(name string, tags ts.Tags, at time.Time, value float64) {
-	buf := append(db.idScratch[:0], name...)
+// appendID renders the canonical series ID "name{k=v,...}" (tags sorted)
+// into b and returns it. The bytes must stay identical to
+// name + tags.String() — the one definition of series identity shared
+// with Series.ID and the storage compactor. The returned slice aliases b.
+func (b *idBuf) appendID(name string, tags ts.Tags) []byte {
+	buf := append(b.buf[:0], name...)
 	buf = append(buf, '{')
 	if len(tags) > 0 {
-		keys := db.keyScratch[:0]
+		keys := b.keys[:0]
 		for k := range tags {
 			keys = append(keys, k)
 		}
-		sort.Strings(keys)
-		db.keyScratch = keys
+		// One or two tags is the overwhelmingly common case; skip
+		// sort.Strings' setup cost for it.
+		switch len(keys) {
+		case 1:
+		case 2:
+			if keys[1] < keys[0] {
+				keys[0], keys[1] = keys[1], keys[0]
+			}
+		default:
+			sort.Strings(keys)
+		}
+		b.keys = keys
 		for i, k := range keys {
 			if i > 0 {
 				buf = append(buf, ',')
@@ -114,29 +155,195 @@ func (db *DB) putLocked(name string, tags ts.Tags, at time.Time, value float64) 
 		}
 	}
 	buf = append(buf, '}')
-	db.idScratch = buf
+	b.buf = buf
+	return buf
+}
 
-	s, ok := db.series[string(buf)] // compiler elides the conversion alloc
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shardIndexID routes a canonical series ID to its shard: FNV-style over
+// the ID bytes — four bytes per multiply, so one data-dependent
+// multiplication per word instead of per byte — plus an fmix64 finalizer
+// before the modulo. Pure function of the ID, so a series always lands on
+// the same shard for a given count.
+func (db *DB) shardIndexID(id []byte) int {
+	if len(db.shards) == 1 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	i := 0
+	for ; i+4 <= len(id); i += 4 {
+		w := uint64(id[i]) | uint64(id[i+1])<<8 | uint64(id[i+2])<<16 | uint64(id[i+3])<<24
+		h = (h ^ w) * fnvPrime64
+	}
+	for ; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * fnvPrime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(len(db.shards)))
+}
+
+func (db *DB) shardForID(id []byte) *shard {
+	return db.shards[db.shardIndexID(id)]
+}
+
+// Put appends one observation. The series is created on first use. In
+// durable mode the record is WAL-logged to its shard's store first; log
+// failures are sticky and surface from Close/Flush (use PutBatch for an
+// error-checked path). Concurrent Puts commit to their shard's WAL in
+// fsync order, which for concurrent writers to the same series at the same
+// timestamp may differ from the in-memory apply order — such racing writes
+// have no defined order in either mode.
+func (db *DB) Put(name string, tags ts.Tags, at time.Time, value float64) {
+	ib := idPool.Get().(*idBuf)
+	id := ib.appendID(name, tags)
+	sh := db.shardForID(id)
+	if sh.store != nil {
+		sh.wmu.Lock()
+		recs := [1]storage.Record{{Metric: name, Tags: tags, TS: at, Value: value}}
+		if err := sh.store.Append(recs[:]); err != nil {
+			db.setWALErr(err)
+		}
+	}
+	sh.mu.Lock()
+	sh.putLocked(id, name, tags, at, value)
+	sh.mu.Unlock()
+	if sh.store != nil {
+		sh.wmu.Unlock()
+	}
+	idPool.Put(ib)
+}
+
+// PutBatch appends a batch of observations. The batch is partitioned by
+// shard (preserving per-series order) and the partitions are committed in
+// parallel — in durable mode each shard's partition is one WAL group
+// commit (one fsync), and the fsyncs of different shards overlap. This is
+// the bulk-ingest path connectors stream through. On error some shards'
+// partitions may have been applied and others not; per-series atomicity
+// still holds, since one series maps to exactly one shard.
+func (db *DB) PutBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if len(db.shards) == 1 {
+		return db.shards[0].putBatch(recs, nil, nil)
+	}
+	// Partition per shard, keeping each record's canonical ID (built once
+	// here, for routing) in a per-shard arena so the apply pass below
+	// doesn't rebuild it.
+	parts := make([]shardBatch, len(db.shards))
+	ib := idPool.Get().(*idBuf)
+	for _, r := range recs {
+		id := ib.appendID(r.Metric, ts.Tags(r.Tags))
+		p := &parts[db.shardIndexID(id)]
+		p.recs = append(p.recs, r)
+		p.ids = append(p.ids, id...)
+		p.ends = append(p.ends, len(p.ids))
+	}
+	idPool.Put(ib)
+	active := make([]int, 0, len(parts))
+	for i := range parts {
+		if len(parts[i].recs) > 0 {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 1 {
+		p := &parts[active[0]]
+		return db.shards[active[0]].putBatch(p.recs, p.ids, p.ends)
+	}
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	for j, i := range active {
+		wg.Add(1)
+		go func(j, i int) {
+			defer wg.Done()
+			p := &parts[i]
+			errs[j] = db.shards[i].putBatch(p.recs, p.ids, p.ends)
+		}(j, i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// shardBatch is one shard's slice of a PutBatch: its records plus their
+// canonical IDs, concatenated into an arena with per-record end offsets.
+type shardBatch struct {
+	recs []Record
+	ids  []byte
+	ends []int
+}
+
+// putBatch commits one shard's partition: WAL group commit first (durable
+// mode), then the in-memory apply, with wmu held across both so the batch
+// can't straddle a retention sweep. ids/ends carry the records' prebuilt
+// canonical IDs (arena + end offsets); nil means build them here.
+func (sh *shard) putBatch(recs []Record, ids []byte, ends []int) error {
+	if sh.store != nil {
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+		if err := sh.store.Append(recs); err != nil {
+			return err
+		}
+	}
+	var ib *idBuf
+	if ends == nil {
+		ib = idPool.Get().(*idBuf)
+	}
+	sh.mu.Lock()
+	start := 0
+	for i, r := range recs {
+		tags := ts.Tags(r.Tags)
+		var id []byte
+		if ends != nil {
+			id = ids[start:ends[i]]
+			start = ends[i]
+		} else {
+			id = ib.appendID(r.Metric, tags)
+		}
+		sh.putLocked(id, r.Metric, tags, r.TS, r.Value)
+	}
+	sh.mu.Unlock()
+	if ib != nil {
+		idPool.Put(ib)
+	}
+	return nil
+}
+
+// putLocked inserts one observation; caller holds the shard's write lock
+// and passes the prebuilt canonical ID bytes (idBuf.appendID), so looking
+// up an existing series allocates nothing (the common case under
+// sustained ingest); only a brand-new series materialises the ID string.
+func (sh *shard) putLocked(id []byte, name string, tags ts.Tags, at time.Time, value float64) {
+	s, ok := sh.series[string(id)] // compiler elides the conversion alloc
 	if !ok {
-		id := string(buf)
+		idStr := string(id)
 		s = &ts.Series{Name: name, Tags: tags.Clone()}
-		db.series[id] = s
-		addIndex(db.byName, name, id)
+		sh.series[idStr] = s
+		addIndex(sh.byName, name, idStr)
 		for k, v := range tags {
-			addIndex(db.byTag, k+"="+v, id)
+			addIndex(sh.byTag, k+"="+v, idStr)
 		}
 	}
 	if n := len(s.Samples); n > 0 && at.Before(s.Samples[n-1].TS) {
-		db.sorted = false
+		sh.sorted = false
 	}
 	s.Append(at, value)
 }
 
-// PutSeries bulk-loads a whole series (merging with any existing one).
-func (db *DB) PutSeries(s *ts.Series) {
-	for _, smp := range s.Samples {
-		db.Put(s.Name, s.Tags, smp.TS, smp.Value)
+// PutSeries bulk-loads a whole series (merging with any existing one)
+// through the batch path: on a durable store the load is one WAL group
+// commit instead of one fsync per sample.
+func (db *DB) PutSeries(s *ts.Series) error {
+	recs := make([]Record, len(s.Samples))
+	for i, smp := range s.Samples {
+		recs[i] = Record{Metric: s.Name, Tags: s.Tags, TS: smp.TS, Value: smp.Value}
 	}
+	return db.PutBatch(recs)
 }
 
 func addIndex(idx map[string]map[string]struct{}, key, id string) {
@@ -148,56 +355,54 @@ func addIndex(idx map[string]map[string]struct{}, key, id string) {
 	set[id] = struct{}{}
 }
 
-// ensureSorted sorts all series by timestamp if any out-of-order append
-// happened. Callers must hold at least the read lock; it upgrades briefly.
-func (db *DB) ensureSorted() {
-	db.mu.RLock()
-	sorted := db.sorted
-	db.mu.RUnlock()
-	if sorted {
+// sortLocked sorts the shard's series in place if needed; caller holds the
+// shard's write lock.
+func (sh *shard) sortLocked() {
+	if sh.sorted {
 		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.sortLocked()
-}
-
-// sortLocked sorts all series in place if needed; caller holds the write
-// lock.
-func (db *DB) sortLocked() {
-	if db.sorted {
-		return
-	}
-	for _, s := range db.series {
+	for _, s := range sh.series {
 		s.Sort()
 	}
-	db.sorted = true
+	sh.sorted = true
 }
 
 // NumSeries returns the number of distinct series.
 func (db *DB) NumSeries() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series)
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // NumSamples returns the total number of stored samples.
 func (db *DB) NumSamples() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var n int
-	for _, s := range db.series {
-		n += s.Len()
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			n += s.Len()
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // MetricNames returns the sorted list of distinct metric names.
 func (db *DB) MetricNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.byName))
-	for n := range db.byName {
+	set := make(map[string]struct{})
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for n := range sh.byName {
+			set[n] = struct{}{}
+		}
+		sh.mu.RUnlock()
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -206,14 +411,20 @@ func (db *DB) MetricNames() []string {
 
 // TagValues returns the sorted distinct values seen for a tag key.
 func (db *DB) TagValues(key string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	prefix := key + "="
-	var vals []string
-	for kv := range db.byTag {
-		if strings.HasPrefix(kv, prefix) {
-			vals = append(vals, kv[len(prefix):])
+	set := make(map[string]struct{})
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for kv := range sh.byTag {
+			if strings.HasPrefix(kv, prefix) {
+				set[kv[len(prefix):]] = struct{}{}
+			}
 		}
+		sh.mu.RUnlock()
+	}
+	vals := make([]string, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
 	}
 	sort.Strings(vals)
 	return vals
@@ -231,92 +442,9 @@ type Query struct {
 	Range       ts.TimeRange
 }
 
-// Run executes the query and returns matching series, each restricted to
-// the query range (samples are copied; the store is not aliased). Results
-// are ordered by series ID for determinism.
-func (db *DB) Run(q Query) ([]*ts.Series, error) {
-	db.ensureSorted()
-	var nameRe, tagRes = (*regexp.Regexp)(nil), map[string]*regexp.Regexp{}
-	if q.NamePattern != "" {
-		re, err := globToRegexp(q.NamePattern)
-		if err != nil {
-			return nil, err
-		}
-		nameRe = re
-	}
-	for k, pat := range q.TagPatterns {
-		re, err := globToRegexp(pat)
-		if err != nil {
-			return nil, err
-		}
-		tagRes[k] = re
-	}
-
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
-	// Start from the narrowest available index.
-	var candidates map[string]struct{}
-	if q.Metric != "" {
-		candidates = db.byName[q.Metric]
-	} else if len(q.Tags) > 0 {
-		// Choose the smallest tag set.
-		for k, v := range q.Tags {
-			set := db.byTag[k+"="+v]
-			if candidates == nil || len(set) < len(candidates) {
-				candidates = set
-			}
-		}
-	}
-	ids := make([]string, 0, len(db.series))
-	if candidates != nil {
-		for id := range candidates {
-			ids = append(ids, id)
-		}
-	} else {
-		for id := range db.series {
-			ids = append(ids, id)
-		}
-	}
-	sort.Strings(ids)
-
-	var out []*ts.Series
-	for _, id := range ids {
-		s := db.series[id]
-		if q.Metric != "" && s.Name != q.Metric {
-			continue
-		}
-		if nameRe != nil && !nameRe.MatchString(s.Name) {
-			continue
-		}
-		if !s.Tags.Matches(q.Tags) {
-			continue
-		}
-		matched := true
-		for k, re := range tagRes {
-			if !re.MatchString(s.Tags[k]) {
-				matched = false
-				break
-			}
-		}
-		if !matched {
-			continue
-		}
-		rng := q.Range
-		if rng.IsZero() {
-			rng = ts.TimeRange{From: time.Unix(0, 0).UTC(), To: time.Unix(1<<62-1, 0).UTC()}
-		}
-		samples := s.Slice(rng)
-		if len(samples) == 0 {
-			continue
-		}
-		copySeries := &ts.Series{Name: s.Name, Tags: s.Tags.Clone(), Samples: append([]ts.Sample(nil), samples...)}
-		out = append(out, copySeries)
-	}
-	return out, nil
-}
-
 // globToRegexp translates a '*' glob into an anchored regular expression.
+// Run compiles through the bounded pattern cache (see query.go) instead of
+// calling this directly.
 func globToRegexp(glob string) (*regexp.Regexp, error) {
 	var b strings.Builder
 	b.WriteByte('^')
@@ -336,28 +464,57 @@ func globToRegexp(glob string) (*regexp.Regexp, error) {
 
 // Retain drops all samples outside the given range across every series and
 // removes series that become empty — the retention sweep any production
-// TSDB runs. The sweep is in-memory only: on a durable store the pruned
-// samples still exist in blocks/WAL and reappear after a reopen
-// (block-level retention compaction is future work, see DESIGN.md).
-func (db *DB) Retain(r ts.TimeRange) int {
-	db.ensureSorted()
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// TSDB runs. Shards are swept in parallel. On a durable store the sweep
+// also rewrites each shard's blocks and WAL (retention compaction, see
+// storage.Store.Retain), so pruned samples stay gone after Close/Open. It
+// returns the number of samples pruned from memory.
+func (db *DB) Retain(r ts.TimeRange) (int, error) {
+	removed := make([]int, len(db.shards))
+	err := db.forEachShard(func(i int, sh *shard) error {
+		var serr error
+		removed[i], serr = sh.retain(r)
+		return serr
+	})
+	total := 0
+	for _, n := range removed {
+		total += n
+	}
+	return total, err
+}
+
+// retain prunes one shard's memory and, in durable mode, its store. wmu
+// is held across both so no durable writer can slip a record between the
+// memory sweep and the disk rewrite (which would leave memory and disk
+// disagreeing about the sample); readers only wait for the in-memory
+// sweep, not for the block rewrites.
+func (sh *shard) retain(r ts.TimeRange) (int, error) {
+	if sh.store != nil {
+		sh.wmu.Lock()
+		defer sh.wmu.Unlock()
+	}
+	sh.mu.Lock()
+	sh.sortLocked()
 	removed := 0
-	for id, s := range db.series {
+	for id, s := range sh.series {
 		kept := s.Slice(r)
 		removed += s.Len() - len(kept)
 		if len(kept) == 0 {
-			delete(db.series, id)
-			removeIndex(db.byName, s.Name, id)
+			delete(sh.series, id)
+			removeIndex(sh.byName, s.Name, id)
 			for k, v := range s.Tags {
-				removeIndex(db.byTag, k+"="+v, id)
+				removeIndex(sh.byTag, k+"="+v, id)
 			}
 			continue
 		}
 		s.Samples = append([]ts.Sample(nil), kept...)
 	}
-	return removed
+	sh.mu.Unlock()
+	if sh.store != nil {
+		if _, err := sh.store.Retain(r.From, r.To); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
 }
 
 func removeIndex(idx map[string]map[string]struct{}, key, id string) {
@@ -370,23 +527,38 @@ func removeIndex(idx map[string]map[string]struct{}, key, id string) {
 }
 
 // Bounds returns the earliest and latest sample timestamps in the store.
-// ok is false when the store is empty.
+// ok is false when the store is empty. On a sorted shard (the steady
+// state) only the first and last sample of every series is read — not
+// every sample; an unsorted shard falls back to a full scan under the
+// same lock, since the sorted flag is only trustworthy while it is held.
 func (db *DB) Bounds() (min, max time.Time, ok bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for _, s := range db.series {
-		for _, smp := range s.Samples {
-			if !ok {
-				min, max, ok = smp.TS, smp.TS, true
+	widen := func(first, last time.Time) {
+		if !ok {
+			min, max, ok = first, last, true
+			return
+		}
+		if first.Before(min) {
+			min = first
+		}
+		if last.After(max) {
+			max = last
+		}
+	}
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			if len(s.Samples) == 0 {
 				continue
 			}
-			if smp.TS.Before(min) {
-				min = smp.TS
+			if sh.sorted {
+				widen(s.Samples[0].TS, s.Samples[len(s.Samples)-1].TS)
+				continue
 			}
-			if smp.TS.After(max) {
-				max = smp.TS
+			for _, smp := range s.Samples {
+				widen(smp.TS, smp.TS)
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	return min, max, ok
 }

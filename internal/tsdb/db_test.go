@@ -174,7 +174,10 @@ func TestBadGlob(t *testing.T) {
 
 func TestRetain(t *testing.T) {
 	db := seedDB(t)
-	removed := db.Retain(ts.TimeRange{From: t0.Add(5 * time.Minute), To: t0.Add(10 * time.Minute)})
+	removed, err := db.Retain(ts.TimeRange{From: t0.Add(5 * time.Minute), To: t0.Add(10 * time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 25 {
 		t.Fatalf("removed %d", removed)
 	}
@@ -182,7 +185,9 @@ func TestRetain(t *testing.T) {
 		t.Fatalf("left %d", db.NumSamples())
 	}
 	// Remove everything: series disappear from indexes.
-	db.Retain(ts.TimeRange{From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour)})
+	if _, err := db.Retain(ts.TimeRange{From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
 	if db.NumSeries() != 0 || len(db.MetricNames()) != 0 {
 		t.Fatal("all series should be gone")
 	}
@@ -206,7 +211,9 @@ func TestPutSeries(t *testing.T) {
 	s := &ts.Series{Name: "cpu", Tags: ts.Tags{"host": "a"}}
 	s.Append(t0, 1)
 	s.Append(t0.Add(time.Minute), 2)
-	db.PutSeries(s)
+	if err := db.PutSeries(s); err != nil {
+		t.Fatal(err)
+	}
 	if db.NumSamples() != 2 || db.NumSeries() != 1 {
 		t.Fatal("put series failed")
 	}

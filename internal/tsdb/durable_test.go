@@ -165,7 +165,7 @@ func TestDurableBatchPathEquivalence(t *testing.T) {
 func TestDurableCrashRecoveryEquivalence(t *testing.T) {
 	dir := t.TempDir()
 	// Background compaction off so the staged torn tail stays in place.
-	dur, err := OpenWithOptions(dir, storage.Options{NoBackgroundCompaction: true})
+	dur, err := OpenWithOptions(dir, Options{Storage: storage.Options{NoBackgroundCompaction: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestDurableCrashRecoveryEquivalence(t *testing.T) {
 
 func findActiveSegment(t *testing.T, dir string) string {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*", "wal-*.seg"))
 	if err != nil || len(matches) == 0 {
 		t.Fatalf("no wal segment (err %v)", err)
 	}

@@ -30,6 +30,9 @@ func BenchmarkPut(b *testing.B) {
 // exists, Put must not allocate to build the lookup ID (sample-slice
 // growth is amortised away by pre-filling).
 func TestPutExistingSeriesDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses its caches under -race; the pin only holds in normal builds")
+	}
 	db := New()
 	tags := ts.Tags{"host": "datanode-1", "type": "read_latency"}
 	at := t0
@@ -49,8 +52,11 @@ func TestPutExistingSeriesDoesNotAllocate(t *testing.T) {
 // TestConcurrentPutSaveRace drives out-of-order Puts against repeated
 // Saves. Save must produce a decodable, fully sorted snapshot every time —
 // under the old RLock-adjacent sorting it could emit unsorted series (and
-// `go test -race` flags the lock misuse).
+// `go test -race` flags the lock misuse). Writers are bounded: Save only
+// pauses one shard at a time, so unbounded writers could grow the store —
+// and each round's full-store copy — without limit on a slow machine.
 func TestConcurrentPutSaveRace(t *testing.T) {
+	const putsPerWriter = 20000
 	db := New()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -58,8 +64,7 @@ func TestConcurrentPutSaveRace(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			i := 0
-			for {
+			for i := 0; i < putsPerWriter; i++ {
 				select {
 				case <-stop:
 					return
@@ -72,7 +77,6 @@ func TestConcurrentPutSaveRace(t *testing.T) {
 					off = 256 - off
 				}
 				db.Put("m", ts.Tags{"w": string(rune('a' + w))}, t0.Add(time.Duration(off)*time.Second), float64(i))
-				i++
 			}
 		}(w)
 	}
@@ -85,16 +89,18 @@ func TestConcurrentPutSaveRace(t *testing.T) {
 		if _, err := restored.Load(&buf); err != nil {
 			t.Fatalf("round %d: snapshot not decodable: %v", round, err)
 		}
-		restored.mu.RLock()
-		for id, s := range restored.series {
-			for i := 1; i < len(s.Samples); i++ {
-				if s.Samples[i].TS.Before(s.Samples[i-1].TS) {
-					restored.mu.RUnlock()
-					t.Fatalf("round %d: snapshot series %s is unsorted", round, id)
+		for _, sh := range restored.shards {
+			sh.mu.RLock()
+			for id, s := range sh.series {
+				for i := 1; i < len(s.Samples); i++ {
+					if s.Samples[i].TS.Before(s.Samples[i-1].TS) {
+						sh.mu.RUnlock()
+						t.Fatalf("round %d: snapshot series %s is unsorted", round, id)
+					}
 				}
 			}
+			sh.mu.RUnlock()
 		}
-		restored.mu.RUnlock()
 	}
 	close(stop)
 	wg.Wait()

@@ -1,0 +1,263 @@
+package tsdb
+
+import (
+	"container/list"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	ts "explainit/internal/timeseries"
+)
+
+// Query planning and execution. A Run call compiles its globs once (via a
+// bounded LRU of compiled patterns), then fans the compiled plan out to
+// every shard in parallel. Each shard picks the narrowest inverted index
+// available to it, filters and copies its matches in series-ID order, and
+// the per-shard results are merged by ID — so the output is bitwise
+// identical at any shard count.
+
+// compiledQuery is the executable plan for one Run call: globs compiled,
+// the effective time range resolved.
+type compiledQuery struct {
+	q      Query
+	nameRe *regexp.Regexp
+	tagRes map[string]*regexp.Regexp
+	rng    ts.TimeRange
+}
+
+func compileQuery(q Query) (*compiledQuery, error) {
+	cq := &compiledQuery{q: q, rng: q.Range}
+	if q.NamePattern != "" {
+		re, err := globRegexp(q.NamePattern)
+		if err != nil {
+			return nil, err
+		}
+		cq.nameRe = re
+	}
+	if len(q.TagPatterns) > 0 {
+		cq.tagRes = make(map[string]*regexp.Regexp, len(q.TagPatterns))
+		for k, pat := range q.TagPatterns {
+			re, err := globRegexp(pat)
+			if err != nil {
+				return nil, err
+			}
+			cq.tagRes[k] = re
+		}
+	}
+	if cq.rng.IsZero() {
+		cq.rng = ts.TimeRange{From: time.Unix(0, 0).UTC(), To: time.Unix(1<<62-1, 0).UTC()}
+	}
+	return cq, nil
+}
+
+// matches reports whether a series passes every filter of the plan.
+func (cq *compiledQuery) matches(s *ts.Series) bool {
+	if cq.q.Metric != "" && s.Name != cq.q.Metric {
+		return false
+	}
+	if cq.nameRe != nil && !cq.nameRe.MatchString(s.Name) {
+		return false
+	}
+	if !s.Tags.Matches(cq.q.Tags) {
+		return false
+	}
+	for k, re := range cq.tagRes {
+		if !re.MatchString(s.Tags[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the query and returns matching series, each restricted to
+// the query range (samples are copied; the store is not aliased). Results
+// are ordered by series ID for determinism, independent of shard count.
+func (db *DB) Run(q Query) ([]*ts.Series, error) {
+	cq, err := compileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(db.shards) == 1 {
+		_, out := db.shards[0].run(cq)
+		return out, nil
+	}
+	parts := make([]shardResult, len(db.shards))
+	var wg sync.WaitGroup
+	for i, sh := range db.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			parts[i].ids, parts[i].series = sh.run(cq)
+		}(i, sh)
+	}
+	wg.Wait()
+	return mergeByID(parts), nil
+}
+
+type shardResult struct {
+	ids    []string
+	series []*ts.Series
+}
+
+// run executes the compiled plan on one shard, returning matched series
+// (copied, range-restricted) and their IDs, both ordered by ID. The
+// sorted flag is only trustworthy under a lock (a concurrent out-of-order
+// Put can clear it), so the flag is checked under the read lock the query
+// runs under; the rare unsorted shard is queried under the write lock,
+// with the sort and the scan in one critical section.
+func (sh *shard) run(cq *compiledQuery) ([]string, []*ts.Series) {
+	sh.mu.RLock()
+	if sh.sorted {
+		defer sh.mu.RUnlock()
+		return sh.runLocked(cq)
+	}
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sortLocked()
+	return sh.runLocked(cq)
+}
+
+// runLocked does the index selection, filtering and copying; caller holds
+// at least the read lock and guarantees the shard is sorted.
+func (sh *shard) runLocked(cq *compiledQuery) (ids []string, out []*ts.Series) {
+	// Pick the narrowest index covering the query: the name index for an
+	// exact metric, the smallest tag postings set for exact tags —
+	// whichever is smallest. The filter below re-checks every predicate,
+	// so index choice affects only the candidate count, never the result.
+	var candidates map[string]struct{}
+	useIndex := false
+	consider := func(set map[string]struct{}) {
+		if !useIndex || len(set) < len(candidates) {
+			candidates = set
+		}
+		useIndex = true
+	}
+	if cq.q.Metric != "" {
+		consider(sh.byName[cq.q.Metric])
+	}
+	for k, v := range cq.q.Tags {
+		consider(sh.byTag[k+"="+v])
+	}
+	if useIndex && len(candidates) == 0 {
+		return nil, nil
+	}
+
+	if useIndex {
+		ids = make([]string, 0, len(candidates))
+		for id := range candidates {
+			ids = append(ids, id)
+		}
+	} else {
+		ids = make([]string, 0, len(sh.series))
+		for id := range sh.series {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	n := 0
+	for _, id := range ids {
+		s := sh.series[id]
+		if !cq.matches(s) {
+			continue
+		}
+		samples := s.Slice(cq.rng)
+		if len(samples) == 0 {
+			continue
+		}
+		ids[n] = id
+		n++
+		out = append(out, &ts.Series{Name: s.Name, Tags: s.Tags.Clone(), Samples: append([]ts.Sample(nil), samples...)})
+	}
+	return ids[:n], out
+}
+
+// mergeByID merges per-shard results (each sorted by series ID) into one
+// globally ID-ordered slice. Series IDs are unique across shards, so the
+// merge never ties.
+func mergeByID(parts []shardResult) []*ts.Series {
+	total := 0
+	for _, p := range parts {
+		total += len(p.series)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*ts.Series, 0, total)
+	pos := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for i := range parts {
+			if pos[i] >= len(parts[i].ids) {
+				continue
+			}
+			if best == -1 || parts[i].ids[pos[i]] < parts[best].ids[pos[best]] {
+				best = i
+			}
+		}
+		out = append(out, parts[best].series[pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// globRegexp compiles a glob through the process-wide bounded LRU, so
+// repeated Run calls with the same patterns (dashboards, BuildFamilies
+// sweeps) skip regexp compilation.
+func globRegexp(pattern string) (*regexp.Regexp, error) {
+	return compiledGlobs.get(pattern)
+}
+
+// globCacheSize bounds the compiled-pattern LRU. Compile errors are not
+// cached (they are cheap and rare).
+const globCacheSize = 256
+
+var compiledGlobs = newGlobCache(globCacheSize)
+
+type globCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *globEntry
+	m   map[string]*list.Element
+}
+
+type globEntry struct {
+	pattern string
+	re      *regexp.Regexp
+}
+
+func newGlobCache(cap int) *globCache {
+	return &globCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element, cap)}
+}
+
+func (c *globCache) get(pattern string) (*regexp.Regexp, error) {
+	c.mu.Lock()
+	if el, ok := c.m[pattern]; ok {
+		c.ll.MoveToFront(el)
+		re := el.Value.(*globEntry).re
+		c.mu.Unlock()
+		return re, nil
+	}
+	c.mu.Unlock()
+
+	re, err := globToRegexp(pattern) // compile outside the lock
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[pattern]; ok { // lost a compile race; keep the first
+		c.ll.MoveToFront(el)
+		return el.Value.(*globEntry).re, nil
+	}
+	c.m[pattern] = c.ll.PushFront(&globEntry{pattern: pattern, re: re})
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*globEntry).pattern)
+	}
+	return re, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package tsdb
+
+// raceEnabled lets tests skip assertions that the race detector's
+// instrumentation invalidates (sync.Pool bypasses its caches under -race,
+// so allocation pins don't hold).
+const raceEnabled = true

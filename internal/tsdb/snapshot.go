@@ -31,44 +31,55 @@ type snapshot struct {
 const snapshotVersion = 1
 
 // Save writes the entire store to w as a gob snapshot. The output is
-// byte-deterministic for a given store state (sorted series, sorted tags).
+// byte-deterministic for a given logical store state (series sorted
+// globally by ID, tags sorted) — and therefore independent of the shard
+// count, which the shard-invariance tests rely on.
 //
-// The whole snapshot — sorting lazily-unsorted series and copying them —
-// is assembled under the write lock: sorting with only a read lock held
-// would race with concurrent Puts and could emit an unsorted (hence
-// non-deterministic) snapshot. Encoding happens after the lock is
-// released, off the copied state.
+// Each shard's contribution — sorting lazily-unsorted series and copying
+// them — is assembled under that shard's write lock: sorting with only a
+// read lock held would race with concurrent Puts and could emit an
+// unsorted (hence non-deterministic) snapshot. Shards are visited one at a
+// time, so a snapshot is per-series consistent (a series lives in exactly
+// one shard) but not a cross-shard point-in-time cut under concurrent
+// writes. Encoding happens after all locks are released, off the copied
+// state.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.Lock()
-	db.sortLocked()
-	snap := snapshot{Version: snapshotVersion, Series: make([]snapshotSeries, 0, len(db.series))}
-	ids := make([]string, 0, len(db.series))
-	for id := range db.series {
-		ids = append(ids, id)
+	type entry struct {
+		id string
+		ss snapshotSeries
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		s := db.series[id]
-		ss := snapshotSeries{
-			Name:    s.Name,
-			Samples: append([]ts.Sample(nil), s.Samples...),
+	var entries []entry
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		sh.sortLocked()
+		for id, s := range sh.series {
+			ss := snapshotSeries{
+				Name:    s.Name,
+				Samples: append([]ts.Sample(nil), s.Samples...),
+			}
+			keys := make([]string, 0, len(s.Tags))
+			for k := range s.Tags {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				ss.Tags = append(ss.Tags, snapshotTag{K: k, V: s.Tags[k]})
+			}
+			entries = append(entries, entry{id: id, ss: ss})
 		}
-		keys := make([]string, 0, len(s.Tags))
-		for k := range s.Tags {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			ss.Tags = append(ss.Tags, snapshotTag{K: k, V: s.Tags[k]})
-		}
-		snap.Series = append(snap.Series, ss)
+		sh.mu.Unlock()
 	}
-	db.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	snap := snapshot{Version: snapshotVersion, Series: make([]snapshotSeries, 0, len(entries))}
+	for _, e := range entries {
+		snap.Series = append(snap.Series, e.ss)
+	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
 // Load merges a snapshot produced by Save into the store and returns the
-// number of samples restored.
+// number of samples restored. Each series loads through the batch path
+// (one WAL group commit per series on a durable store).
 func (db *DB) Load(r io.Reader) (int, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -83,7 +94,9 @@ func (db *DB) Load(r io.Reader) (int, error) {
 		for _, t := range ss.Tags {
 			tags[t.K] = t.V
 		}
-		db.PutSeries(&ts.Series{Name: ss.Name, Tags: tags, Samples: ss.Samples})
+		if err := db.PutSeries(&ts.Series{Name: ss.Name, Tags: tags, Samples: ss.Samples}); err != nil {
+			return n, err
+		}
 		n += len(ss.Samples)
 	}
 	return n, nil

@@ -206,11 +206,12 @@ func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, h.DB.MetricNames())
 }
 
-// handleStats reports store size.
+// handleStats reports store size and layout.
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{
 		"series":  h.DB.NumSeries(),
 		"samples": h.DB.NumSamples(),
+		"shards":  h.DB.NumShards(),
 	})
 }
 
@@ -292,7 +293,9 @@ func (c *Client) Mirror(db *tsdb.DB, metric string, tags map[string]string, from
 	}
 	n := 0
 	for _, s := range series {
-		db.PutSeries(s)
+		if err := db.PutSeries(s); err != nil {
+			return n, err
+		}
 		n += s.Len()
 	}
 	return n, nil
