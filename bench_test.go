@@ -257,6 +257,55 @@ func BenchmarkSimulatorGenerate(b *testing.B) {
 	}
 }
 
+// benchmarkCondPrep measures preparing the step-k+1 conditioning state of
+// an Investigation when the conditioning set grew by one small family on
+// top of a wide prefix. With reuse, the session donates step k's factored
+// design and only the delta columns are standardized, crossed and factored
+// (regress.ExtendDesign); without it, the whole stacked set is
+// re-standardized, re-Gram'd and re-factored from scratch.
+func benchmarkCondPrep(b *testing.B, reuse bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(8))
+	const n = 1440
+	mk := func(name string, cols int) *core.Family {
+		f := &core.Family{Name: name, Columns: make([]string, cols), Matrix: linalg.GaussianMatrix(rng, n, cols)}
+		for j := range f.Columns {
+			f.Columns[j] = name + "/" + strconv.Itoa(j)
+		}
+		return f
+	}
+	target := mk("target", 1)
+	zWide := mk("z_wide", 96) // the unchanged conditioning prefix
+	zDelta := mk("z_delta", 4)
+	eng := &core.Engine{}
+	prev, err := eng.PrepareConditioning(target, []*core.Family{zWide}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if prev == nil {
+		b.Fatal("conditioning not cacheable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var donor *core.CondState
+		if reuse {
+			donor = prev
+		}
+		state, err := eng.PrepareConditioning(target, []*core.Family{zWide, zDelta}, donor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if reuse != state.Extended() {
+			b.Fatalf("Extended() = %v, want %v", state.Extended(), reuse)
+		}
+	}
+}
+
+// The pair behind the acceptance criterion: step k>1 must avoid
+// refactoring the unchanged conditioning prefix.
+func BenchmarkCondPrepReuse(b *testing.B)   { benchmarkCondPrep(b, true) }
+func BenchmarkCondPrepScratch(b *testing.B) { benchmarkCondPrep(b, false) }
+
 func BenchmarkEndToEndExplain(b *testing.B) {
 	cfg := simulator.DefaultCaseStudyConfig()
 	cfg.Nuisance = 10

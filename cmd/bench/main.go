@@ -29,7 +29,8 @@ const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL
 	"BenchmarkScorerConditional$|BenchmarkScorerCorrMean$|BenchmarkEngineRank$|" +
 	"BenchmarkEndToEndExplain$|BenchmarkRidgeFitPrimal$|BenchmarkRidgeFitDual$|" +
 	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$|BenchmarkIngestWAL$|" +
-	"BenchmarkIngestWALConcurrent$|BenchmarkIngestWALConcurrentShard1$"
+	"BenchmarkIngestWALConcurrent$|BenchmarkIngestWALConcurrentShard1$|" +
+	"BenchmarkCondPrepReuse$|BenchmarkCondPrepScratch$"
 
 // Measurement is one benchmark's result in a snapshot.
 type Measurement struct {

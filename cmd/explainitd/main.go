@@ -1,6 +1,9 @@
-// Command explainitd is the scoring worker daemon: it serves hypothesis-
-// scoring RPCs so a coordinator can fan hypotheses out across machines —
-// the role the paper's per-executor Python scikit kernels play (§4).
+// Command explainitd is the analysis daemon. It serves hypothesis-scoring
+// RPCs so a coordinator can fan hypotheses out across machines — the role
+// the paper's per-executor Python scikit kernels play (§4) — and, with
+// -http, the versioned /api/v1 investigation API: iterative Explain
+// sessions over HTTP, with asynchronous step jobs and SSE streams of
+// partial rankings.
 //
 // Start one per core or per machine:
 //
@@ -8,44 +11,50 @@
 //
 // and point a coordinator's cluster.Dial at the addresses.
 //
-// With -data-dir the worker also opens a durable worker-local time series
-// store (hash-sharded, one WAL + block dir per shard — the groundwork for
-// data-local scoring once ingest is partitioned across workers; -shards
-// picks the count at creation). The store is crash-recovered on start;
-// SIGINT/SIGTERM trigger a graceful shutdown that stops accepting RPCs and
-// flushes the WALs into chunks:
+// With -data-dir the daemon also opens a durable local time series store
+// (hash-sharded, one WAL + block dir per shard; -shards picks the count at
+// creation). The store is crash-recovered on start; SIGINT/SIGTERM trigger
+// a graceful shutdown that stops accepting RPCs, cancels running step
+// jobs, and flushes the WALs into chunks:
 //
-//	explainitd -listen :9101 -data-dir /var/lib/explainit/worker-0 -shards 4
+//	explainitd -listen :9101 -http :9102 -data-dir /var/lib/explainit/worker-0 -shards 4
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"explainit"
+	"explainit/internal/apihttp"
 	"explainit/internal/cluster"
-	"explainit/internal/tsdb"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9101", "address to serve scoring RPCs on")
-	dataDir := flag.String("data-dir", "", "durable worker-local store directory (per-shard WAL + compressed chunks)")
+	httpAddr := flag.String("http", "", "address to serve the /api/v1 investigation HTTP API on (empty = disabled)")
+	dataDir := flag.String("data-dir", "", "durable local store directory (per-shard WAL + compressed chunks)")
 	shards := flag.Int("shards", 0, "shard count for the store (0 = default; an existing -data-dir keeps its creation-time count)")
 	flag.Parse()
 
-	var db *tsdb.DB
+	var client *explainit.Client
 	if *dataDir != "" {
 		var err error
-		db, err = tsdb.OpenWithOptions(*dataDir, tsdb.Options{Shards: *shards})
+		client, err = explainit.OpenShards(*dataDir, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "explainitd: opening data dir:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "explainitd: recovered %d samples (%d series) from %s (%d shards)\n",
-			db.NumSamples(), db.NumSeries(), *dataDir, db.NumShards())
+		fmt.Fprintf(os.Stderr, "explainitd: recovered %d series from %s\n", client.NumSeries(), *dataDir)
+	} else if *httpAddr != "" {
+		client = explainit.New()
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -54,21 +63,47 @@ func main() {
 		os.Exit(1)
 	}
 
+	var api *apihttp.Server
+	var httpSrv *http.Server
+	httpErr := make(chan error, 1)
+	if *httpAddr != "" {
+		api = apihttp.NewServer(client)
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: api}
+		go func() {
+			fmt.Fprintf(os.Stderr, "explainitd: serving /api/v1 on http://%s\n", *httpAddr)
+			httpErr <- httpSrv.ListenAndServe()
+		}()
+	}
+
 	shuttingDown := make(chan struct{})
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		sig := <-sigCh
-		fmt.Fprintf(os.Stderr, "explainitd: %v: shutting down\n", sig)
+		select {
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "explainitd: %v: shutting down\n", sig)
+		case err := <-httpErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "explainitd: http:", err)
+			}
+		}
 		close(shuttingDown)
+		if httpSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			httpSrv.Shutdown(ctx)
+			cancel()
+		}
+		if api != nil {
+			api.Close() // cancel running step jobs; workers unwind
+		}
 		l.Close() // unblocks cluster.Serve
 	}()
 
 	fmt.Fprintf(os.Stderr, "explainitd: serving hypothesis scoring on %s\n", l.Addr())
 	serveErr := cluster.Serve(l)
 
-	if db != nil {
-		if err := db.Close(); err != nil {
+	if client != nil {
+		if err := client.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "explainitd: closing store:", err)
 			os.Exit(1)
 		}

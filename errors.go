@@ -1,0 +1,83 @@
+package explainit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed error sentinels for the public API. Every validation failure of
+// the facade and the /api/v1 HTTP surface wraps one of these, so callers
+// branch with errors.Is instead of matching message strings, and the HTTP
+// error envelope ({"error":{"code","message"}}) round-trips to the same
+// sentinel on the client side.
+var (
+	// ErrUnknownFamily: a target, conditioning, or search-space family name
+	// is not defined on the client (call BuildFamilies/DefineFamiliesSQL
+	// first).
+	ErrUnknownFamily = errors.New("explainit: unknown family")
+	// ErrUnknownScorer: the ScorerName is not one of the supported scorers.
+	ErrUnknownScorer = errors.New("explainit: unknown scorer")
+	// ErrUnknownGrouping: BuildFamilies got a groupBy that is neither
+	// "name" nor "tag:<key>".
+	ErrUnknownGrouping = errors.New("explainit: unknown grouping")
+	// ErrUnknownInvestigation: no investigation with that id (HTTP API).
+	ErrUnknownInvestigation = errors.New("explainit: unknown investigation")
+	// ErrUnknownJob: no step job with that id (HTTP API).
+	ErrUnknownJob = errors.New("explainit: unknown job")
+	// ErrInvestigationClosed: the investigation was closed and accepts no
+	// further steps.
+	ErrInvestigationClosed = errors.New("explainit: investigation closed")
+	// ErrStepInProgress: the investigation already has a running step; one
+	// conditioning state is mutated per step, so steps are serialized.
+	ErrStepInProgress = errors.New("explainit: step already in progress")
+)
+
+// errorCodes maps wire codes to sentinels — the single source of truth for
+// both directions of the HTTP error envelope.
+var errorCodes = map[string]error{
+	"unknown_family":        ErrUnknownFamily,
+	"unknown_scorer":        ErrUnknownScorer,
+	"unknown_grouping":      ErrUnknownGrouping,
+	"unknown_investigation": ErrUnknownInvestigation,
+	"unknown_job":           ErrUnknownJob,
+	"investigation_closed":  ErrInvestigationClosed,
+	"step_in_progress":      ErrStepInProgress,
+}
+
+// ErrorCode returns the wire code for err ("" when err wraps no sentinel).
+func ErrorCode(err error) string {
+	for code, sentinel := range errorCodes {
+		if errors.Is(err, sentinel) {
+			return code
+		}
+	}
+	return ""
+}
+
+// Error is the typed error envelope of the /api/v1 surface: the JSON body
+// {"error":{"code":..., "message":...}} decodes into one. It matches the
+// corresponding sentinel under errors.Is, so HTTP clients branch on
+// exactly the same values as in-process callers:
+//
+//	_, err := api.Step(ctx, id)
+//	if errors.Is(err, explainit.ErrUnknownInvestigation) { ... }
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Message != "" {
+		return e.Message
+	}
+	return fmt.Sprintf("explainit: %s", e.Code)
+}
+
+// Is reports whether target is the sentinel this error's code maps to,
+// making errors.Is(envelopeErr, explainit.ErrUnknownFamily) work across
+// the HTTP boundary.
+func (e *Error) Is(target error) bool {
+	sentinel, ok := errorCodes[e.Code]
+	return ok && target == sentinel
+}

@@ -4,9 +4,16 @@
 // input size disentangles the two sources of variation and surfaces the
 // network-stack evidence — the paper's central demonstration of why a
 // causal (not merely correlational) framework matters.
+//
+// The workflow is driven through an Investigation session — the API form
+// of Algorithm 1's loop: Step, inspect, Condition on the known cause,
+// Step again. The session keeps the target residualization and the
+// factored conditioning design between steps, so each re-ranking pays
+// only for what changed.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,26 +33,38 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("Unconditioned global search (everything correlates with load):")
-	plain, err := c.Explain(explainit.ExplainOptions{Target: before.Target, TopK: 6, Seed: 12})
+	ctx := context.Background()
+	inv, err := c.NewInvestigation(before.Target, explainit.InvestigateOptions{TopK: 6, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Step 1 — unconditioned global search (everything correlates with load):")
+	plain, err := inv.Step(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(plain.String())
 
-	fmt.Println("\nConditioned on input_size (the known, uninteresting cause):")
-	conditioned, err := c.Explain(explainit.ExplainOptions{
-		Target:    before.Target,
-		Condition: []string{"input_size"},
-		TopK:      6,
-		Seed:      12,
-	})
+	// The operator recognises input_size as the known, uninteresting cause
+	// and conditions the session on it — Algorithm 1's pivotal move.
+	if err := inv.Condition("input_size"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nStep 2 — conditioned on input_size:")
+	conditioned, err := inv.Step(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(conditioned.String())
 	fmt.Println("\nThe network-stack families (tcp_retransmits, network_latency) now lead:")
 	fmt.Println("the paper's engineers followed exactly this evidence to the hypervisor queue.")
+
+	fmt.Println("\nSession history:")
+	for _, h := range inv.History() {
+		fmt.Printf("  step %d: condition=%v top=%s (%d rows, %v)\n",
+			h.Step, h.Condition, h.TopFamily, h.Rows, h.Elapsed.Round(0))
+	}
 
 	// Figure 6: runtime distributions before and after the fix.
 	after := simulator.CaseStudyConditioning(cfg, true)

@@ -1,0 +1,109 @@
+// Investigation demonstrates the full iterative session API: an operator
+// explains a target, watches ranked rows stream in as scoring workers
+// finish, conditions on the top-ranked family, and re-explains — repeating
+// until the remaining candidates explain nothing (Algorithm 1 of the
+// paper, run to convergence). Between steps the session reuses the
+// factored conditioning design: each iteration k+1 only factors the one
+// family that was added, which History's reused flag makes visible.
+//
+// It also shows cooperative cancellation: the final, deliberately
+// abandoned step is cut short with a context.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"explainit"
+)
+
+func main() {
+	c := seed()
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	inv, err := c.NewInvestigation("checkout_latency", explainit.InvestigateOptions{TopK: 8, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Iterate: explain, condition on the leader, re-explain — until the
+	// best remaining candidate explains (almost) nothing.
+	for iteration := 1; ; iteration++ {
+		fmt.Printf("--- iteration %d (conditioning on %v) ---\n", iteration, inv.Conditioning())
+		ch, err := inv.ExplainStream(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ranking *explainit.Ranking
+		for u := range ch {
+			switch {
+			case u.Row != nil:
+				fmt.Printf("  scored %-28s %.3f  (%d/%d)\n", u.Row.Family, u.Row.Score, u.Scored, u.Total)
+			case u.Err != nil:
+				log.Fatal(u.Err)
+			case u.Final != nil:
+				ranking = u.Final
+			}
+		}
+		if len(ranking.Rows) == 0 || ranking.Rows[0].Score < 0.2 {
+			fmt.Println("  nothing left to explain — incident isolated.")
+			break
+		}
+		top := ranking.Rows[0]
+		fmt.Printf("  => top: %s (score %.3f) — conditioning on it\n", top.Family, top.Score)
+		if err := inv.Condition(top.Family); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nSession history (once the conditioning set grows past a set a")
+	fmt.Println("previous step factored, reused=true: only the delta is factored):")
+	for _, h := range inv.History() {
+		fmt.Printf("  step %d: condition=%v top=%s reused=%v %v\n",
+			h.Step, h.Condition, h.TopFamily, h.ReusedConditioning, h.Elapsed.Round(0))
+	}
+
+	// Cancellation: an operator abandoning a mis-scoped ranking does not
+	// wait for it.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := inv.Step(cctx); errors.Is(err, context.Canceled) {
+		fmt.Println("\ncancelled step returned promptly with context.Canceled; workers reaped")
+	}
+}
+
+// seed loads a synthetic two-layer incident: a database fault drives query
+// errors, which drive checkout latency; load drives everything a little.
+func seed() *explainit.Client {
+	c := explainit.New()
+	rng := rand.New(rand.NewSource(42))
+	t0 := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	n := 480
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		load := 50 + 20*float64(i%60)/60 + 2*rng.NormFloat64()
+		fault := 0.0
+		if i > 300 && i < 420 {
+			fault = 3
+		}
+		dbErrors := fault + 0.2*rng.NormFloat64()
+		queryErrors := 2*dbErrors + 0.02*load + 0.3*rng.NormFloat64()
+		latency := 100 + 8*queryErrors + 0.5*load + 2*rng.NormFloat64()
+		c.Put("request_load", explainit.Tags{"svc": "web"}, at, load)
+		c.Put("db_replica_faults", explainit.Tags{"svc": "db"}, at, dbErrors)
+		c.Put("query_errors", explainit.Tags{"svc": "db"}, at, queryErrors)
+		c.Put("checkout_latency", explainit.Tags{"svc": "web"}, at, latency)
+		for k := 0; k < 4; k++ {
+			c.Put(fmt.Sprintf("noise_%c", 'a'+k), explainit.Tags{"idx": "0"}, at, rng.NormFloat64())
+		}
+	}
+	return c
+}

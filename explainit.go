@@ -24,10 +24,12 @@
 package explainit
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"explainit/internal/cluster"
@@ -42,9 +44,12 @@ import (
 type Tags map[string]string
 
 // Client is the top-level handle: a time series store, a SQL catalog over
-// it, and the hypothesis-ranking engine.
+// it, and the hypothesis-ranking engine. A Client is safe for concurrent
+// use: the family registry is guarded so HTTP handlers can rebuild
+// families while rankings resolve candidates.
 type Client struct {
 	db       *tsdb.DB
+	famMu    sync.RWMutex // guards families and famOrder
 	families map[string]*core.Family
 	famOrder []string
 	workers  *cluster.Pool // non-nil after ConnectWorkers
@@ -98,6 +103,24 @@ func (c *Client) Put(metric string, tags Tags, at time.Time, value float64) {
 	c.db.Put(metric, ts.Tags(tags), at, value)
 }
 
+// Observation is one record for PutBatch.
+type Observation struct {
+	Metric string
+	Tags   Tags
+	At     time.Time
+	Value  float64
+}
+
+// PutBatch records many observations at once: on a durable store the whole
+// batch shares one WAL group commit instead of one fsync per sample.
+func (c *Client) PutBatch(obs []Observation) error {
+	batch := make([]tsdb.Record, len(obs))
+	for i, o := range obs {
+		batch[i] = tsdb.Record{Metric: o.Metric, Tags: o.Tags, TS: o.At, Value: o.Value}
+	}
+	return c.db.PutBatch(batch)
+}
+
 // LoadCSV ingests "timestamp,metric,tags,value" records (tags as
 // semicolon-separated k=v pairs). It returns the number of rows loaded.
 func (c *Client) LoadCSV(r io.Reader) (int, error) { return connector.LoadCSV(c.db, r) }
@@ -137,7 +160,7 @@ func (c *Client) BuildFamilies(groupBy string, from, to time.Time, step time.Dur
 	case strings.HasPrefix(groupBy, "tag:"):
 		gf = core.GroupByTag(strings.TrimPrefix(groupBy, "tag:"))
 	default:
-		return nil, fmt.Errorf("explainit: unknown grouping %q (use \"name\" or \"tag:<key>\")", groupBy)
+		return nil, fmt.Errorf("%w %q (use \"name\" or \"tag:<key>\")", ErrUnknownGrouping, groupBy)
 	}
 	series, err := c.db.Run(tsdb.Query{Range: ts.TimeRange{From: from, To: to}})
 	if err != nil {
@@ -147,8 +170,10 @@ func (c *Client) BuildFamilies(groupBy string, from, to time.Time, step time.Dur
 	if err != nil {
 		return nil, err
 	}
+	c.famMu.Lock()
 	c.families = make(map[string]*core.Family, len(fams))
 	c.famOrder = c.famOrder[:0]
+	c.famMu.Unlock()
 	return c.registerFamilies(fams), nil
 }
 
@@ -176,6 +201,8 @@ func (c *Client) DefineFamiliesSQL(query, timeCol, keyCol string, from, to time.
 }
 
 func (c *Client) registerFamilies(fams []*core.Family) []FamilyInfo {
+	c.famMu.Lock()
+	defer c.famMu.Unlock()
 	infos := make([]FamilyInfo, 0, len(fams))
 	for _, f := range fams {
 		if _, exists := c.families[f.Name]; !exists {
@@ -187,8 +214,32 @@ func (c *Client) registerFamilies(fams []*core.Family) []FamilyInfo {
 	return infos
 }
 
+// getFamily looks a family up under the registry read lock.
+func (c *Client) getFamily(name string) (*core.Family, bool) {
+	c.famMu.RLock()
+	defer c.famMu.RUnlock()
+	f, ok := c.families[name]
+	return f, ok
+}
+
+// famOrderSnapshot copies the definition order under the read lock.
+func (c *Client) famOrderSnapshot() []string {
+	c.famMu.RLock()
+	defer c.famMu.RUnlock()
+	return append([]string(nil), c.famOrder...)
+}
+
+// numFamilies returns the registry size under the read lock.
+func (c *Client) numFamilies() int {
+	c.famMu.RLock()
+	defer c.famMu.RUnlock()
+	return len(c.families)
+}
+
 // Families lists the currently defined families, in definition order.
 func (c *Client) Families() []FamilyInfo {
+	c.famMu.RLock()
+	defer c.famMu.RUnlock()
 	out := make([]FamilyInfo, 0, len(c.famOrder))
 	for _, name := range c.famOrder {
 		f := c.families[name]
@@ -263,7 +314,7 @@ func scorerFor(name ScorerName, seed int64) (core.Scorer, error) {
 	case L1:
 		return &core.LassoScorer{}, nil
 	}
-	return nil, fmt.Errorf("explainit: unknown scorer %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownScorer, name)
 }
 
 // ExplainOptions configures one ranking query (one iteration of
@@ -323,81 +374,204 @@ func (r *Ranking) String() string {
 	return b.String()
 }
 
+// truncate cuts s to at most n display runes, replacing the tail with an
+// ellipsis. Cutting on rune boundaries keeps multi-byte family names valid
+// UTF-8 in the score table.
 func truncate(s string, n int) string {
-	if len(s) <= n {
+	runes := []rune(s)
+	if len(runes) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	return string(runes[:n-1]) + "…"
 }
 
-// Explain ranks candidate families by how well they explain the target,
-// optionally conditioning on other families or a pseudocause.
-func (c *Client) Explain(opts ExplainOptions) (*Ranking, error) {
-	target, ok := c.families[opts.Target]
+// resolveFamily looks a family up by name, wrapping the failure in
+// ErrUnknownFamily with the caller's role annotation.
+func (c *Client) resolveFamily(name, role string) (*core.Family, error) {
+	f, ok := c.getFamily(name)
 	if !ok {
-		return nil, fmt.Errorf("explainit: unknown target family %q (call BuildFamilies first)", opts.Target)
+		return nil, fmt.Errorf("%w: %s %q (call BuildFamilies first)", ErrUnknownFamily, role, name)
+	}
+	return f, nil
+}
+
+// candidateFamilies resolves the search space: the named families, or every
+// defined family in name order when searchSpace is empty.
+func (c *Client) candidateFamilies(searchSpace []string) ([]*core.Family, error) {
+	if len(searchSpace) > 0 {
+		candidates := make([]*core.Family, 0, len(searchSpace))
+		for _, name := range searchSpace {
+			f, err := c.resolveFamily(name, "search-space family")
+			if err != nil {
+				return nil, err
+			}
+			candidates = append(candidates, f)
+		}
+		return candidates, nil
+	}
+	c.famMu.RLock()
+	defer c.famMu.RUnlock()
+	names := make([]string, 0, len(c.families))
+	for n := range c.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	candidates := make([]*core.Family, 0, len(names))
+	for _, n := range names {
+		candidates = append(candidates, c.families[n])
+	}
+	return candidates, nil
+}
+
+// resolveExplain turns one ExplainOptions into an engine plus request.
+func (c *Client) resolveExplain(opts ExplainOptions) (*core.Engine, core.Request, error) {
+	var req core.Request
+	target, err := c.resolveFamily(opts.Target, "target family")
+	if err != nil {
+		return nil, req, err
 	}
 	var condition []*core.Family
 	for _, name := range opts.Condition {
-		f, ok := c.families[name]
-		if !ok {
-			return nil, fmt.Errorf("explainit: unknown conditioning family %q", name)
+		f, err := c.resolveFamily(name, "conditioning family")
+		if err != nil {
+			return nil, req, err
 		}
 		condition = append(condition, f)
 	}
 	if opts.Pseudocause {
 		pc, err := core.Pseudocause(target, opts.PseudocausePeriod)
 		if err != nil {
-			return nil, err
+			return nil, req, err
 		}
 		condition = append(condition, pc)
 	}
-	var candidates []*core.Family
-	if len(opts.SearchSpace) > 0 {
-		for _, name := range opts.SearchSpace {
-			f, ok := c.families[name]
-			if !ok {
-				return nil, fmt.Errorf("explainit: unknown family %q in search space", name)
-			}
-			candidates = append(candidates, f)
-		}
-	} else {
-		names := make([]string, 0, len(c.families))
-		for n := range c.families {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			candidates = append(candidates, c.families[n])
-		}
+	candidates, err := c.candidateFamilies(opts.SearchSpace)
+	if err != nil {
+		return nil, req, err
 	}
 	scorer, err := scorerFor(opts.Scorer, opts.Seed)
 	if err != nil {
-		return nil, err
+		return nil, req, err
 	}
 	eng := &core.Engine{Scorer: scorer, Workers: opts.Workers, TopK: opts.TopK}
-	req := core.Request{Target: target, Condition: condition, Candidates: candidates}
+	req = core.Request{Target: target, Condition: condition, Candidates: candidates}
 	if !opts.ExplainFrom.IsZero() || !opts.ExplainTo.IsZero() {
 		req.ExplainRange = ts.TimeRange{From: opts.ExplainFrom, To: opts.ExplainTo}
 	}
-	table, err := eng.Rank(req)
-	if err != nil {
-		return nil, err
+	return eng, req, nil
+}
+
+// rankedFromResult converts one engine result into a facade row (Rank not
+// yet assigned).
+func rankedFromResult(res core.Result) RankedFamily {
+	return RankedFamily{
+		Family:   res.Family,
+		Features: res.Features,
+		Score:    res.Score,
+		PValue:   res.PValue,
+		Viz:      res.Viz,
+		Elapsed:  res.Elapsed,
 	}
+}
+
+// rankingFromTable assembles the user-facing ranking, skipping errored rows
+// and assigning ranks densely over the rows actually emitted.
+func rankingFromTable(table *core.ScoreTable) *Ranking {
 	ranking := &Ranking{Skipped: table.Skipped}
-	for i, res := range table.Results {
+	for _, res := range table.Results {
 		if res.Err != nil {
 			continue
 		}
-		ranking.Rows = append(ranking.Rows, RankedFamily{
-			Rank:     i + 1,
-			Family:   res.Family,
-			Features: res.Features,
-			Score:    res.Score,
-			PValue:   res.PValue,
-			Viz:      res.Viz,
-			Elapsed:  res.Elapsed,
-		})
+		row := rankedFromResult(res)
+		row.Rank = len(ranking.Rows) + 1
+		ranking.Rows = append(ranking.Rows, row)
 	}
-	return ranking, nil
+	return ranking
+}
+
+// Explain ranks candidate families by how well they explain the target,
+// optionally conditioning on other families or a pseudocause. It is
+// ExplainContext with a background context.
+func (c *Client) Explain(opts ExplainOptions) (*Ranking, error) {
+	return c.ExplainContext(context.Background(), opts)
+}
+
+// ExplainContext is Explain with cooperative cancellation: the engine
+// checks ctx before every candidate and at every CV fold, so a cancelled
+// ranking returns ctx.Err() promptly with all of its workers reaped.
+func (c *Client) ExplainContext(ctx context.Context, opts ExplainOptions) (*Ranking, error) {
+	eng, req, err := c.resolveExplain(opts)
+	if err != nil {
+		return nil, err
+	}
+	table, err := eng.RankCtx(ctx, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rankingFromTable(table), nil
+}
+
+// RankUpdate is one event on a streaming ranking channel. Progress events
+// carry Row — one newly scored candidate, in completion order, Rank not yet
+// assigned — plus the Scored/Total counters (Total counts all candidates
+// submitted, including ones later skipped, so Scored can finish below it).
+// The terminal event carries either Final (the completed ranking, identical
+// to what the blocking call returns) or Err (including ctx.Err() on
+// cancellation); the channel is closed after it.
+type RankUpdate struct {
+	Row           *RankedFamily
+	Scored, Total int
+	Final         *Ranking
+	Err           error
+}
+
+// ExplainStream is ExplainContext with progressive delivery: it returns
+// immediately with a channel of RankUpdate events that emits each scored
+// candidate as workers finish, then a terminal event with the completed
+// ranking (or error). The channel is buffered for the whole ranking, so an
+// abandoned stream never blocks or leaks the scoring goroutines —
+// cancelling ctx is still the way to stop the work early. A completed
+// stream's Final ranking is identical to the blocking ExplainContext
+// result at any worker count.
+func (c *Client) ExplainStream(ctx context.Context, opts ExplainOptions) (<-chan RankUpdate, error) {
+	eng, req, err := c.resolveExplain(opts)
+	if err != nil {
+		return nil, err
+	}
+	return streamRank(ctx, eng, req, nil, nil), nil
+}
+
+// streamRank runs one ranking on a fresh goroutine, translating the
+// engine's onResult callback into channel events. The channel is buffered
+// to the maximum possible event count so the goroutine can never block on
+// a slow or departed consumer.
+func streamRank(ctx context.Context, eng *core.Engine, req core.Request, cond *core.CondState, onDone func(*Ranking, error)) <-chan RankUpdate {
+	total := len(req.Candidates)
+	ch := make(chan RankUpdate, total+1)
+	go func() {
+		defer close(ch)
+		scored := 0
+		table, err := eng.RankPrepared(ctx, req, cond, func(res core.Result) {
+			scored++
+			if res.Err != nil {
+				ch <- RankUpdate{Scored: scored, Total: total}
+				return
+			}
+			row := rankedFromResult(res)
+			ch <- RankUpdate{Row: &row, Scored: scored, Total: total}
+		})
+		if err != nil {
+			if onDone != nil {
+				onDone(nil, err)
+			}
+			ch <- RankUpdate{Err: err, Scored: scored, Total: total}
+			return
+		}
+		ranking := rankingFromTable(table)
+		if onDone != nil {
+			onDone(ranking, nil)
+		}
+		ch <- RankUpdate{Final: ranking, Scored: scored, Total: total}
+	}()
+	return ch
 }

@@ -15,9 +15,9 @@ import (
 // an automatic version of the operator's highlighted range in Figure 2.
 // ok is false when the target contains no window above the threshold.
 func (c *Client) SuggestExplainRange(target string, threshold float64) (from, to time.Time, ok bool, err error) {
-	f, exists := c.families[target]
+	f, exists := c.getFamily(target)
 	if !exists {
-		return time.Time{}, time.Time{}, false, fmt.Errorf("explainit: unknown target family %q", target)
+		return time.Time{}, time.Time{}, false, fmt.Errorf("%w: target family %q", ErrUnknownFamily, target)
 	}
 	if f.Index == nil {
 		return time.Time{}, time.Time{}, false, fmt.Errorf("explainit: family %q has no time index", target)
@@ -64,23 +64,26 @@ type CausalStructure struct {
 // oriented as causes. maxConditioningSize bounds the search (1 is cheap
 // and usually sufficient; cost grows exponentially).
 func (c *Client) DiscoverStructure(target string, searchSpace []string, maxConditioningSize int) (*CausalStructure, error) {
-	tf, ok := c.families[target]
-	if !ok {
-		return nil, fmt.Errorf("explainit: unknown target family %q (call BuildFamilies first)", target)
+	tf, err := c.resolveFamily(target, "target family")
+	if err != nil {
+		return nil, err
 	}
 	var candidates []*core.Family
 	if len(searchSpace) > 0 {
 		for _, name := range searchSpace {
-			f, ok := c.families[name]
-			if !ok {
-				return nil, fmt.Errorf("explainit: unknown family %q in search space", name)
+			f, err := c.resolveFamily(name, "search-space family")
+			if err != nil {
+				return nil, err
 			}
 			candidates = append(candidates, f)
 		}
 	} else {
-		for _, name := range c.famOrder {
-			if name != target {
-				candidates = append(candidates, c.families[name])
+		for _, name := range c.famOrderSnapshot() {
+			if name == target {
+				continue
+			}
+			if f, ok := c.getFamily(name); ok {
+				candidates = append(candidates, f)
 			}
 		}
 	}

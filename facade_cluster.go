@@ -46,9 +46,9 @@ func (c *Client) ExplainRemote(opts ExplainOptions) (*Ranking, error) {
 	if c.workers == nil {
 		return nil, fmt.Errorf("explainit: no workers connected (call ConnectWorkers)")
 	}
-	target, ok := c.families[opts.Target]
-	if !ok {
-		return nil, fmt.Errorf("explainit: unknown target family %q", opts.Target)
+	target, err := c.resolveFamily(opts.Target, "target family")
+	if err != nil {
+		return nil, err
 	}
 	if opts.Pseudocause || !opts.ExplainFrom.IsZero() || !opts.ExplainTo.IsZero() {
 		return nil, fmt.Errorf("explainit: pseudocauses and explain ranges are local-only; use Explain")
@@ -57,9 +57,9 @@ func (c *Client) ExplainRemote(opts ExplainOptions) (*Ranking, error) {
 	if len(opts.Condition) > 0 {
 		fams := make([]*core.Family, 0, len(opts.Condition))
 		for _, name := range opts.Condition {
-			f, ok := c.families[name]
-			if !ok {
-				return nil, fmt.Errorf("explainit: unknown conditioning family %q", name)
+			f, err := c.resolveFamily(name, "conditioning family")
+			if err != nil {
+				return nil, err
 			}
 			fams = append(fams, f)
 		}
@@ -103,12 +103,12 @@ func (c *Client) ExplainRemote(opts ExplainOptions) (*Ranking, error) {
 	var skipped []string
 	pick := opts.SearchSpace
 	if len(pick) == 0 {
-		pick = c.famOrder
+		pick = c.famOrderSnapshot()
 	}
 	for _, name := range pick {
-		f, ok := c.families[name]
+		f, ok := c.getFamily(name)
 		if !ok {
-			return nil, fmt.Errorf("explainit: unknown family %q in search space", name)
+			return nil, fmt.Errorf("%w: %q in search space", ErrUnknownFamily, name)
 		}
 		if excluded[name] || f.NumRows() != target.NumRows() {
 			skipped = append(skipped, name)

@@ -22,15 +22,15 @@ func (c *Client) LoadLogs(r io.Reader) (lines, templates int, err error) {
 // "the user could specify lagged features from the past"). The augmented
 // family replaces the original under the same name.
 func (c *Client) Lag(family string, lags ...int) error {
-	f, ok := c.families[family]
-	if !ok {
-		return fmt.Errorf("explainit: unknown family %q", family)
+	f, err := c.resolveFamily(family, "family")
+	if err != nil {
+		return err
 	}
 	lagged, err := core.WithLags(f, lags)
 	if err != nil {
 		return err
 	}
-	c.families[family] = lagged
+	c.registerFamilies([]*core.Family{lagged})
 	return nil
 }
 
@@ -75,7 +75,7 @@ func (c *Client) ExplainAdjusted(opts ExplainOptions, method Correction, alpha f
 	}
 	total := len(opts.SearchSpace)
 	if total == 0 {
-		total = len(c.families)
+		total = c.numFamilies()
 	}
 	var m core.CorrectionMethod
 	switch method {
@@ -135,21 +135,21 @@ type MergedFamily struct {
 // candidate family against the target (Figures 14/15 in the paper): the
 // visual check that a single score cannot replace.
 func (c *Client) Overlay(target, candidate string, condition []string, width, height int) (string, error) {
-	y, ok := c.families[target]
-	if !ok {
-		return "", fmt.Errorf("explainit: unknown target family %q", target)
+	y, err := c.resolveFamily(target, "target family")
+	if err != nil {
+		return "", err
 	}
-	x, ok := c.families[candidate]
-	if !ok {
-		return "", fmt.Errorf("explainit: unknown candidate family %q", candidate)
+	x, err := c.resolveFamily(candidate, "candidate family")
+	if err != nil {
+		return "", err
 	}
 	var z *core.Family
 	if len(condition) > 0 {
 		fams := make([]*core.Family, 0, len(condition))
 		for _, name := range condition {
-			f, ok := c.families[name]
-			if !ok {
-				return "", fmt.Errorf("explainit: unknown conditioning family %q", name)
+			f, err := c.resolveFamily(name, "conditioning family")
+			if err != nil {
+				return "", err
 			}
 			fams = append(fams, f)
 		}

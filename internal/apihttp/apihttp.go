@@ -1,0 +1,481 @@
+// Package apihttp is the versioned HTTP surface of the analysis engine:
+// /api/v1 exposes the facade's iterative Investigation sessions over the
+// wire — create a session, condition it, run steps as asynchronous jobs,
+// poll them, or follow a live SSE stream of ranked rows as scoring workers
+// finish. Every error is a typed JSON envelope
+// ({"error":{"code","message"}}) whose codes mirror the exported
+// explainit.Err* sentinels, so an HTTP client and an in-process caller
+// branch on exactly the same values.
+package apihttp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"explainit"
+)
+
+// Server routes /api/v1. Create with NewServer, mount anywhere (it serves
+// only its own prefix), and Close it on shutdown to reap running jobs.
+type Server struct {
+	client *explainit.Client
+	mux    *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	invs    map[string]*explainit.Investigation
+	jobs    map[string]*job
+	nextInv int
+	nextJob int
+}
+
+// NewServer builds the /api/v1 handler over a facade client.
+func NewServer(c *explainit.Client) *Server {
+	s := &Server{
+		client: c,
+		mux:    http.NewServeMux(),
+		invs:   make(map[string]*explainit.Investigation),
+		jobs:   make(map[string]*job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// Paths are registered method-less: method checks happen in the
+	// handlers so a wrong verb gets the typed envelope, not the stdlib
+	// text/plain 405.
+	s.mux.HandleFunc("/api/v1/put", s.handlePut)
+	s.mux.HandleFunc("/api/v1/families", s.handleFamilies)
+	s.mux.HandleFunc("/api/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/api/v1/investigations", s.handleInvestigations)
+	s.mux.HandleFunc("/api/v1/investigations/{id}", s.handleInvestigation)
+	s.mux.HandleFunc("/api/v1/investigations/{id}/condition", s.handleCondition)
+	s.mux.HandleFunc("/api/v1/investigations/{id}/step", s.handleStep)
+	s.mux.HandleFunc("/api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("/api/v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("/api/v1/", s.handleUnknown)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every running job's context; their scoring workers unwind
+// promptly.
+func (s *Server) Close() error {
+	s.baseCancel()
+	return nil
+}
+
+// --- error envelope ---
+
+type errorEnvelope struct {
+	Error explainit.Error `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: explainit.Error{Code: code, Message: msg}})
+}
+
+// writeError maps an error to the envelope: sentinel-wrapped errors carry
+// their wire code and a matching status; anything else is a bad_request.
+func writeError(w http.ResponseWriter, err error) {
+	code := explainit.ErrorCode(err)
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, explainit.ErrUnknownFamily),
+		errors.Is(err, explainit.ErrUnknownInvestigation),
+		errors.Is(err, explainit.ErrUnknownJob):
+		status = http.StatusNotFound
+	case errors.Is(err, explainit.ErrStepInProgress),
+		errors.Is(err, explainit.ErrInvestigationClosed):
+		status = http.StatusConflict
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// 499 is nginx's "client closed request"; stdlib has no constant.
+		status, code = 499, "cancelled"
+	}
+	if code == "" {
+		code = "bad_request"
+	}
+	writeErrorCode(w, status, code, err.Error())
+}
+
+func methodNotAllowed(w http.ResponseWriter, allowed string) {
+	w.Header().Set("Allow", allowed)
+	writeErrorCode(w, http.StatusMethodNotAllowed, "method_not_allowed", allowed+" required")
+}
+
+func (s *Server) handleUnknown(w http.ResponseWriter, r *http.Request) {
+	writeErrorCode(w, http.StatusNotFound, "not_found", "unknown /api/v1 path "+r.URL.Path)
+}
+
+// decodeJSON reads a bounded JSON body into v, rejecting trailing garbage.
+func decodeJSON(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed JSON body: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("malformed JSON body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// --- ingest + families ---
+
+// PutRecord is the JSON wire form of one observation (matches tsdbhttp).
+type PutRecord struct {
+	Metric    string            `json:"metric"`
+	Timestamp int64             `json:"timestamp"` // unix seconds
+	Value     float64           `json:"value"`
+	Tags      map[string]string `json:"tags,omitempty"`
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var records []PutRecord
+	if err := decodeJSON(r, &records); err != nil {
+		writeError(w, err)
+		return
+	}
+	obs := make([]explainit.Observation, 0, len(records))
+	for i, rec := range records {
+		if rec.Metric == "" {
+			writeErrorCode(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("record %d: empty metric", i))
+			return
+		}
+		obs = append(obs, explainit.Observation{
+			Metric: rec.Metric,
+			Tags:   rec.Tags,
+			At:     time.Unix(rec.Timestamp, 0).UTC(),
+			Value:  rec.Value,
+		})
+	}
+	if err := s.client.PutBatch(obs); err != nil {
+		writeErrorCode(w, http.StatusInternalServerError, "storage", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"stored": len(obs)})
+}
+
+type buildFamiliesRequest struct {
+	GroupBy     string `json:"group_by"`
+	From        int64  `json:"from"`         // unix seconds; 0 = store bounds
+	To          int64  `json:"to"`           // unix seconds; 0 = store bounds
+	StepSeconds int64  `json:"step_seconds"` // 0 = 60
+}
+
+type familyPayload struct {
+	Name     string `json:"name"`
+	Features int    `json:"features"`
+	Rows     int    `json:"rows"`
+}
+
+func (s *Server) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		infos := s.client.Families()
+		out := make([]familyPayload, len(infos))
+		for i, f := range infos {
+			out[i] = familyPayload{Name: f.Name, Features: f.Features, Rows: f.Rows}
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req buildFamiliesRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		from := time.Unix(req.From, 0).UTC()
+		to := time.Unix(req.To, 0).UTC()
+		if req.From == 0 || req.To == 0 {
+			lo, hi, ok := s.client.Bounds()
+			if !ok {
+				writeErrorCode(w, http.StatusBadRequest, "bad_request", "store is empty; put data first or pass from/to")
+				return
+			}
+			if req.From == 0 {
+				from = lo
+			}
+			if req.To == 0 {
+				to = hi
+			}
+		}
+		step := time.Duration(req.StepSeconds) * time.Second
+		if step <= 0 {
+			step = time.Minute
+		}
+		infos, err := s.client.BuildFamilies(req.GroupBy, from, to, step)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := make([]familyPayload, len(infos))
+		for i, f := range infos {
+			out[i] = familyPayload{Name: f.Name, Features: f.Features, Rows: f.Rows}
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		methodNotAllowed(w, "GET, POST")
+	}
+}
+
+// --- blocking explain ---
+
+type explainRequest struct {
+	Target      string   `json:"target"`
+	Condition   []string `json:"condition,omitempty"`
+	SearchSpace []string `json:"search_space,omitempty"`
+	Scorer      string   `json:"scorer,omitempty"`
+	TopK        int      `json:"top_k,omitempty"`
+	Workers     int      `json:"workers,omitempty"`
+	Seed        int64    `json:"seed,omitempty"`
+	Pseudocause bool     `json:"pseudocause,omitempty"`
+}
+
+type rowPayload struct {
+	Rank     int     `json:"rank,omitempty"`
+	Family   string  `json:"family"`
+	Features int     `json:"features"`
+	Score    float64 `json:"score"`
+	PValue   float64 `json:"p_value"`
+	Viz      string  `json:"viz,omitempty"`
+}
+
+type rankingPayload struct {
+	Rows    []rowPayload `json:"rows"`
+	Skipped []string     `json:"skipped,omitempty"`
+}
+
+func rowFromRanked(row explainit.RankedFamily) rowPayload {
+	return rowPayload{
+		Rank:     row.Rank,
+		Family:   row.Family,
+		Features: row.Features,
+		Score:    row.Score,
+		PValue:   row.PValue,
+		Viz:      row.Viz,
+	}
+}
+
+func payloadFromRanking(ranking *explainit.Ranking) rankingPayload {
+	out := rankingPayload{Rows: make([]rowPayload, len(ranking.Rows)), Skipped: ranking.Skipped}
+	for i, row := range ranking.Rows {
+		out.Rows[i] = rowFromRanked(row)
+	}
+	return out
+}
+
+// handleExplain is the one-shot form: it blocks for the ranking, with the
+// request context cancelling the engine when the client goes away.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req explainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ranking, err := s.client.ExplainContext(r.Context(), explainit.ExplainOptions{
+		Target:      req.Target,
+		Condition:   req.Condition,
+		SearchSpace: req.SearchSpace,
+		Scorer:      explainit.ScorerName(req.Scorer),
+		TopK:        req.TopK,
+		Workers:     req.Workers,
+		Seed:        req.Seed,
+		Pseudocause: req.Pseudocause,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payloadFromRanking(ranking))
+}
+
+// --- investigations ---
+
+type createInvestigationRequest struct {
+	Target      string   `json:"target"`
+	Condition   []string `json:"condition,omitempty"`
+	SearchSpace []string `json:"search_space,omitempty"`
+	Scorer      string   `json:"scorer,omitempty"`
+	TopK        int      `json:"top_k,omitempty"`
+	Workers     int      `json:"workers,omitempty"`
+	Seed        int64    `json:"seed,omitempty"`
+	Pseudocause bool     `json:"pseudocause,omitempty"`
+}
+
+type stepPayload struct {
+	Step               int      `json:"step"`
+	Condition          []string `json:"condition"`
+	TopFamily          string   `json:"top_family,omitempty"`
+	Rows               int      `json:"rows"`
+	ReusedConditioning bool     `json:"reused_conditioning"`
+	ElapsedMS          int64    `json:"elapsed_ms"`
+}
+
+type investigationPayload struct {
+	ID        string        `json:"id"`
+	Target    string        `json:"target"`
+	Condition []string      `json:"condition"`
+	Steps     []stepPayload `json:"steps"`
+}
+
+func investigationInfo(id string, inv *explainit.Investigation) investigationPayload {
+	hist := inv.History()
+	steps := make([]stepPayload, len(hist))
+	for i, h := range hist {
+		steps[i] = stepPayload{
+			Step:               h.Step,
+			Condition:          h.Condition,
+			TopFamily:          h.TopFamily,
+			Rows:               h.Rows,
+			ReusedConditioning: h.ReusedConditioning,
+			ElapsedMS:          h.Elapsed.Milliseconds(),
+		}
+	}
+	return investigationPayload{ID: id, Target: inv.Target(), Condition: inv.Conditioning(), Steps: steps}
+}
+
+func (s *Server) handleInvestigations(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req createInvestigationRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		inv, err := s.client.NewInvestigation(req.Target, explainit.InvestigateOptions{
+			Condition:   req.Condition,
+			SearchSpace: req.SearchSpace,
+			Scorer:      explainit.ScorerName(req.Scorer),
+			TopK:        req.TopK,
+			Workers:     req.Workers,
+			Seed:        req.Seed,
+			Pseudocause: req.Pseudocause,
+		})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		s.mu.Lock()
+		s.nextInv++
+		id := "inv-" + strconv.Itoa(s.nextInv)
+		s.invs[id] = inv
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, investigationInfo(id, inv))
+	case http.MethodGet:
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.invs))
+		for id := range s.invs {
+			ids = append(ids, id)
+		}
+		invs := make(map[string]*explainit.Investigation, len(ids))
+		for _, id := range ids {
+			invs[id] = s.invs[id]
+		}
+		s.mu.Unlock()
+		out := make([]investigationPayload, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, investigationInfo(id, invs[id]))
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		methodNotAllowed(w, "GET, POST")
+	}
+}
+
+func (s *Server) investigation(r *http.Request) (string, *explainit.Investigation, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	inv, ok := s.invs[id]
+	s.mu.Unlock()
+	if !ok {
+		return id, nil, fmt.Errorf("%w %q", explainit.ErrUnknownInvestigation, id)
+	}
+	return id, inv, nil
+}
+
+func (s *Server) handleInvestigation(w http.ResponseWriter, r *http.Request) {
+	id, inv, err := s.investigation(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, investigationInfo(id, inv))
+	case http.MethodDelete:
+		// Tear the session down: cancel and drop its jobs, close the
+		// session (releasing the cached factorizations), and forget it —
+		// the eviction path that keeps a long-running daemon's memory
+		// bounded.
+		payload := investigationInfo(id, inv)
+		s.mu.Lock()
+		delete(s.invs, id)
+		for jid, j := range s.jobs {
+			if j.invID == id {
+				j.cancel()
+				delete(s.jobs, jid)
+			}
+		}
+		s.mu.Unlock()
+		_ = inv.Close()
+		writeJSON(w, http.StatusOK, payload)
+	default:
+		methodNotAllowed(w, "GET, DELETE")
+	}
+}
+
+type conditionRequest struct {
+	Add  []string `json:"add,omitempty"`
+	Drop []string `json:"drop,omitempty"`
+}
+
+func (s *Server) handleCondition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	id, inv, err := s.investigation(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req conditionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Drop) > 0 {
+		if err := inv.Drop(req.Drop...); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	if len(req.Add) > 0 {
+		if err := inv.Condition(req.Add...); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, investigationInfo(id, inv))
+}

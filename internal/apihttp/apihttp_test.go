@@ -1,0 +1,523 @@
+package apihttp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"explainit"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// seedServer builds an API server over a client preloaded with a synthetic
+// incident (fault drives tcp_retransmits and pipeline_runtime) plus
+// noiseFamilies distractors, families already built. hostsPerNoise widens
+// each noise family to that many feature columns — the knob the
+// cancellation tests use to make a step take long enough to interrupt.
+func seedServer(t *testing.T, n, noiseFamilies, hostsPerNoise int) (*Server, *explainit.Client) {
+	t.Helper()
+	if hostsPerNoise < 1 {
+		hostsPerNoise = 1
+	}
+	c := explainit.New()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		fault := 0.0
+		if i%120 >= 80 && i%120 < 110 {
+			fault = 4
+		}
+		c.Put("tcp_retransmits", explainit.Tags{"host": "dn-1"}, at, fault+0.3*rng.NormFloat64())
+		c.Put("pipeline_runtime", explainit.Tags{"pipeline": "p0"}, at, 10+3*fault+0.5*rng.NormFloat64())
+		for k := 0; k < noiseFamilies; k++ {
+			for h := 0; h < hostsPerNoise; h++ {
+				c.Put(fmt.Sprintf("noise_%02d", k), explainit.Tags{"host": fmt.Sprintf("h%d", h)}, at, rng.NormFloat64())
+			}
+		}
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(c)
+	t.Cleanup(func() { srv.Close() })
+	return srv, c
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decodeBody(t *testing.T, w *httptest.ResponseRecorder, v interface{}) {
+	t.Helper()
+	if err := json.Unmarshal(w.Body.Bytes(), v); err != nil {
+		t.Fatalf("decoding %q: %v", w.Body.String(), err)
+	}
+}
+
+// envelopeOf decodes the typed error envelope from a response.
+func envelopeOf(t *testing.T, w *httptest.ResponseRecorder) *explainit.Error {
+	t.Helper()
+	var env errorEnvelope
+	decodeBody(t, w, &env)
+	if env.Error.Code == "" {
+		t.Fatalf("no error envelope in %q", w.Body.String())
+	}
+	return &env.Error
+}
+
+func TestInvestigationLifecycle(t *testing.T) {
+	srv, c := seedServer(t, 360, 5, 1)
+
+	// Ingest through the API too: one more noise metric.
+	var recs []PutRecord
+	for i := 0; i < 360; i++ {
+		recs = append(recs, PutRecord{Metric: "api_noise", Timestamp: t0.Add(time.Duration(i) * time.Minute).Unix(), Value: float64(i % 7)})
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/api/v1/put", recs); w.Code != http.StatusOK {
+		t.Fatalf("put: %d %s", w.Code, w.Body.String())
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/api/v1/families", buildFamiliesRequest{GroupBy: "name"}); w.Code != http.StatusOK {
+		t.Fatalf("families: %d %s", w.Code, w.Body.String())
+	}
+	var fams []familyPayload
+	w := doJSON(t, srv, http.MethodGet, "/api/v1/families", nil)
+	decodeBody(t, w, &fams)
+	if len(fams) != 8 { // 2 signal + 5 noise + api_noise
+		t.Fatalf("families %d: %+v", len(fams), fams)
+	}
+
+	// Create a session and run step 1 as an async job.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations", createInvestigationRequest{Target: "pipeline_runtime", Seed: 1})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", w.Code, w.Body.String())
+	}
+	var inv investigationPayload
+	decodeBody(t, w, &inv)
+	if inv.ID == "" || inv.Target != "pipeline_runtime" {
+		t.Fatalf("investigation %+v", inv)
+	}
+
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("step: %d %s", w.Code, w.Body.String())
+	}
+	var j jobPayload
+	decodeBody(t, w, &j)
+	job1 := waitForJob(t, srv, j.ID, JobDone)
+	if job1.Ranking == nil || len(job1.Ranking.Rows) == 0 {
+		t.Fatalf("job %+v has no ranking", job1)
+	}
+	if top := job1.Ranking.Rows[0].Family; top != "tcp_retransmits" {
+		t.Fatalf("top family %q", top)
+	}
+	if len(job1.Rows) != job1.Scored {
+		t.Fatalf("rows %d vs scored %d", len(job1.Rows), job1.Scored)
+	}
+	// The async ranking matches the blocking endpoint bit for bit.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/explain", explainRequest{Target: "pipeline_runtime", Seed: 1})
+	if w.Code != http.StatusOK {
+		t.Fatalf("explain: %d %s", w.Code, w.Body.String())
+	}
+	var blocking rankingPayload
+	decodeBody(t, w, &blocking)
+	if len(blocking.Rows) != len(job1.Ranking.Rows) {
+		t.Fatalf("blocking %d rows, job %d", len(blocking.Rows), len(job1.Ranking.Rows))
+	}
+	for i := range blocking.Rows {
+		if blocking.Rows[i] != job1.Ranking.Rows[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, blocking.Rows[i], job1.Ranking.Rows[i])
+		}
+	}
+
+	// Condition on the leader and step again: the session extends the
+	// cached factorization.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/condition", conditionRequest{Add: []string{"tcp_retransmits"}})
+	if w.Code != http.StatusOK {
+		t.Fatalf("condition: %d %s", w.Code, w.Body.String())
+	}
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("step 2: %d %s", w.Code, w.Body.String())
+	}
+	decodeBody(t, w, &j)
+	waitForJob(t, srv, j.ID, JobDone)
+
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/investigations/"+inv.ID, nil)
+	decodeBody(t, w, &inv)
+	if len(inv.Steps) != 2 {
+		t.Fatalf("steps %+v", inv.Steps)
+	}
+	if len(inv.Steps[1].Condition) != 1 || inv.Steps[1].Condition[0] != "tcp_retransmits" {
+		t.Fatalf("step 2 condition %+v", inv.Steps[1])
+	}
+	// Sanity on the facade side: both steps recorded on the same session.
+	_ = c
+}
+
+func waitForJob(t *testing.T, srv *Server, id, want string) jobPayload {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		w := doJSON(t, srv, http.MethodGet, "/api/v1/jobs/"+id, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("job poll: %d %s", w.Code, w.Body.String())
+		}
+		var j jobPayload
+		decodeBody(t, w, &j)
+		if j.Status == want {
+			return j
+		}
+		if j.Status != JobRunning {
+			t.Fatalf("job %s reached %q, want %q (%+v)", id, j.Status, want, j)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, j.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv, _ := seedServer(t, 60, 2, 1)
+
+	// Method not allowed, with the typed envelope.
+	w := doJSON(t, srv, http.MethodGet, "/api/v1/put", nil)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("put GET: %d", w.Code)
+	}
+	if env := envelopeOf(t, w); env.Code != "method_not_allowed" {
+		t.Fatalf("envelope %+v", env)
+	}
+	w = doJSON(t, srv, http.MethodDelete, "/api/v1/investigations", nil)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("investigations DELETE: %d", w.Code)
+	}
+
+	// Malformed JSON.
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/investigations", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d %s", rec.Code, rec.Body.String())
+	}
+	if env := envelopeOf(t, rec); env.Code != "bad_request" {
+		t.Fatalf("envelope %+v", env)
+	}
+
+	// Unknown target family: the envelope maps back to the sentinel.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations", createInvestigationRequest{Target: "no_such"})
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown target: %d %s", w.Code, w.Body.String())
+	}
+	if env := envelopeOf(t, w); !errors.Is(env, explainit.ErrUnknownFamily) {
+		t.Fatalf("envelope %+v must match ErrUnknownFamily", env)
+	}
+
+	// Unknown investigation / job ids.
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/investigations/inv-404", nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown investigation: %d", w.Code)
+	}
+	if env := envelopeOf(t, w); !errors.Is(env, explainit.ErrUnknownInvestigation) {
+		t.Fatalf("envelope %+v", env)
+	}
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/inv-404/step", nil)
+	if env := envelopeOf(t, w); w.Code != http.StatusNotFound || !errors.Is(env, explainit.ErrUnknownInvestigation) {
+		t.Fatalf("step on unknown investigation: %d %+v", w.Code, env)
+	}
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/jobs/job-404", nil)
+	if env := envelopeOf(t, w); w.Code != http.StatusNotFound || !errors.Is(env, explainit.ErrUnknownJob) {
+		t.Fatalf("unknown job: %d %+v", w.Code, env)
+	}
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/jobs/job-404/events", nil)
+	if env := envelopeOf(t, w); w.Code != http.StatusNotFound || !errors.Is(env, explainit.ErrUnknownJob) {
+		t.Fatalf("unknown job events: %d %+v", w.Code, env)
+	}
+
+	// Unknown /api/v1 path.
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/frobnicate", nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", w.Code)
+	}
+	if env := envelopeOf(t, w); env.Code != "not_found" {
+		t.Fatalf("envelope %+v", env)
+	}
+
+	// Empty metric on put.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/put", []PutRecord{{Metric: ""}})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("empty metric: %d", w.Code)
+	}
+
+	// Trailing garbage after a valid JSON value.
+	req = httptest.NewRequest(http.MethodPost, "/api/v1/investigations",
+		strings.NewReader(`{"target":"pipeline_runtime"} {"target":"evil"}`))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("trailing garbage: %d %s", rec.Code, rec.Body.String())
+	}
+	if env := envelopeOf(t, rec); env.Code != "bad_request" {
+		t.Fatalf("envelope %+v", env)
+	}
+}
+
+// readSSE parses one "event: X\ndata: {...}" frame pair from the reader.
+func readSSE(r *bufio.Reader) (name string, data []byte, err error) {
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", nil, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && name != "":
+			return name, data, nil
+		}
+	}
+}
+
+func TestSSEStreamDeliversRanking(t *testing.T) {
+	srv, _ := seedServer(t, 240, 6, 1)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations", createInvestigationRequest{Target: "pipeline_runtime", Seed: 1})
+	var inv investigationPayload
+	decodeBody(t, w, &inv)
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	var j jobPayload
+	decodeBody(t, w, &j)
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	rd := bufio.NewReader(resp.Body)
+	var rows int
+	var final *rankingPayload
+	for {
+		name, data, err := readSSE(rd)
+		if err != nil {
+			t.Fatalf("stream ended early: %v (rows %d)", err, rows)
+		}
+		if name == "row" {
+			rows++
+			continue
+		}
+		if name == "done" {
+			var r rankingPayload
+			if err := json.Unmarshal(data, &r); err != nil {
+				t.Fatal(err)
+			}
+			final = &r
+			break
+		}
+		t.Fatalf("unexpected event %q: %s", name, data)
+	}
+	if rows == 0 || final == nil || len(final.Rows) == 0 {
+		t.Fatalf("rows %d final %+v", rows, final)
+	}
+	if final.Rows[0].Family != "tcp_retransmits" {
+		t.Fatalf("top %q", final.Rows[0].Family)
+	}
+	// Late subscriber replays the whole finished job.
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	rd2 := bufio.NewReader(resp2.Body)
+	var replayRows int
+	for {
+		name, _, err := readSSE(rd2)
+		if err != nil {
+			t.Fatalf("replay ended early: %v", err)
+		}
+		if name == "row" {
+			replayRows++
+			continue
+		}
+		if name == "done" {
+			break
+		}
+	}
+	if replayRows != rows {
+		t.Fatalf("replay %d rows, live %d", replayRows, rows)
+	}
+}
+
+// TestSSEDisconnectReapsJob is the satellite acceptance test: a client
+// that vanishes mid-SSE cancels the step job, the engine's workers are
+// reaped, and the session is immediately steppable again.
+func TestSSEDisconnectReapsJob(t *testing.T) {
+	// Enough candidates that the job is still mid-flight when the client
+	// disconnects after the first row.
+	srv, _ := seedServer(t, 3000, 32, 16)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations",
+		createInvestigationRequest{Target: "pipeline_runtime", Seed: 1, Workers: 1})
+	var inv investigationPayload
+	decodeBody(t, w, &inv)
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("step: %d %s", w.Code, w.Body.String())
+	}
+	var j jobPayload
+	decodeBody(t, w, &j)
+
+	// While the job runs, a second step must refuse: steps serialize.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("concurrent step: %d %s", w.Code, w.Body.String())
+	}
+	if env := envelopeOf(t, w); !errors.Is(env, explainit.ErrStepInProgress) {
+		t.Fatalf("envelope %+v", env)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/api/v1/jobs/"+j.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := bufio.NewReader(resp.Body)
+	if name, _, err := readSSE(rd); err != nil || name != "row" {
+		t.Fatalf("first event %q err %v", name, err)
+	}
+	// Vanish mid-stream.
+	cancel()
+	resp.Body.Close()
+
+	// The server must reap the job: status becomes cancelled, with the
+	// cancelled error envelope.
+	deadline := time.Now().Add(10 * time.Second)
+	var got jobPayload
+	for {
+		w := doJSON(t, srv, http.MethodGet, "/api/v1/jobs/"+j.ID, nil)
+		decodeBody(t, w, &got)
+		if got.Status != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after disconnect", got.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got.Status != JobCancelled {
+		t.Fatalf("job status %q, want %q", got.Status, JobCancelled)
+	}
+	if got.Error == nil || got.Error.Code != "cancelled" {
+		t.Fatalf("job error %+v", got.Error)
+	}
+
+	// The session is released: a fresh step runs to completion.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("step after cancel: %d %s", w.Code, w.Body.String())
+	}
+	decodeBody(t, w, &j)
+	waitForJob(t, srv, j.ID, JobDone)
+
+	// The cancelled job never entered the session history.
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/investigations/"+inv.ID, nil)
+	decodeBody(t, w, &inv)
+	if len(inv.Steps) != 1 {
+		t.Fatalf("history %+v", inv.Steps)
+	}
+}
+
+func TestDeleteJobCancelsAndEvicts(t *testing.T) {
+	srv, _ := seedServer(t, 3000, 32, 16)
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations",
+		createInvestigationRequest{Target: "pipeline_runtime", Seed: 1, Workers: 1})
+	var inv investigationPayload
+	decodeBody(t, w, &inv)
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	var j jobPayload
+	decodeBody(t, w, &j)
+	if w := doJSON(t, srv, http.MethodDelete, "/api/v1/jobs/"+j.ID, nil); w.Code != http.StatusOK {
+		t.Fatalf("delete: %d", w.Code)
+	}
+	// The job is evicted immediately...
+	if w := doJSON(t, srv, http.MethodGet, "/api/v1/jobs/"+j.ID, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("deleted job still polls: %d %s", w.Code, w.Body.String())
+	}
+	// ...and its workers are reaped: the session accepts a new step once
+	// the cancellation lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+		if w.Code == http.StatusAccepted {
+			break
+		}
+		if w.Code != http.StatusConflict {
+			t.Fatalf("step after delete: %d %s", w.Code, w.Body.String())
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never released after job delete")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDeleteInvestigationEvictsJobs(t *testing.T) {
+	srv, _ := seedServer(t, 360, 5, 1)
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations",
+		createInvestigationRequest{Target: "pipeline_runtime", Seed: 1})
+	var inv investigationPayload
+	decodeBody(t, w, &inv)
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	var j jobPayload
+	decodeBody(t, w, &j)
+	waitForJob(t, srv, j.ID, JobDone)
+
+	if w := doJSON(t, srv, http.MethodDelete, "/api/v1/investigations/"+inv.ID, nil); w.Code != http.StatusOK {
+		t.Fatalf("delete investigation: %d %s", w.Code, w.Body.String())
+	}
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/investigations/"+inv.ID, nil)
+	if env := envelopeOf(t, w); w.Code != http.StatusNotFound || !errors.Is(env, explainit.ErrUnknownInvestigation) {
+		t.Fatalf("deleted investigation: %d %+v", w.Code, env)
+	}
+	w = doJSON(t, srv, http.MethodGet, "/api/v1/jobs/"+j.ID, nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("deleted investigation's job still polls: %d", w.Code)
+	}
+}

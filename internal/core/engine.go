@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"explainit/internal/linalg"
+	"explainit/internal/regress"
 	"explainit/internal/stats"
 	ts "explainit/internal/timeseries"
 )
@@ -127,13 +129,208 @@ type Request struct {
 	ExplainRange ts.TimeRange // optional range-to-explain (Figure 2)
 }
 
+// CondState pins the conditioning work that a ranking shares across every
+// candidate — the concatenated Z family, its standardized + factored
+// RidgeDesign, and the target residualized against it — as a first-class
+// value an iterative investigation carries between steps. When the
+// conditioning set of step k+1 extends step k's by a suffix, the design is
+// extended in place of a rebuild: only the delta columns are standardized,
+// crossed and factored (regress.ExtendDesign), so the cost of re-ranking
+// scales with what changed, not with the whole conditioning set.
+//
+// A CondState is matched against requests by family *identity* (pointers),
+// not by name: a family that was rebuilt under the same name never matches
+// a state computed from the old data, so a stale state degrades to a
+// rebuild instead of silently conditioning on outdated series. It is safe
+// for concurrent use.
+type CondState struct {
+	names    []string  // conditioning family names, concatenation order
+	fams     []*Family // the exact families concatenated, same order
+	target   *Family
+	zFam     *Family
+	design   *regress.RidgeDesign
+	ry       *linalg.Matrix // target residualized against design at lambda
+	lambda   float64
+	extended bool // design was reused/extended from a previous state
+}
+
+// Names returns the conditioning family names, in concatenation order.
+func (cs *CondState) Names() []string { return append([]string(nil), cs.names...) }
+
+// Extended reports whether this state's design was carried over (extended
+// or reused outright) from a previous state rather than factored from
+// scratch — the observable for tests and step diagnostics.
+func (cs *CondState) Extended() bool { return cs.extended }
+
+// Matches reports whether the state was prepared for exactly this target
+// and conditioning families, by identity: rebuilding a family under the
+// same name invalidates states computed from its old data.
+func (cs *CondState) Matches(target *Family, condition []*Family) bool {
+	if cs == nil || cs.target != target || len(cs.fams) != len(condition) {
+		return false
+	}
+	for i, f := range condition {
+		if f != cs.fams[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixOf reports whether the state's conditioning families are a proper
+// prefix (by identity) of condition — i.e. the state's design can donate
+// the unchanged columns' factorization to an extension.
+func (cs *CondState) PrefixOf(condition []*Family) bool {
+	if cs == nil || len(cs.fams) == 0 || len(cs.fams) >= len(condition) {
+		return false
+	}
+	return isFamilyPrefix(cs.fams, condition)
+}
+
+// matches is Matches plus the penalty check the engine needs before
+// trusting the residualized target.
+func (cs *CondState) matches(target *Family, condition []*Family, lambda float64) bool {
+	return cs != nil && cs.lambda == lambda && cs.Matches(target, condition)
+}
+
+// isFamilyPrefix reports whether prefix is a (proper or improper) prefix
+// of fams, comparing family identity.
+func isFamilyPrefix(prefix, fams []*Family) bool {
+	if len(prefix) > len(fams) {
+		return false
+	}
+	for i, f := range prefix {
+		if fams[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// effectiveL2 resolves the scorer that will actually run under a non-empty
+// conditioning set: the configured L2 scorer, or the default one when the
+// engine has no scorer / a univariate scorer (which the engine swaps for
+// the joint scorer whenever Z is non-empty, §3.5). Returns nil for scorers
+// whose conditioning work is not cacheable (e.g. lasso).
+func (e *Engine) effectiveL2() *L2Scorer {
+	switch s := e.Scorer.(type) {
+	case nil:
+		return &L2Scorer{}
+	case *CorrScorer:
+		return &L2Scorer{}
+	case *L2Scorer:
+		return s
+	}
+	return nil
+}
+
+// PrepareConditioning builds the conditioning state shared by every
+// candidate of a ranking of target under condition. prev, when non-nil and
+// built for the same target with a conditioning sequence that prefixes the
+// new one, donates its factored design — the returned state then reports
+// Extended() == true and only the delta families were factored. A nil,
+// nil return means the engine's scorer has no cacheable conditioning work
+// (empty condition, non-ridge scorer, or a projection narrower than Z);
+// RankPrepared falls back to its per-request preparation in that case.
+func (e *Engine) PrepareConditioning(target *Family, condition []*Family, prev *CondState) (*CondState, error) {
+	if target == nil {
+		return nil, fmt.Errorf("core: conditioning needs a target family")
+	}
+	if len(condition) == 0 {
+		return nil, nil
+	}
+	l2 := e.effectiveL2()
+	if l2 == nil {
+		return nil, nil
+	}
+	zFam, err := ConcatFamilies("Z", condition)
+	if err != nil {
+		return nil, err
+	}
+	if err := zFam.Validate(); err != nil {
+		return nil, err
+	}
+	if !l2.condCacheable(target.Matrix, zFam.Matrix) {
+		return nil, nil
+	}
+	grid := l2.grid()
+	lambda := grid[len(grid)/2]
+	if prev.matches(target, condition, lambda) {
+		return prev, nil
+	}
+	names := make([]string, len(condition))
+	for i, f := range condition {
+		names[i] = f.Name
+	}
+	var design *regress.RidgeDesign
+	extended := false
+	if prev != nil && prev.design != nil && len(prev.fams) > 0 && isFamilyPrefix(prev.fams, condition) {
+		if len(prev.fams) == len(condition) {
+			// Same conditioning set (different target or λ): the factored
+			// design carries over whole; only the residualization is redone.
+			design, extended = prev.design, true
+		} else {
+			delta, derr := ConcatFamilies("Z+", condition[len(prev.fams):])
+			if derr == nil {
+				if d, eerr := regress.ExtendDesign(prev.design, delta.Matrix); eerr == nil {
+					design, extended = d, true
+				}
+			}
+		}
+	}
+	if design == nil {
+		if design, err = regress.NewRidgeDesign(zFam.Matrix); err != nil {
+			return nil, err
+		}
+	}
+	ry, err := design.Residualize(target.Matrix, lambda)
+	if err != nil {
+		return nil, err
+	}
+	return &CondState{
+		names:    names,
+		fams:     append([]*Family(nil), condition...),
+		target:   target,
+		zFam:     zFam,
+		design:   design,
+		ry:       ry,
+		lambda:   lambda,
+		extended: extended,
+	}, nil
+}
+
 // Rank scores all candidate families and returns them ordered by
 // decreasing score — Algorithm 1's inner loop.
 func (e *Engine) Rank(req Request) (*ScoreTable, error) {
+	return e.RankCtx(context.Background(), req, nil)
+}
+
+// RankCtx is Rank with cooperative cancellation and streaming: the context
+// is checked before every candidate and (for context-aware scorers) at
+// every CV fold, and onResult, when non-nil, is invoked once per scored
+// candidate as workers finish — serialized, never concurrently — with the
+// raw unranked Result. A cancelled ranking returns ctx.Err() after its
+// workers have drained; no goroutines outlive the call. The completed
+// table is identical to Rank's at any worker count: results are recorded
+// by candidate index and sorted after the fact, so emission order never
+// influences the final ranking.
+func (e *Engine) RankCtx(ctx context.Context, req Request, onResult func(Result)) (*ScoreTable, error) {
+	return e.RankPrepared(ctx, req, nil, onResult)
+}
+
+// RankPrepared is RankCtx accepting a prefactored conditioning state from
+// PrepareConditioning. A cond that does not match the request (different
+// target, conditioning sequence, or scorer penalty) is ignored and the
+// preparation is redone locally, so a stale state can cost time but never
+// correctness.
+func (e *Engine) RankPrepared(ctx context.Context, req Request, cond *CondState, onResult func(Result)) (*ScoreTable, error) {
 	if req.Target == nil {
 		return nil, fmt.Errorf("core: request has no target family")
 	}
 	if err := req.Target.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	scorer := e.Scorer
@@ -150,7 +347,11 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 	}
 
 	var zFam *Family
-	if len(req.Condition) > 0 {
+	var prep *condPrep
+	if l2 := e.effectiveL2(); cond != nil && l2 != nil && cond.matches(req.Target, req.Condition, l2.grid()[len(l2.grid())/2]) {
+		zFam = cond.zFam
+		prep = &condPrep{zDesign: cond.design, ry: cond.ry, lambda: cond.lambda}
+	} else if len(req.Condition) > 0 {
 		var err error
 		zFam, err = ConcatFamilies("Z", req.Condition)
 		if err != nil {
@@ -197,8 +398,7 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 	// here and shared by every worker instead of once per candidate. A
 	// preparation error is deliberately ignored: workers then rebuild the
 	// prep per candidate and surface the identical error on each Result.
-	var prep *condPrep
-	if zMat != nil && zMat.Cols > 0 {
+	if prep == nil && zMat != nil && zMat.Cols > 0 {
 		if l2, ok := effective.(*L2Scorer); ok && l2.condCacheable(req.Target.Matrix, zMat) {
 			prep, _ = l2.prepareCond(req.Target.Matrix, zMat)
 		}
@@ -215,15 +415,27 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 	jobs := make(chan job, len(req.Candidates))
 	results := make([]Result, len(req.Candidates))
 	valid := make([]bool, len(req.Candidates))
+	var emitMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res := e.scoreOne(effective, j.fam, req.Target, zMat, prep, explainRows)
+				if ctx.Err() != nil {
+					return // cancelled: drop remaining jobs, exit promptly
+				}
+				res := e.scoreOne(ctx, effective, j.fam, req.Target, zMat, prep, explainRows)
+				if ctx.Err() != nil {
+					return // res may carry ctx.Err(); never record or emit it
+				}
 				results[j.idx] = res
 				valid[j.idx] = true
+				if onResult != nil {
+					emitMu.Lock()
+					onResult(res)
+					emitMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -244,6 +456,9 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	for i := range results {
 		if valid[i] {
@@ -266,13 +481,15 @@ func (e *Engine) Rank(req Request) (*ScoreTable, error) {
 	return table, nil
 }
 
-func (e *Engine) scoreOne(scorer Scorer, x, y *Family, zMat *linalg.Matrix, prep *condPrep, explainRows []int) Result {
+func (e *Engine) scoreOne(ctx context.Context, scorer Scorer, x, y *Family, zMat *linalg.Matrix, prep *condPrep, explainRows []int) Result {
 	start := time.Now()
 	res := Result{Family: x.Name, Features: x.NumFeatures()}
 	var score float64
 	var err error
 	if l2, ok := scorer.(*L2Scorer); ok && prep != nil {
-		score, err = l2.score(x.Matrix, y.Matrix, zMat, prep, explainRows)
+		score, err = l2.score(ctx, x.Matrix, y.Matrix, zMat, prep, explainRows)
+	} else if cs, ok := scorer.(ContextScorer); ok {
+		score, err = cs.ScoreCtx(ctx, x.Matrix, y.Matrix, zMat, explainRows)
 	} else {
 		score, err = scorer.Score(x.Matrix, y.Matrix, zMat, explainRows)
 	}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"explainit/internal/linalg"
+)
+
+// blockedScorer blocks every Score call until its context is cancelled —
+// the adversarial scorer for cancellation tests. It implements
+// ContextScorer; the plain Score path would deadlock by design.
+type blockedScorer struct {
+	started atomic.Int32
+}
+
+func (s *blockedScorer) Name() string { return "blocked" }
+
+func (s *blockedScorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64, error) {
+	select {} // never called in these tests; real deadlock if it were
+}
+
+func (s *blockedScorer) ScoreCtx(ctx context.Context, x, y, z *linalg.Matrix, explainRows []int) (float64, error) {
+	s.started.Add(1)
+	<-ctx.Done()
+	return 0, ctx.Err()
+}
+
+func ctxTestFamilies(t *testing.T, n, count int) (*Family, []*Family) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	col := func() []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	target, err := FamilyFromColumns("target", map[string][]float64{"t0": col(), "t1": col()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]*Family, count)
+	for i := 0; i < count; i++ {
+		name := string(rune('a'+i%26)) + "_fam_" + string(rune('0'+i/26))
+		f, err := FamilyFromColumns(name, map[string][]float64{"c0": col(), "c1": col(), "c2": col()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands[i] = f
+	}
+	return target, cands
+}
+
+// TestRankCtxCancelBlockedScorer: cancelling a ranking whose scorer is
+// stuck returns ctx.Err() promptly and leaks no goroutines.
+func TestRankCtxCancelBlockedScorer(t *testing.T) {
+	target, cands := ctxTestFamilies(t, 40, 8)
+	scorer := &blockedScorer{}
+	eng := &Engine{Scorer: scorer, Workers: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	before := runtime.NumGoroutine()
+	errCh := make(chan error, 1)
+	tableCh := make(chan *ScoreTable, 1)
+	go func() {
+		table, err := eng.RankCtx(ctx, Request{Target: target, Candidates: cands}, nil)
+		tableCh <- table
+		errCh <- err
+	}()
+
+	// Wait until at least one worker is wedged in the scorer, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for scorer.started.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no scorer call started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case table := <-tableCh:
+		if err := <-errCh; err != context.Canceled {
+			t.Fatalf("RankCtx returned %v, want context.Canceled", err)
+		}
+		if table != nil {
+			t.Fatalf("cancelled ranking returned a table: %+v", table)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RankCtx did not return after cancel")
+	}
+
+	// All workers must have unwound: allow the runtime a beat to reap.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRankCtxStreamMatchesBlocking: the table from a streamed ranking is
+// identical to the blocking one at several worker counts, and the stream
+// emits exactly the rows the table ranks (modulo TopK truncation).
+func TestRankCtxStreamMatchesBlocking(t *testing.T) {
+	target, cands := ctxTestFamilies(t, 60, 12)
+	ref, err := (&Engine{Workers: 1, KeepAll: true}).Rank(Request{Target: target, Candidates: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		var streamed []Result
+		eng := &Engine{Workers: workers, KeepAll: true}
+		table, err := eng.RankCtx(context.Background(), Request{Target: target, Candidates: cands}, func(r Result) {
+			streamed = append(streamed, r)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(table.Results) != len(ref.Results) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(table.Results), len(ref.Results))
+		}
+		for i := range table.Results {
+			got, want := table.Results[i], ref.Results[i]
+			if got.Family != want.Family || got.Score != want.Score || got.PValue != want.PValue {
+				t.Errorf("workers=%d row %d: got %q %v/%v, want %q %v/%v",
+					workers, i, got.Family, got.Score, got.PValue, want.Family, want.Score, want.PValue)
+			}
+		}
+		if len(streamed) != len(table.Results) {
+			t.Errorf("workers=%d: streamed %d rows, table has %d", workers, len(streamed), len(table.Results))
+		}
+	}
+}
+
+// TestPrepareConditioningExtends: step k+1's state extends step k's design
+// and the resulting scores match a from-scratch preparation within 1e-9.
+func TestPrepareConditioningExtends(t *testing.T) {
+	target, cands := ctxTestFamilies(t, 80, 10)
+	condA, condB := cands[0], cands[1]
+	candidates := cands[2:]
+	eng := &Engine{Workers: 2, KeepAll: true}
+
+	state1, err := eng.PrepareConditioning(target, []*Family{condA}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state1 == nil {
+		t.Fatal("expected a cacheable conditioning state")
+	}
+	if state1.Extended() {
+		t.Error("first state must not report Extended")
+	}
+	state2, err := eng.PrepareConditioning(target, []*Family{condA, condB}, state1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state2.Extended() {
+		t.Error("second state should have extended the first")
+	}
+	scratch, err := eng.PrepareConditioning(target, []*Family{condA, condB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Extended() {
+		t.Error("scratch state must not report Extended")
+	}
+
+	req := Request{Target: target, Condition: []*Family{condA, condB}, Candidates: candidates}
+	fromExt, err := eng.RankPrepared(context.Background(), req, state2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromScratch, err := eng.RankPrepared(context.Background(), req, scratch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromExt.Results) != len(fromScratch.Results) {
+		t.Fatalf("%d vs %d results", len(fromExt.Results), len(fromScratch.Results))
+	}
+	for i := range fromExt.Results {
+		a, b := fromExt.Results[i], fromScratch.Results[i]
+		if a.Family != b.Family {
+			t.Errorf("row %d: %q vs %q", i, a.Family, b.Family)
+			continue
+		}
+		if d := math.Abs(a.Score - b.Score); d > 1e-9 {
+			t.Errorf("row %d (%s): extended score deviates by %g", i, a.Family, d)
+		}
+	}
+}
+
+// TestPrepareConditioningIdentityReuse: re-preparing the identical request
+// returns the previous state untouched.
+func TestPrepareConditioningIdentityReuse(t *testing.T) {
+	target, cands := ctxTestFamilies(t, 50, 3)
+	eng := &Engine{}
+	s1, err := eng.PrepareConditioning(target, cands[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := eng.PrepareConditioning(target, cands[:1], s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("identical preparation should reuse the previous state")
+	}
+}
+
+// TestRankPreparedStaleCondIgnored: a state built for a different target
+// is ignored, not trusted — the ranking must match a plain Rank.
+func TestRankPreparedStaleCondIgnored(t *testing.T) {
+	target, cands := ctxTestFamilies(t, 60, 6)
+	otherTarget := cands[5]
+	eng := &Engine{Workers: 2, KeepAll: true}
+	stale, err := eng.PrepareConditioning(otherTarget, cands[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Target: target, Condition: cands[:1], Candidates: cands[1:5]}
+	want, err := eng.Rank(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RankPrepared(context.Background(), req, stale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%d vs %d results", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i].Family != want.Results[i].Family || got.Results[i].Score != want.Results[i].Score {
+			t.Errorf("row %d differs with stale cond state", i)
+		}
+	}
+}

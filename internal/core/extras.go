@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -93,7 +94,7 @@ func PredictionOverlay(x, y, z *Family, width, height int) (string, error) {
 			return "", err
 		}
 	}
-	lambda, err := bestLambda(xm, ym, regress.DefaultLambdaGrid, 5)
+	lambda, err := bestLambda(context.Background(), xm, ym, regress.DefaultLambdaGrid, 5)
 	if err != nil {
 		return "", err
 	}

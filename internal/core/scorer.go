@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"explainit/internal/linalg"
@@ -17,6 +18,17 @@ import (
 type Scorer interface {
 	Name() string
 	Score(x, y, z *linalg.Matrix, explainRows []int) (float64, error)
+}
+
+// ContextScorer is a Scorer that supports cooperative cancellation. The
+// engine prefers ScoreCtx when ranking under a context: a scorer should
+// check the context at its natural work boundaries (per CV fold for the
+// ridge scorers) and return ctx.Err() once cancelled, so an operator can
+// abandon a mis-scoped ranking mid-candidate rather than waiting out the
+// fold sweep.
+type ContextScorer interface {
+	Scorer
+	ScoreCtx(ctx context.Context, x, y, z *linalg.Matrix, explainRows []int) (float64, error)
 }
 
 // CorrScorer implements the univariate scorers CorrMean and CorrMax: the
@@ -120,7 +132,13 @@ func (s *L2Scorer) grid() []float64 {
 
 // Score implements Scorer.
 func (s *L2Scorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64, error) {
-	return s.score(x, y, z, nil, explainRows)
+	return s.score(context.Background(), x, y, z, nil, explainRows)
+}
+
+// ScoreCtx implements ContextScorer: the context is checked once per CV
+// fold and per projection draw.
+func (s *L2Scorer) ScoreCtx(ctx context.Context, x, y, z *linalg.Matrix, explainRows []int) (float64, error) {
+	return s.score(ctx, x, y, z, nil, explainRows)
 }
 
 // condPrep caches the conditioning work that is identical for every
@@ -154,7 +172,7 @@ func (s *L2Scorer) condCacheable(y, z *linalg.Matrix) bool {
 	return s.ProjectDim <= 0 || (y.Cols <= s.ProjectDim && z.Cols <= s.ProjectDim)
 }
 
-func (s *L2Scorer) score(x, y, z *linalg.Matrix, prep *condPrep, explainRows []int) (float64, error) {
+func (s *L2Scorer) score(ctx context.Context, x, y, z *linalg.Matrix, prep *condPrep, explainRows []int) (float64, error) {
 	if x.Rows != y.Rows {
 		return 0, fmt.Errorf("core: %s: X has %d rows, Y has %d", s.Name(), x.Rows, y.Rows)
 	}
@@ -174,6 +192,9 @@ func (s *L2Scorer) score(x, y, z *linalg.Matrix, prep *condPrep, explainRows []i
 	}
 	var total float64
 	for i := 0; i < samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		px, py, pz := x, y, z
 		if s.ProjectDim > 0 {
 			base := s.Seed + projSeedStride*int64(i+1)
@@ -183,7 +204,7 @@ func (s *L2Scorer) score(x, y, z *linalg.Matrix, prep *condPrep, explainRows []i
 				pz = s.projCache.Project(base+projRoleZ, z, s.ProjectDim)
 			}
 		}
-		score, err := s.scoreOnce(px, py, pz, prep, explainRows)
+		score, err := s.scoreOnce(ctx, px, py, pz, prep, explainRows)
 		if err != nil {
 			return 0, err
 		}
@@ -192,7 +213,7 @@ func (s *L2Scorer) score(x, y, z *linalg.Matrix, prep *condPrep, explainRows []i
 	return total / float64(samples), nil
 }
 
-func (s *L2Scorer) scoreOnce(x, y, z *linalg.Matrix, prep *condPrep, explainRows []int) (float64, error) {
+func (s *L2Scorer) scoreOnce(ctx context.Context, x, y, z *linalg.Matrix, prep *condPrep, explainRows []int) (float64, error) {
 	// Conditional scoring (§3.5, Appendix B): residualise both X and Y on
 	// Z, then score the residual-on-residual regression. A zero score then
 	// certifies X ⊥ Y | Z under joint normality. Z is standardized and
@@ -216,7 +237,7 @@ func (s *L2Scorer) scoreOnce(x, y, z *linalg.Matrix, prep *condPrep, explainRows
 	if explainRows != nil {
 		// Train on everything, report explained variance on the explain
 		// range only.
-		lambda, err := bestLambda(x, y, s.grid(), s.folds())
+		lambda, err := bestLambda(ctx, x, y, s.grid(), s.folds())
 		if err != nil {
 			return 0, err
 		}
@@ -238,7 +259,7 @@ func (s *L2Scorer) scoreOnce(x, y, z *linalg.Matrix, prep *condPrep, explainRows
 		}
 		return stats.ExplainedVarianceMean(ye, pred), nil
 	}
-	return regress.CrossValidatedScore(x, y, s.grid(), s.folds())
+	return regress.CrossValidatedScoreCtx(ctx, x, y, s.grid(), s.folds())
 }
 
 // residualizeBoth residualizes y then x on the same conditioning set,
@@ -258,12 +279,12 @@ func residualizeBoth(x, y, z *linalg.Matrix, lambda float64) (rx, ry *linalg.Mat
 }
 
 // bestLambda runs the CV grid search and returns the winning penalty.
-func bestLambda(x, y *linalg.Matrix, grid []float64, k int) (float64, error) {
+func bestLambda(ctx context.Context, x, y *linalg.Matrix, grid []float64, k int) (float64, error) {
 	folds, err := regress.TimeSeriesFoldRanges(x.Rows, k)
 	if err != nil {
 		return grid[len(grid)/2], nil // too little data: middle of the grid
 	}
-	res, err := regress.CrossValidateRidge(x, y, grid, folds)
+	res, err := regress.CrossValidateRidgeCtx(ctx, x, y, grid, folds)
 	if err != nil {
 		return 0, err
 	}

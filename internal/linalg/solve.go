@@ -88,6 +88,37 @@ func SolveCholesky(l, b *Matrix) (*Matrix, error) {
 	return x, nil
 }
 
+// ForwardSubst solves L * Y = B for lower-triangular L by forward
+// substitution — the first half of SolveCholesky, exposed on its own for
+// block factorizations that need L^{-1}B without the backward pass. b may
+// have multiple columns.
+func ForwardSubst(l, b *Matrix) (*Matrix, error) {
+	n := l.Rows
+	if l.Cols != n || b.Rows != n {
+		return nil, fmt.Errorf("%w: forward subst %dx%d rhs %dx%d", ErrShape, l.Rows, l.Cols, b.Rows, b.Cols)
+	}
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		li := l.Row(i)
+		yi := y.Row(i)
+		for k := 0; k < i; k++ {
+			lik := li[k]
+			if lik == 0 {
+				continue
+			}
+			yk := y.Row(k)
+			for j := range yi {
+				yi[j] -= lik * yk[j]
+			}
+		}
+		inv := 1 / li[i]
+		for j := range yi {
+			yi[j] *= inv
+		}
+	}
+	return y, nil
+}
+
 // CholeskySPD factors a symmetric positive definite a, retrying with a small
 // diagonal jitter when the factorisation hits a zero pivot — the standard
 // remedy for rank-deficient Gram matrices arising from duplicated or

@@ -1,6 +1,7 @@
 package regress
 
 import (
+	"context"
 	"fmt"
 
 	"explainit/internal/linalg"
@@ -200,6 +201,14 @@ func CrossValidate(fit Fitter, x, y *linalg.Matrix, grid []float64, folds []Fold
 // equivalent index folds: the per-fold arithmetic is unchanged, only the
 // λ-independent work is hoisted out of the grid loop.
 func CrossValidateRidge(x, y *linalg.Matrix, grid []float64, folds []FoldRange) (CVResult, error) {
+	return CrossValidateRidgeCtx(context.Background(), x, y, grid, folds)
+}
+
+// CrossValidateRidgeCtx is CrossValidateRidge with cooperative cancellation:
+// the context is checked once per fold (the unit of non-trivial work — one
+// Gram + λ sweep), so a cancelled ranking abandons a candidate within one
+// fold's worth of compute. A cancelled run returns ctx.Err().
+func CrossValidateRidgeCtx(ctx context.Context, x, y *linalg.Matrix, grid []float64, folds []FoldRange) (CVResult, error) {
 	if len(grid) == 0 {
 		return CVResult{}, fmt.Errorf("regress: empty lambda grid")
 	}
@@ -212,6 +221,9 @@ func CrossValidateRidge(x, y *linalg.Matrix, grid []float64, folds []FoldRange) 
 	totals := make([]float64, len(grid))
 	used := make([]int, len(grid))
 	for _, f := range folds {
+		if err := ctx.Err(); err != nil {
+			return CVResult{}, err
+		}
 		if f.From < 0 || f.To > x.Rows || f.From >= f.To {
 			return CVResult{}, fmt.Errorf("%w: fold [%d,%d) of %d rows", linalg.ErrShape, f.From, f.To, x.Rows)
 		}
@@ -279,8 +291,17 @@ func excludeRows(m *linalg.Matrix, from, to int) *linalg.Matrix {
 // returning the out-of-sample explained variance in [0, 1]. If there are
 // too few rows for k folds it falls back to an in-sample adjusted r^2.
 func CrossValidatedScore(x, y *linalg.Matrix, grid []float64, k int) (float64, error) {
+	return CrossValidatedScoreCtx(context.Background(), x, y, grid, k)
+}
+
+// CrossValidatedScoreCtx is CrossValidatedScore with per-fold cooperative
+// cancellation (see CrossValidateRidgeCtx).
+func CrossValidatedScoreCtx(ctx context.Context, x, y *linalg.Matrix, grid []float64, k int) (float64, error) {
 	if len(grid) == 0 {
 		grid = DefaultLambdaGrid
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	folds, err := TimeSeriesFoldRanges(x.Rows, k)
 	if err != nil {
@@ -300,7 +321,7 @@ func CrossValidatedScore(x, y *linalg.Matrix, grid []float64, k int) (float64, e
 		}
 		return adj, nil
 	}
-	res, err := CrossValidateRidge(x, y, grid, folds)
+	res, err := CrossValidateRidgeCtx(ctx, x, y, grid, folds)
 	if err != nil {
 		return 0, err
 	}

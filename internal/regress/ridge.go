@@ -176,6 +176,13 @@ type RidgeDesign struct {
 	primal        bool
 	gram          *linalg.Matrix // p x p (primal) or n x n (dual), penalty-free
 
+	// parent, when non-nil, is the design this one extends: its columns are
+	// the first parentCols columns of xs, its Gram is the top-left block of
+	// gram, and its per-λ Cholesky factors are the top-left blocks of this
+	// design's factors (see ExtendDesign).
+	parent     *RidgeDesign
+	parentCols int
+
 	mu      sync.Mutex
 	factors map[float64]*linalg.Matrix // λ -> Cholesky factor of gram + (λ+jitter)I
 }
@@ -211,6 +218,9 @@ func (d *RidgeDesign) Cols() int { return d.xs.Cols }
 // factor returns the cached Cholesky factor of (gram + λI), computing and
 // memoizing it on first use. The same jitter policy as FitRidge/SolveSPD
 // applies, so the factor is bit-identical to what a fresh fit would use.
+// An extended design (ExtendDesign) first tries the one-block incremental
+// factorization against its parent's cached factor and only falls back to
+// factoring the whole matrix when that fails.
 func (d *RidgeDesign) factor(lambda float64) (*linalg.Matrix, error) {
 	if lambda < 0 {
 		return nil, fmt.Errorf("regress: negative lambda %g", lambda)
@@ -220,13 +230,144 @@ func (d *RidgeDesign) factor(lambda float64) (*linalg.Matrix, error) {
 	if l, ok := d.factors[lambda]; ok {
 		return l, nil
 	}
-	g := d.gram.Clone().AddDiag(lambda + 1e-10)
-	l, err := linalg.CholeskySPD(g)
-	if err != nil {
-		return nil, err
+	var l *linalg.Matrix
+	if d.parent != nil {
+		l = d.extendFactor(lambda)
+	}
+	if l == nil {
+		g := d.gram.Clone().AddDiag(lambda + 1e-10)
+		var err error
+		l, err = linalg.CholeskySPD(g)
+		if err != nil {
+			return nil, err
+		}
 	}
 	d.factors[lambda] = l
 	return l, nil
+}
+
+// extendFactor builds chol(gram + (λ+jitter)I) from the parent's factor via
+// one block step: with A = [[A11, A12], [A12ᵀ, A22]] and A11 = L11·L11ᵀ
+// already factored, L = [[L11, 0], [Yᵀ, chol(A22 − YᵀY)]] where
+// Y = L11⁻¹·A12. Only the (small) delta block is ever factored — the
+// unchanged conditioning prefix is reused as-is, per λ. Returns nil when
+// the parent factor or the Schur complement is unavailable; the caller then
+// falls back to the full factorization. Caller holds d.mu (the parent's
+// lock is acquired independently; locks only ever nest child → parent, so
+// the order is acyclic).
+func (d *RidgeDesign) extendFactor(lambda float64) *linalg.Matrix {
+	l11, err := d.parent.factor(lambda)
+	if err != nil {
+		return nil
+	}
+	p1 := d.parentCols
+	p := d.gram.Rows
+	m := p - p1
+	a12 := linalg.NewMatrix(p1, m)
+	for i := 0; i < p1; i++ {
+		copy(a12.Row(i), d.gram.Row(i)[p1:])
+	}
+	y, err := linalg.ForwardSubst(l11, a12)
+	if err != nil {
+		return nil
+	}
+	s := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		copy(s.Row(i), d.gram.Row(p1+i)[p1:])
+	}
+	s.AddDiag(lambda + 1e-10)
+	yty := y.Gram()
+	for i := range s.Data {
+		s.Data[i] -= yty.Data[i]
+	}
+	l22, err := linalg.Cholesky(s)
+	if err != nil {
+		return nil // Schur block not SPD under plain Cholesky: full refactor
+	}
+	l := linalg.NewMatrix(p, p)
+	for i := 0; i < p1; i++ {
+		copy(l.Row(i)[:p1], l11.Row(i))
+	}
+	for i := 0; i < m; i++ {
+		row := l.Row(p1 + i)
+		for j := 0; j < p1; j++ {
+			row[j] = y.At(j, i)
+		}
+		copy(row[p1:], l22.Row(i))
+	}
+	return l
+}
+
+// ExtendDesign returns the design of the horizontally stacked matrix
+// [prev | xNew], reusing prev's standardized columns and Gram block and —
+// lazily, per λ — its Cholesky factors: only the delta columns are
+// standardized, crossed and factored. This is what lets an iterative
+// investigation that grows its conditioning set by one family per step pay
+// only for the delta at step k+1 instead of refactoring the whole set.
+// Results match NewRidgeDesign on the stacked raw columns to float64
+// rounding (well within 1e-9 for conditioned Gram matrices): column-wise
+// standardization and the Gram blocks are computed by the identical
+// arithmetic, and the block Cholesky is algebraically exact.
+//
+// When the stacked design would leave the primal regime (columns > rows) —
+// where the Gram is n x n and grows no block structure — the design is
+// rebuilt from scratch on the stacked standardized matrix instead.
+func ExtendDesign(prev *RidgeDesign, xNew *linalg.Matrix) (*RidgeDesign, error) {
+	if prev == nil {
+		return NewRidgeDesign(xNew)
+	}
+	if xNew == nil || xNew.Cols == 0 {
+		return prev, nil
+	}
+	if xNew.Rows != prev.xs.Rows {
+		return nil, fmt.Errorf("regress: extending %d-row design with %d rows", prev.xs.Rows, xNew.Rows)
+	}
+	xs2 := xNew.Clone()
+	m2, s2 := xs2.StandardizeColumns()
+	if !prev.primal || prev.xs.Cols+xs2.Cols > prev.xs.Rows {
+		// Dual regime: the outer Gram admits no cheap column extension.
+		// Restandardizing an already standardized column is an arithmetic
+		// no-op, so stacking xs with the standardized delta matches the
+		// scratch build.
+		stacked, err := linalg.HStack(prev.xs, xs2)
+		if err != nil {
+			return nil, err
+		}
+		return NewRidgeDesign(stacked)
+	}
+	xs, err := linalg.HStack(prev.xs, xs2)
+	if err != nil {
+		return nil, err
+	}
+	p1, p2 := prev.xs.Cols, xs2.Cols
+	cross, err := prev.xs.MulT(xs2) // p1 x p2 block X1ᵀX2
+	if err != nil {
+		return nil, err
+	}
+	g22 := xs2.Gram()
+	gram := linalg.NewMatrix(p1+p2, p1+p2)
+	for i := 0; i < p1; i++ {
+		row := gram.Row(i)
+		copy(row[:p1], prev.gram.Row(i))
+		copy(row[p1:], cross.Row(i))
+	}
+	for i := 0; i < p2; i++ {
+		row := gram.Row(p1 + i)
+		for j := 0; j < p1; j++ {
+			row[j] = cross.At(j, i)
+		}
+		copy(row[p1:], g22.Row(i))
+	}
+	return &RidgeDesign{
+		xs:         xs,
+		xMeans:     append(append([]float64(nil), prev.xMeans...), m2...),
+		xStds:      append(append([]float64(nil), prev.xStds...), s2...),
+		primal:     true,
+		gram:       gram,
+		parent:     prev,
+		parentCols: p1,
+		factors:    make(map[float64]*linalg.Matrix),
+	}, nil
 }
 
 // Prepare centres the target against this design and caches the λ-free

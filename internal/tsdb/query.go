@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"container/list"
+	"context"
 	"regexp"
 	"sort"
 	"sync"
@@ -74,12 +75,28 @@ func (cq *compiledQuery) matches(s *ts.Series) bool {
 // the query range (samples are copied; the store is not aliased). Results
 // are ordered by series ID for determinism, independent of shard count.
 func (db *DB) Run(q Query) ([]*ts.Series, error) {
+	return db.RunContext(context.Background(), q)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// before the shard fan-out and again by every shard goroutine before it
+// scans, so a cancelled query skips the per-shard index walks and copies
+// still pending and returns ctx.Err() instead of a partial result. A shard
+// scan already in flight runs to completion (scans never block), so
+// cancellation is prompt but not preemptive.
+func (db *DB) RunContext(ctx context.Context, q Query) ([]*ts.Series, error) {
 	cq, err := compileQuery(q)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(db.shards) == 1 {
 		_, out := db.shards[0].run(cq)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return out, nil
 	}
 	parts := make([]shardResult, len(db.shards))
@@ -88,10 +105,16 @@ func (db *DB) Run(q Query) ([]*ts.Series, error) {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return // abort the fan-out: leave this shard's part empty
+			}
 			parts[i].ids, parts[i].series = sh.run(cq)
 		}(i, sh)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return mergeByID(parts), nil
 }
 

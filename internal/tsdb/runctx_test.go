@@ -1,0 +1,44 @@
+package tsdb
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunContextMatchesRun: with a live context the two entry points are
+// the same query path.
+func TestRunContextMatchesRun(t *testing.T) {
+	db := seedDB(t)
+	q := Query{Metric: "disk"}
+	want, err := db.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.RunContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RunContext returned %d series, Run %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Name != want[i].Name || len(got[i].Samples) != len(want[i].Samples) {
+			t.Fatalf("series %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunContextCancelled: a cancelled context aborts the shard fan-out
+// and returns ctx.Err(), never a partial result.
+func TestRunContextCancelled(t *testing.T) {
+	db := seedDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	series, err := db.RunContext(ctx, Query{Metric: "disk"})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if series != nil {
+		t.Fatalf("cancelled query returned %d series", len(series))
+	}
+}

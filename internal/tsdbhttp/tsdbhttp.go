@@ -150,7 +150,9 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	series, err := h.DB.Run(q)
+	// The request context cancels the shard fan-out when the client goes
+	// away mid-query.
+	series, err := h.DB.RunContext(r.Context(), q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

@@ -1,6 +1,7 @@
 package tsdbhttp
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -181,6 +182,24 @@ func TestPutSingleObjectAndErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad from status %d", resp.StatusCode)
+	}
+}
+
+func TestQueryCancelledContext(t *testing.T) {
+	// The handler threads the request context into the store's shard
+	// fan-out: a client that is already gone gets no result copied.
+	_, db := newServer(t)
+	h := NewHandler(db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/api/query?metric=cpu", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("cancelled query status %d body %q", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "context canceled") {
+		t.Fatalf("body %q", rec.Body.String())
 	}
 }
 

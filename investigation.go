@@ -1,0 +1,368 @@
+package explainit
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"explainit/internal/core"
+	ts "explainit/internal/timeseries"
+)
+
+// InvestigateOptions configures an Investigation session. Unlike
+// ExplainOptions there is no Target field (the target is the session's
+// identity, passed to NewInvestigation) and Condition seeds only the
+// *initial* conditioning set — Condition/Drop evolve it between steps.
+type InvestigateOptions struct {
+	// Condition seeds the conditioning set (may be empty).
+	Condition []string
+	// Pseudocause conditions every step on the seasonal + trend component
+	// of the target (§3.4). The pseudocause family is computed once and
+	// pinned for the whole session, ordered before the user's conditioning
+	// families so growing the set extends — never invalidates — the cached
+	// factorization.
+	Pseudocause       bool
+	PseudocausePeriod int
+	// SearchSpace restricts candidates; empty means all defined families.
+	SearchSpace []string
+	// Scorer selects the scoring algorithm; default L2.
+	Scorer ScorerName
+	// TopK bounds each step's result table (default 20).
+	TopK int
+	// Workers bounds scoring parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed makes projection-based scorers reproducible.
+	Seed int64
+	// ExplainFrom/ExplainTo optionally highlight the event to explain.
+	ExplainFrom, ExplainTo time.Time
+}
+
+// StepRecord is one entry of an Investigation's history: which conditioning
+// set a step ranked under, what led, and whether the step reused the
+// previous step's conditioning factorization.
+type StepRecord struct {
+	// Step numbers from 1 in session order.
+	Step int
+	// Condition is the conditioning set the step ranked under (pseudocause
+	// included, as "pseudocause(<target>)").
+	Condition []string
+	// TopFamily is the highest-ranked family ("" when the step returned no
+	// rows).
+	TopFamily string
+	// Rows is the number of ranked rows returned.
+	Rows int
+	// ReusedConditioning reports whether the step's conditioning design was
+	// carried over (reused or delta-extended) from an earlier step instead
+	// of being factored from scratch.
+	ReusedConditioning bool
+	// Elapsed is the wall time of the ranking.
+	Elapsed time.Duration
+}
+
+// Investigation is an iterative root-cause session — the session form of
+// the paper's Algorithm 1 loop: rank (Step), condition on what the ranking
+// surfaced (Condition), re-rank, and repeat until the incident is
+// isolated. The session pins the residualized target and the factored
+// conditioning design across steps: when step k+1's conditioning set
+// extends step k's, only the delta families are standardized and factored
+// (see core.PrepareConditioning / regress.ExtendDesign), so iterating is
+// cheap exactly where the workflow iterates.
+//
+// An Investigation is safe for concurrent use, but steps are serialized:
+// a Step/ExplainStream while another is running fails with
+// ErrStepInProgress rather than racing the conditioning cache.
+type Investigation struct {
+	client     *Client
+	target     *core.Family
+	targetName string
+	opts       InvestigateOptions
+	eng        *core.Engine
+	pseudo     *core.Family // pinned pseudocause family, when requested
+
+	mu       sync.Mutex
+	cond     []string                   // current conditioning set, ordered
+	condFams map[string]*core.Family    // pinned pointers for names in cond
+	states   map[string]*core.CondState // conditioning signature -> state
+	history  []StepRecord
+	stepping bool
+	closed   bool
+}
+
+// NewInvestigation opens an iterative explain session for the target
+// family. The target (and the pseudocause, when requested) are resolved
+// and pinned now: rebuilding families mid-session changes future steps'
+// candidates but never the session's target or cached conditioning work.
+func (c *Client) NewInvestigation(target string, opts InvestigateOptions) (*Investigation, error) {
+	fam, err := c.resolveFamily(target, "target family")
+	if err != nil {
+		return nil, err
+	}
+	scorer, err := scorerFor(opts.Scorer, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inv := &Investigation{
+		client:     c,
+		target:     fam,
+		targetName: target,
+		opts:       opts,
+		eng:        &core.Engine{Scorer: scorer, Workers: opts.Workers, TopK: opts.TopK},
+		condFams:   make(map[string]*core.Family),
+		states:     make(map[string]*core.CondState),
+	}
+	if opts.Pseudocause {
+		pc, err := core.Pseudocause(fam, opts.PseudocausePeriod)
+		if err != nil {
+			return nil, err
+		}
+		inv.pseudo = pc
+	}
+	if err := inv.Condition(opts.Condition...); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// Target returns the session's target family name.
+func (inv *Investigation) Target() string { return inv.targetName }
+
+// Condition appends families to the conditioning set for subsequent steps
+// — the "now control for what step k surfaced" move of Algorithm 1. Names
+// already in the set are ignored; unknown names fail with
+// ErrUnknownFamily and leave the set unchanged.
+func (inv *Investigation) Condition(families ...string) error {
+	resolved := make(map[string]*core.Family, len(families))
+	for _, name := range families {
+		f, err := inv.client.resolveFamily(name, "conditioning family")
+		if err != nil {
+			return err
+		}
+		resolved[name] = f
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if inv.closed {
+		return ErrInvestigationClosed
+	}
+	for _, name := range families {
+		if _, ok := inv.condFams[name]; ok {
+			continue
+		}
+		inv.cond = append(inv.cond, name)
+		inv.condFams[name] = resolved[name]
+	}
+	return nil
+}
+
+// Drop removes families from the conditioning set. Names not currently in
+// the set fail with ErrUnknownFamily and leave the set unchanged. Cached
+// factorizations for supersets are kept: re-adding a dropped family later
+// reuses them.
+func (inv *Investigation) Drop(families ...string) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if inv.closed {
+		return ErrInvestigationClosed
+	}
+	for _, name := range families {
+		if _, ok := inv.condFams[name]; !ok {
+			return fmt.Errorf("%w: %q is not in the conditioning set", ErrUnknownFamily, name)
+		}
+	}
+	for _, name := range families {
+		delete(inv.condFams, name)
+		for i, n := range inv.cond {
+			if n == name {
+				inv.cond = append(inv.cond[:i], inv.cond[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Conditioning returns the current conditioning set, in order (the pinned
+// pseudocause, when enabled, is implicit and not listed).
+func (inv *Investigation) Conditioning() []string {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return append([]string(nil), inv.cond...)
+}
+
+// History returns the step records so far, oldest first.
+func (inv *Investigation) History() []StepRecord {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return append([]StepRecord(nil), inv.history...)
+}
+
+// Close ends the session; subsequent steps and conditioning edits fail
+// with ErrInvestigationClosed. Cached factorizations are released.
+func (inv *Investigation) Close() error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.closed = true
+	inv.states = nil
+	return nil
+}
+
+// condSignature is the cache key of one conditioning set.
+func condSignature(names []string) string { return strings.Join(names, "\x1f") }
+
+// beginStep snapshots the session under the lock and prepares (or fetches)
+// the conditioning state for the current set. It marks the session
+// stepping; the caller must finishStep exactly once.
+func (inv *Investigation) beginStep() (core.Request, *core.CondState, string, error) {
+	inv.mu.Lock()
+	if inv.closed {
+		inv.mu.Unlock()
+		return core.Request{}, nil, "", ErrInvestigationClosed
+	}
+	if inv.stepping {
+		inv.mu.Unlock()
+		return core.Request{}, nil, "", ErrStepInProgress
+	}
+	inv.stepping = true
+	// The pseudocause leads the conditioning sequence so user additions
+	// extend — never reorder — the cached design's column prefix.
+	var condNames []string
+	var condition []*core.Family
+	if inv.pseudo != nil {
+		condNames = append(condNames, inv.pseudo.Name)
+		condition = append(condition, inv.pseudo)
+	}
+	for _, name := range inv.cond {
+		condNames = append(condNames, name)
+		condition = append(condition, inv.condFams[name])
+	}
+	sig := condSignature(condNames)
+	state := inv.states[sig]
+	// A state computed before a same-named family was dropped, rebuilt and
+	// re-added matches by signature but not by identity: evict it rather
+	// than conditioning on stale data.
+	if state != nil && !state.Matches(inv.target, condition) {
+		delete(inv.states, sig)
+		state = nil
+	}
+	var prev *core.CondState
+	if state == nil {
+		// Longest previously factored proper prefix (by family identity) of
+		// the new set: its design donates the unchanged columns'
+		// factorization.
+		best := 0
+		for _, s := range inv.states {
+			if !s.PrefixOf(condition) {
+				continue
+			}
+			if n := len(s.Names()); n > best {
+				prev, best = s, n
+			}
+		}
+	}
+	inv.mu.Unlock()
+
+	if state == nil && len(condition) > 0 {
+		var err error
+		state, err = inv.eng.PrepareConditioning(inv.target, condition, prev)
+		if err != nil {
+			inv.mu.Lock()
+			inv.stepping = false
+			inv.mu.Unlock()
+			return core.Request{}, nil, "", err
+		}
+	}
+
+	candidates, err := inv.client.candidateFamilies(inv.opts.SearchSpace)
+	if err != nil {
+		inv.mu.Lock()
+		inv.stepping = false
+		inv.mu.Unlock()
+		return core.Request{}, nil, "", err
+	}
+	req := core.Request{Target: inv.target, Condition: condition, Candidates: candidates}
+	if !inv.opts.ExplainFrom.IsZero() || !inv.opts.ExplainTo.IsZero() {
+		req.ExplainRange = ts.TimeRange{From: inv.opts.ExplainFrom, To: inv.opts.ExplainTo}
+	}
+	return req, state, sig, nil
+}
+
+// finishStep stores the conditioning state for reuse and, on success,
+// appends the step to the history.
+func (inv *Investigation) finishStep(sig string, state *core.CondState, condition []string, ranking *Ranking, elapsed time.Duration, err error) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.stepping = false
+	if inv.closed {
+		return
+	}
+	if state != nil {
+		inv.states[sig] = state
+	}
+	if err != nil || ranking == nil {
+		return
+	}
+	rec := StepRecord{
+		Step:      len(inv.history) + 1,
+		Condition: condition,
+		Rows:      len(ranking.Rows),
+		Elapsed:   elapsed,
+	}
+	if state != nil {
+		rec.ReusedConditioning = state.Extended()
+	}
+	if len(ranking.Rows) > 0 {
+		rec.TopFamily = ranking.Rows[0].Family
+	}
+	inv.history = append(inv.history, rec)
+}
+
+// stepCondition renders the conditioning names of a request for history.
+func stepCondition(req core.Request) []string {
+	names := make([]string, len(req.Condition))
+	for i, f := range req.Condition {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Step runs one ranking iteration under the current conditioning set —
+// Algorithm 1's inner loop as a session operation. The first step factors
+// the conditioning set from scratch; later steps whose set extends an
+// earlier one only factor the delta. A cancelled ctx returns ctx.Err()
+// promptly with every scoring worker reaped.
+func (inv *Investigation) Step(ctx context.Context) (*Ranking, error) {
+	req, state, sig, err := inv.beginStep()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	table, err := inv.eng.RankPrepared(ctx, req, state, nil)
+	var ranking *Ranking
+	if err == nil {
+		ranking = rankingFromTable(table)
+	}
+	inv.finishStep(sig, state, stepCondition(req), ranking, time.Since(start), err)
+	if err != nil {
+		return nil, err
+	}
+	return ranking, nil
+}
+
+// ExplainStream is Step with progressive delivery: scored candidates are
+// emitted as workers finish, then a terminal RankUpdate carries the
+// completed ranking (recorded in History) or the error. The channel is
+// buffered for the whole step, so abandoning it leaks nothing; cancel ctx
+// to stop the scoring itself.
+func (inv *Investigation) ExplainStream(ctx context.Context) (<-chan RankUpdate, error) {
+	req, state, sig, err := inv.beginStep()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ch := streamRank(ctx, inv.eng, req, state, func(ranking *Ranking, err error) {
+		inv.finishStep(sig, state, stepCondition(req), ranking, time.Since(start), err)
+	})
+	return ch, nil
+}
