@@ -9,9 +9,15 @@
 //	explainit -load incident.csv -target runtime_pipeline_0
 //	explainit -load incident.csv -target runtime_pipeline_0 -condition input_size
 //	explainit -load incident.csv -sql "SELECT metric_name, COUNT(*) FROM tsdb GROUP BY metric_name"
+//
+// -sql is the one-shot declarative query mode; for statements that reach
+// the ranking engine, families are built first so EXPLAIN ranks directly —
+//
+//	explainit -load incident.csv -sql "EXPLAIN runtime_pipeline_0 GIVEN input_size LIMIT 10"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,7 @@ import (
 
 	"explainit"
 	"explainit/internal/repl"
+	"explainit/internal/sqlparse"
 )
 
 func main() {
@@ -61,8 +68,21 @@ func main() {
 		fatal(fmt.Errorf("no data loaded; use -load or -jsonl"))
 	}
 
+	from, to, _ := c.Bounds()
 	if *sql != "" {
-		res, err := c.Query(*sql)
+		// One-shot query mode. Families are built only when the statement
+		// reaches the ranking engine, so a plain SELECT runs as cheaply as
+		// before.
+		stmt, err := sqlparse.ParseStatement(*sql)
+		if err != nil {
+			fatal(err)
+		}
+		if sqlparse.HasExplain(stmt) {
+			if _, err := c.BuildFamilies(*groupBy, from, to, *step); err != nil {
+				fatal(err)
+			}
+		}
+		res, err := c.Query(context.Background(), *sql)
 		if err != nil {
 			fatal(err)
 		}
@@ -70,7 +90,6 @@ func main() {
 		return
 	}
 
-	from, to, _ := c.Bounds()
 	infos, err := c.BuildFamilies(*groupBy, from, to, *step)
 	if err != nil {
 		fatal(err)

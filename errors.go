@@ -30,6 +30,10 @@ var (
 	// ErrStepInProgress: the investigation already has a running step; one
 	// conditioning state is mutated per step, so steps are serialized.
 	ErrStepInProgress = errors.New("explainit: step already in progress")
+	// ErrBadSQL: a Query/QueryStream statement failed to parse or plan
+	// (syntax error, bad time literal, or a non-EXPLAIN statement where only
+	// EXPLAIN is accepted). The wrapped error carries the position detail.
+	ErrBadSQL = errors.New("explainit: invalid SQL")
 )
 
 // errorCodes maps wire codes to sentinels — the single source of truth for
@@ -42,6 +46,7 @@ var errorCodes = map[string]error{
 	"unknown_job":           ErrUnknownJob,
 	"investigation_closed":  ErrInvestigationClosed,
 	"step_in_progress":      ErrStepInProgress,
+	"bad_sql":               ErrBadSQL,
 }
 
 // ErrorCode returns the wire code for err ("" when err wraps no sentinel).

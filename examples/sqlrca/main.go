@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -15,12 +16,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	c := explainit.New()
 	seedTelemetry(c)
 	from, to, _ := c.Bounds()
 
 	// Ad-hoc SQL exploration of the raw store (step 0 for an operator).
-	res, err := c.Query(`
+	res, err := c.Query(ctx, `
 		SELECT metric_name, COUNT(*) AS points
 		FROM tsdb GROUP BY metric_name ORDER BY metric_name ASC`)
 	if err != nil {
@@ -72,17 +74,33 @@ func main() {
 		fmt.Printf("  %-24s %d features x %d rows\n", fi.Name, fi.Features, fi.Rows)
 	}
 
-	// Rank: does any host group's CPU explain the runtime beyond input?
-	ranking, err := c.Explain(explainit.ExplainOptions{
-		Target:    "pipeline_runtime",
-		Condition: []string{"pipeline_input_rate"},
-		Seed:      15,
-	})
+	// Rank declaratively: does any host group's CPU explain the runtime
+	// beyond the input rate? The whole investigation is one SQL statement —
+	// GIVEN conditions the ranking exactly like ExplainOptions.Condition,
+	// and the result is an ordinary relation (rank, family, features,
+	// score, p_value, viz).
+	ranking, err := c.Query(ctx, `
+		EXPLAIN pipeline_runtime GIVEN pipeline_input_rate LIMIT 10`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nranking (conditioned on input rate):")
-	fmt.Print(ranking.String())
+	fmt.Println("\nEXPLAIN pipeline_runtime GIVEN pipeline_input_rate:")
+	for _, row := range ranking.Rows {
+		fmt.Printf("  %2.0f. %-24v score %.3f\n", row[0], row[1], row[3])
+	}
+
+	// Because the ranking is a relation, it composes with SELECT: keep only
+	// confident candidates.
+	strong, err := c.Query(ctx, `
+		SELECT family, score FROM (EXPLAIN pipeline_runtime GIVEN pipeline_input_rate) r
+		WHERE score > 0.3 ORDER BY score DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncandidates with score > 0.3:")
+	for _, row := range strong.Rows {
+		fmt.Printf("  %-24v %.3f\n", row[0], row[1])
+	}
 	fmt.Println("\ncpu_db leads: the database host group is starving the pipeline.")
 }
 

@@ -248,38 +248,6 @@ func (c *Client) Families() []FamilyInfo {
 	return out
 }
 
-// Query runs a SQL statement against the store's "tsdb" table and returns
-// the result for inspection. Values are float64, string, time.Time, or nil
-// for SQL NULL.
-func (c *Client) Query(query string) (*Result, error) {
-	cat := sqlexec.NewMemCatalog()
-	if err := cat.RegisterTSDB("tsdb", c.db); err != nil {
-		return nil, err
-	}
-	rel, err := sqlexec.Run(query, cat)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Columns: append([]string{}, rel.Cols...)}
-	for _, row := range rel.Rows {
-		out := make([]interface{}, len(row))
-		for i, v := range row {
-			switch v.Kind {
-			case sqlexec.KNull:
-				out[i] = nil
-			case sqlexec.KNumber:
-				out[i] = v.F
-			case sqlexec.KTime:
-				out[i] = v.T
-			default:
-				out[i] = v.AsString()
-			}
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
-}
-
 // Result is a SQL query result.
 type Result struct {
 	Columns []string

@@ -1,6 +1,7 @@
 package explainit
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -193,7 +194,7 @@ func TestExplainRangeOption(t *testing.T) {
 
 func TestSQLQueryAndFamilies(t *testing.T) {
 	c, from, to := seedClient(t)
-	res, err := c.Query(`SELECT metric_name, COUNT(*) AS n FROM tsdb GROUP BY metric_name ORDER BY metric_name ASC`)
+	res, err := c.Query(context.Background(), `SELECT metric_name, COUNT(*) AS n FROM tsdb GROUP BY metric_name ORDER BY metric_name ASC`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestSQLQueryAndFamilies(t *testing.T) {
 	if ranking.Rows[0].Score < 0.5 {
 		t.Fatalf("sql-defined family score %g", ranking.Rows[0].Score)
 	}
-	if _, err := c.Query("SELECT nope FROM tsdb"); err == nil {
+	if _, err := c.Query(context.Background(), "SELECT nope FROM tsdb"); err == nil {
 		t.Fatal("bad SQL must error")
 	}
 }

@@ -1,6 +1,7 @@
 package explainit
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -44,11 +45,11 @@ func TestOpenDurableClientRoundTrip(t *testing.T) {
 	}
 	mem.Put("extra", Tags{"k": "v"}, time.Date(2026, 1, 1, 0, 2, 0, 0, time.UTC), 7)
 
-	got, err := re.Query("select metric_name, count(*) c from tsdb group by metric_name order by metric_name")
+	got, err := re.Query(context.Background(), "select metric_name, count(*) c from tsdb group by metric_name order by metric_name")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := mem.Query("select metric_name, count(*) c from tsdb group by metric_name order by metric_name")
+	want, err := mem.Query(context.Background(), "select metric_name, count(*) c from tsdb group by metric_name order by metric_name")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +101,11 @@ func TestOpenShardsFacade(t *testing.T) {
 	defer re.Close()
 
 	const q = "select timestamp, metric_name, tag, value from tsdb order by metric_name, tag, timestamp"
-	got, err := re.Query(q)
+	got, err := re.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.Query(q)
+	want, err := ref.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,9 @@
 // /api/v1 exposes the facade's iterative Investigation sessions over the
 // wire — create a session, condition it, run steps as asynchronous jobs,
 // poll them, or follow a live SSE stream of ranked rows as scoring workers
-// finish. Every error is a typed JSON envelope
+// finish — and the declarative query layer at /api/v1/query (SELECT over
+// the tsdb table, or EXPLAIN ... GIVEN ... compiled into the ranking
+// engine, blocking or as an async job). Every error is a typed JSON envelope
 // ({"error":{"code","message"}}) whose codes mirror the exported
 // explainit.Err* sentinels, so an HTTP client and an in-process caller
 // branch on exactly the same values.
@@ -53,6 +55,7 @@ func NewServer(c *explainit.Client) *Server {
 	s.mux.HandleFunc("/api/v1/put", s.handlePut)
 	s.mux.HandleFunc("/api/v1/families", s.handleFamilies)
 	s.mux.HandleFunc("/api/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/api/v1/investigations", s.handleInvestigations)
 	s.mux.HandleFunc("/api/v1/investigations/{id}", s.handleInvestigation)
 	s.mux.HandleFunc("/api/v1/investigations/{id}/condition", s.handleCondition)

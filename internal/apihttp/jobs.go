@@ -100,6 +100,17 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	j := s.launchJob(invID, cancel, ch)
+	j.mu.Lock()
+	payload := j.payloadLocked()
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, payload)
+}
+
+// launchJob registers a job over a facade ranking stream and starts the
+// goroutine that folds stream events into the job's pollable state. invID
+// is "" for sessionless jobs (async SQL queries).
+func (s *Server) launchJob(invID string, cancel context.CancelFunc, ch <-chan explainit.RankUpdate) *job {
 	s.mu.Lock()
 	s.nextJob++
 	j := &job{
@@ -138,11 +149,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 			j.mu.Unlock()
 		}
 	}()
-
-	j.mu.Lock()
-	payload := j.payloadLocked()
-	j.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, payload)
+	return j
 }
 
 func (s *Server) job(r *http.Request) (*job, error) {

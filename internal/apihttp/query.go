@@ -1,0 +1,89 @@
+package apihttp
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// queryRequest is the wire form of POST /api/v1/query: one SQL statement,
+// optionally run as an asynchronous job.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Async runs an EXPLAIN statement as a step-style job: the response is
+	// the job payload (202), progress is polled at /api/v1/jobs/{id} or
+	// streamed from /api/v1/jobs/{id}/events while scoring workers finish.
+	// Only EXPLAIN statements are async; a SELECT fails with bad_sql.
+	Async bool `json:"async,omitempty"`
+}
+
+// queryPayload is a materialised relation: column names plus rows of JSON
+// scalars (numbers, strings, RFC3339 times, nulls).
+type queryPayload struct {
+	Columns []string        `json:"columns"`
+	Rows    [][]interface{} `json:"rows"`
+}
+
+// handleQuery executes one declarative statement. Blocking queries run
+// under the request context — a departed client cancels a long EXPLAIN —
+// and async EXPLAINs reuse the job plumbing (cancellable, pollable,
+// SSE-streamable) that investigation steps use.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req queryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.SQL == "" {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", "missing sql")
+		return
+	}
+	if req.Async {
+		s.handleQueryAsync(w, req.SQL)
+		return
+	}
+	res, err := s.client.Query(r.Context(), req.SQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := queryPayload{Columns: res.Columns, Rows: make([][]interface{}, len(res.Rows))}
+	for i, row := range res.Rows {
+		enc := make([]interface{}, len(row))
+		for j, v := range row {
+			if t, ok := v.(time.Time); ok {
+				// Nano keeps sub-second samples distinct on the wire
+				// (trailing zeros are omitted, so whole-second data is
+				// unchanged).
+				enc[j] = t.UTC().Format(time.RFC3339Nano)
+			} else {
+				enc[j] = v
+			}
+		}
+		out.Rows[i] = enc
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleQueryAsync launches one EXPLAIN statement as a job and returns its
+// id immediately. The stream is created synchronously so parse/plan errors
+// (bad_sql, unknown family) surface on the query request itself, not
+// inside the job.
+func (s *Server) handleQueryAsync(w http.ResponseWriter, sql string) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	ch, err := s.client.QueryStream(ctx, sql)
+	if err != nil {
+		cancel()
+		writeError(w, err)
+		return
+	}
+	j := s.launchJob("", cancel, ch)
+	j.mu.Lock()
+	payload := j.payloadLocked()
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, payload)
+}

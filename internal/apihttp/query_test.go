@@ -1,0 +1,267 @@
+package apihttp
+
+import (
+	"errors"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"explainit"
+)
+
+func TestQueryBlockingSelectAndExplain(t *testing.T) {
+	srv, c := seedServer(t, 240, 4, 1)
+
+	// A SELECT reads the tsdb table as before.
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/query",
+		queryRequest{SQL: "SELECT metric_name, COUNT(*) AS n FROM tsdb GROUP BY metric_name ORDER BY metric_name"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("select: %d %s", w.Code, w.Body.String())
+	}
+	var sel queryPayload
+	decodeBody(t, w, &sel)
+	if len(sel.Columns) != 2 || sel.Columns[0] != "metric_name" || len(sel.Rows) != 6 {
+		t.Fatalf("select payload %+v", sel)
+	}
+
+	// An EXPLAIN ranks causes; the relation carries the ranking schema.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/query",
+		queryRequest{SQL: "EXPLAIN pipeline_runtime LIMIT 3"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("explain: %d %s", w.Code, w.Body.String())
+	}
+	var exp queryPayload
+	decodeBody(t, w, &exp)
+	wantCols := []string{"rank", "family", "features", "score", "p_value", "viz"}
+	if len(exp.Columns) != len(wantCols) {
+		t.Fatalf("explain columns %v", exp.Columns)
+	}
+	for i, c := range wantCols {
+		if exp.Columns[i] != c {
+			t.Fatalf("explain columns %v", exp.Columns)
+		}
+	}
+	if len(exp.Rows) != 3 {
+		t.Fatalf("LIMIT 3 returned %d rows", len(exp.Rows))
+	}
+	if fam, _ := exp.Rows[0][1].(string); fam != "tcp_retransmits" {
+		t.Fatalf("top family %v", exp.Rows[0])
+	}
+
+	// The SQL ranking matches the facade call bit for bit.
+	ranking, err := c.Explain(explainit.ExplainOptions{Target: "pipeline_runtime", TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range ranking.Rows {
+		if got, _ := exp.Rows[i][3].(float64); got != row.Score {
+			t.Fatalf("row %d score %v vs facade %v", i, exp.Rows[i][3], row.Score)
+		}
+	}
+}
+
+func TestQueryErrorPaths(t *testing.T) {
+	srv, _ := seedServer(t, 60, 2, 1)
+
+	cases := []struct {
+		name     string
+		method   string
+		body     interface{}
+		status   int
+		code     string
+		sentinel error
+	}{
+		{
+			name:   "method not allowed",
+			method: http.MethodGet,
+			status: http.StatusMethodNotAllowed,
+			code:   "method_not_allowed",
+		},
+		{
+			name:     "malformed SQL",
+			method:   http.MethodPost,
+			body:     queryRequest{SQL: "SELEKT * FORM tsdb"},
+			status:   http.StatusBadRequest,
+			code:     "bad_sql",
+			sentinel: explainit.ErrBadSQL,
+		},
+		{
+			name:     "truncated EXPLAIN",
+			method:   http.MethodPost,
+			body:     queryRequest{SQL: "EXPLAIN"},
+			status:   http.StatusBadRequest,
+			code:     "bad_sql",
+			sentinel: explainit.ErrBadSQL,
+		},
+		{
+			name:     "bad OVER literal",
+			method:   http.MethodPost,
+			body:     queryRequest{SQL: "EXPLAIN pipeline_runtime OVER 'yesterday' TO 'today'"},
+			status:   http.StatusBadRequest,
+			code:     "bad_sql",
+			sentinel: explainit.ErrBadSQL,
+		},
+		{
+			name:     "unknown target family",
+			method:   http.MethodPost,
+			body:     queryRequest{SQL: "EXPLAIN no_such_family"},
+			status:   http.StatusNotFound,
+			code:     "unknown_family",
+			sentinel: explainit.ErrUnknownFamily,
+		},
+		{
+			name:     "unknown conditioning family",
+			method:   http.MethodPost,
+			body:     queryRequest{SQL: "EXPLAIN pipeline_runtime GIVEN nope"},
+			status:   http.StatusNotFound,
+			code:     "unknown_family",
+			sentinel: explainit.ErrUnknownFamily,
+		},
+		{
+			name:     "unknown search-space family",
+			method:   http.MethodPost,
+			body:     queryRequest{SQL: "EXPLAIN pipeline_runtime USING FAMILIES (nope)"},
+			status:   http.StatusNotFound,
+			code:     "unknown_family",
+			sentinel: explainit.ErrUnknownFamily,
+		},
+		{
+			name:   "unknown table",
+			method: http.MethodPost,
+			body:   queryRequest{SQL: "SELECT * FROM nope"},
+			status: http.StatusBadRequest,
+			code:   "bad_request",
+		},
+		{
+			name:     "async SELECT",
+			method:   http.MethodPost,
+			body:     queryRequest{SQL: "SELECT 1", Async: true},
+			status:   http.StatusBadRequest,
+			code:     "bad_sql",
+			sentinel: explainit.ErrBadSQL,
+		},
+		{
+			name:   "missing sql",
+			method: http.MethodPost,
+			body:   queryRequest{},
+			status: http.StatusBadRequest,
+			code:   "bad_request",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := doJSON(t, srv, tc.method, "/api/v1/query", tc.body)
+			if w.Code != tc.status {
+				t.Fatalf("status %d, want %d (%s)", w.Code, tc.status, w.Body.String())
+			}
+			env := envelopeOf(t, w)
+			if env.Code != tc.code {
+				t.Fatalf("code %q, want %q (%s)", env.Code, tc.code, w.Body.String())
+			}
+			if tc.sentinel != nil && !errors.Is(env, tc.sentinel) {
+				t.Fatalf("envelope %+v must round-trip to sentinel %v", env, tc.sentinel)
+			}
+		})
+	}
+}
+
+// TestQueryAsyncJobLifecycle runs an EXPLAIN as an async job and checks the
+// job machinery end to end: accepted, polled to done, ranking identical to
+// the blocking query.
+func TestQueryAsyncJobLifecycle(t *testing.T) {
+	srv, _ := seedServer(t, 240, 4, 1)
+
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/query",
+		queryRequest{SQL: "EXPLAIN pipeline_runtime LIMIT 5", Async: true})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("async query: %d %s", w.Code, w.Body.String())
+	}
+	var j jobPayload
+	decodeBody(t, w, &j)
+	if j.ID == "" || j.Investigation != "" {
+		t.Fatalf("job payload %+v", j)
+	}
+	done := waitForJob(t, srv, j.ID, JobDone)
+	if done.Ranking == nil || len(done.Ranking.Rows) == 0 {
+		t.Fatalf("job %+v has no ranking", done)
+	}
+	if len(done.Rows) != done.Scored {
+		t.Fatalf("rows %d vs scored %d", len(done.Rows), done.Scored)
+	}
+
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/query",
+		queryRequest{SQL: "EXPLAIN pipeline_runtime LIMIT 5"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("blocking query: %d %s", w.Code, w.Body.String())
+	}
+	var blocking queryPayload
+	decodeBody(t, w, &blocking)
+	if len(blocking.Rows) != len(done.Ranking.Rows) {
+		t.Fatalf("blocking %d rows, job %d", len(blocking.Rows), len(done.Ranking.Rows))
+	}
+	for i, row := range done.Ranking.Rows {
+		if score, _ := blocking.Rows[i][3].(float64); score != row.Score {
+			t.Fatalf("row %d: blocking score %v, job %v", i, blocking.Rows[i][3], row.Score)
+		}
+	}
+}
+
+// TestQueryAsyncCancelMidRanking is the satellite acceptance test: a job
+// cancelled mid-ranking reaches the cancelled status with the typed
+// envelope and leaks no goroutines.
+func TestQueryAsyncCancelMidRanking(t *testing.T) {
+	// Enough wide candidates that the ranking is still mid-flight when the
+	// job is deleted.
+	srv, _ := seedServer(t, 3000, 32, 16)
+
+	before := runtime.NumGoroutine()
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/query",
+		queryRequest{SQL: "EXPLAIN pipeline_runtime", Async: true})
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("async query: %d %s", w.Code, w.Body.String())
+	}
+	var j jobPayload
+	decodeBody(t, w, &j)
+
+	// Cancel mid-ranking via job delete (the eviction path).
+	if w := doJSON(t, srv, http.MethodDelete, "/api/v1/jobs/"+j.ID, nil); w.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", w.Code, w.Body.String())
+	}
+	var del jobPayload
+	decodeBody(t, w, &del)
+	if del.Status != JobRunning && del.Status != JobCancelled {
+		t.Fatalf("deleted job status %q", del.Status)
+	}
+
+	// The scoring workers must unwind: no goroutines outlive the cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancel: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A cancelled-but-not-deleted job reports the typed cancelled envelope.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/query",
+		queryRequest{SQL: "EXPLAIN pipeline_runtime", Async: true})
+	decodeBody(t, w, &j)
+	srv.Close() // cancels the base context under the running job
+	deadline = time.Now().Add(10 * time.Second)
+	var got jobPayload
+	for {
+		w := doJSON(t, srv, http.MethodGet, "/api/v1/jobs/"+j.ID, nil)
+		decodeBody(t, w, &got)
+		if got.Status != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after server close", got.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got.Status != JobCancelled || got.Error == nil || got.Error.Code != "cancelled" {
+		t.Fatalf("job %+v, want cancelled with typed envelope", got)
+	}
+}

@@ -7,14 +7,19 @@ package repl
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"explainit"
+	"explainit/internal/sqlexec"
+	"explainit/internal/sqlparse"
 )
 
 // Session holds the interactive state between commands.
@@ -136,6 +141,73 @@ func (s *Session) Execute(line string) error {
 	return fmt.Errorf("unknown command %q (try help)", cmd)
 }
 
+// replCommands lists the command vocabulary, for help and completion.
+var replCommands = []string{
+	"condition", "explain", "families", "help", "load", "overlay",
+	"pseudocause", "quit", "scorer", "space", "sql", "structure",
+	"suggest", "target", "topk",
+}
+
+// sqlKeywords is the completion vocabulary inside a sql command: statement
+// keywords (both SELECT and EXPLAIN dialects) plus the default table name.
+var sqlKeywords = []string{
+	"AND", "AS", "BETWEEN", "BY", "DESC", "DISTINCT", "EXPLAIN", "FAMILIES",
+	"FROM", "GIVEN", "GROUP", "JOIN", "LIMIT", "ON", "OR", "ORDER", "OVER",
+	"SELECT", "TO", "USING", "WHERE", "tsdb",
+}
+
+// Complete returns tab-completion candidates for the final word of a
+// partial command line, sorted: command names at the start of the line,
+// family names after family-taking commands (target, condition, space,
+// overlay, and inside sql statements), scorer names after scorer, and SQL
+// keywords inside sql. Frontends bind it to the completion key of their
+// line editor; the io-machine loop itself stays plain.
+func (s *Session) Complete(line string) []string {
+	trimmed := strings.TrimLeft(line, " ")
+	cmd, rest, hasCmd := strings.Cut(trimmed, " ")
+	if !hasCmd {
+		return prefixed(replCommands, trimmed)
+	}
+	// The word being completed: after the last space or comma.
+	last := rest
+	if i := strings.LastIndexAny(rest, " ,"); i >= 0 {
+		last = rest[i+1:]
+	}
+	switch cmd {
+	case "target", "condition", "space", "overlay":
+		return prefixed(s.familyNames(), last)
+	case "scorer":
+		return prefixed([]string{"corrmean", "corrmax", "l1", "l2", "l2-p50", "l2-p500"}, last)
+	case "families":
+		return prefixed([]string{"name", "tag:"}, last)
+	case "sql":
+		return prefixed(append(s.familyNames(), sqlKeywords...), last)
+	}
+	return nil
+}
+
+func (s *Session) familyNames() []string {
+	infos := s.Client.Families()
+	names := make([]string, len(infos))
+	for i, fi := range infos {
+		names[i] = fi.Name
+	}
+	return names
+}
+
+// prefixed filters candidates by prefix (case-insensitive for the SQL
+// keyword vocabulary's sake) and sorts them.
+func prefixed(candidates []string, prefix string) []string {
+	var out []string
+	for _, c := range candidates {
+		if len(c) > len(prefix) && strings.EqualFold(c[:len(prefix)], prefix) {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func splitList(s string) []string {
 	parts := strings.Split(s, ",")
 	out := make([]string, 0, len(parts))
@@ -161,7 +233,9 @@ func (s *Session) help() {
   overlay <family>       observed-vs-predicted chart for one candidate
   structure              local causal structure (PC-style, §3.3)
   suggest                auto-detect the anomalous window of the target
-  sql <query>            ad-hoc SQL over the tsdb table
+  sql <query>            ad-hoc SQL: SELECT over the tsdb table, or
+                         EXPLAIN <target> [GIVEN ...] [USING FAMILIES (...)]
+                         [OVER <from> TO <to>] [LIMIT k] to rank causes
   quit                   leave
 `)
 }
@@ -279,9 +353,20 @@ func (s *Session) suggest() error {
 }
 
 func (s *Session) sql(query string) error {
-	res, err := s.Client.Query(query)
+	res, err := s.Client.Query(context.Background(), query)
 	if err != nil {
+		// Point at the failing token instead of quoting a raw byte offset:
+		// an interactive operator fixes typos by line and column.
+		var serr *sqlparse.SyntaxError
+		if errors.As(err, &serr) {
+			line, col := sqlparse.Position(query, serr.Pos)
+			return fmt.Errorf("sql: syntax error at line %d, column %d: %s", line, col, serr.Msg)
+		}
 		return err
+	}
+	if isRankingResult(res) {
+		s.printRanking(res)
+		return nil
 	}
 	fmt.Fprintln(s.out, strings.Join(res.Columns, " | "))
 	const maxRows = 50
@@ -307,4 +392,37 @@ func (s *Session) sql(query string) error {
 	}
 	fmt.Fprintf(s.out, "(%d rows)\n", len(res.Rows))
 	return nil
+}
+
+// isRankingResult reports whether a query result carries the EXPLAIN
+// relation schema and should render as the operator-facing score table.
+func isRankingResult(res *explainit.Result) bool {
+	if len(res.Columns) != len(sqlexec.ExplainColumns) {
+		return false
+	}
+	for i, c := range res.Columns {
+		if c != sqlexec.ExplainColumns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// printRanking renders an EXPLAIN result in the same aligned table the
+// explain command prints.
+func (s *Session) printRanking(res *explainit.Result) {
+	fmt.Fprintf(s.out, "%-4s %-38s %8s %9s %10s  %s\n", "rank", "family", "feats", "score", "p-value", "viz")
+	num := func(v interface{}) float64 {
+		f, _ := v.(float64)
+		return f
+	}
+	str := func(v interface{}) string {
+		t, _ := v.(string)
+		return t
+	}
+	for _, row := range res.Rows {
+		fmt.Fprintf(s.out, "%-4d %-38s %8d %9.3f %10.2e  %s\n",
+			int(num(row[0])), str(row[1]), int(num(row[2])), num(row[3]), num(row[4]), str(row[5]))
+	}
+	fmt.Fprintf(s.out, "(%d rows)\n", len(res.Rows))
 }

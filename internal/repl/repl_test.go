@@ -127,6 +127,83 @@ func TestCommandErrors(t *testing.T) {
 	}
 }
 
+// TestSQLSyntaxErrorReportsLineColumn is the regression test for parse
+// errors: the repl reports the failing token's line and column from the
+// lexer instead of a bare error string.
+func TestSQLSyntaxErrorReportsLineColumn(t *testing.T) {
+	s, _ := seededSession(t)
+	err := s.Execute("sql SELECT value FROM")
+	if err == nil {
+		t.Fatal("truncated query must error")
+	}
+	if !strings.Contains(err.Error(), "line 1, column 18") {
+		t.Fatalf("error must carry line/column of the failing token: %v", err)
+	}
+	// A multi-line query points at the right line.
+	err = s.Execute("sql SELECT value\nFROM tsdb WHERE AND")
+	if err == nil {
+		t.Fatal("bad WHERE must error")
+	}
+	if !strings.Contains(err.Error(), "line 2, column 17") {
+		t.Fatalf("multi-line error position: %v", err)
+	}
+}
+
+// TestSQLExplainRendersRankingTable: an EXPLAIN statement through the sql
+// command renders the operator-facing score table.
+func TestSQLExplainRendersRankingTable(t *testing.T) {
+	s, out := seededSession(t)
+	if err := s.Execute("sql EXPLAIN runtime LIMIT 2"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"rank", "family", "p-value", "retransmits", "(2 rows)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("ranking table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	s, _ := seededSession(t)
+	cases := []struct {
+		line string
+		want string // one completion that must appear
+	}{
+		{"ex", "explain"},
+		{"s", "sql"},
+		{"target run", "runtime"},
+		{"condition retr", "retransmits"},
+		{"space noise, retr", "retransmits"},
+		{"overlay r", "retransmits"},
+		{"scorer l2-", "l2-p50"},
+		{"families ta", "tag:"},
+		{"sql EXP", "EXPLAIN"},
+		{"sql EXPLAIN runtime GI", "GIVEN"},
+		{"sql EXPLAIN run", "runtime"},
+		{"sql SELECT * FROM ts", "tsdb"},
+	}
+	for _, tc := range cases {
+		got := s.Complete(tc.line)
+		found := false
+		for _, c := range got {
+			if c == tc.want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Complete(%q) = %v, want it to include %q", tc.line, got, tc.want)
+		}
+	}
+	if got := s.Complete("target zzz"); len(got) != 0 {
+		t.Errorf("no families match zzz, got %v", got)
+	}
+	if got := s.Complete("wat x"); got != nil {
+		t.Errorf("unknown command completes nothing, got %v", got)
+	}
+}
+
 func TestFamiliesRequiresData(t *testing.T) {
 	var out strings.Builder
 	s := New(explainit.New(), &out)

@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,15 +9,44 @@ import (
 	sp "explainit/internal/sqlparse"
 )
 
+// execEnv carries the execution context through the statement tree: the
+// catalog, the cancellation context, and the Explainer that embedded
+// EXPLAIN statements dispatch to (nil when the caller has no engine).
+type execEnv struct {
+	ctx context.Context
+	cat Catalog
+	ex  Explainer
+}
+
 // Execute runs a parsed SELECT statement against the catalog and returns the
-// resulting relation.
+// resulting relation. EXPLAIN refs in FROM fail: use ExecuteStatement with
+// an Explainer for those.
 func Execute(stmt *sp.SelectStmt, cat Catalog) (*Relation, error) {
-	out, err := executeSingle(stmt, cat)
+	return ExecuteStatement(context.Background(), stmt, cat, nil)
+}
+
+// ExecuteStatement runs a parsed statement of either kind. A SELECT
+// executes against the catalog; an EXPLAIN (top-level or embedded in FROM)
+// is compiled and dispatched to ex. ctx reaches the Explainer so a
+// long-running ranking is cancellable.
+func ExecuteStatement(ctx context.Context, stmt sp.Statement, cat Catalog, ex Explainer) (*Relation, error) {
+	env := &execEnv{ctx: ctx, cat: cat, ex: ex}
+	switch s := stmt.(type) {
+	case *sp.SelectStmt:
+		return executeSelect(s, env)
+	case *sp.ExplainStmt:
+		return env.explain(s)
+	}
+	return nil, fmt.Errorf("sqlexec: unsupported statement %T", stmt)
+}
+
+func executeSelect(stmt *sp.SelectStmt, env *execEnv) (*Relation, error) {
+	out, err := executeSingle(stmt, env)
 	if err != nil {
 		return nil, err
 	}
 	for u := stmt.Union; u != nil; u = u.Union {
-		branch, err := executeSingle(u, cat)
+		branch, err := executeSingle(u, env)
 		if err != nil {
 			return nil, err
 		}
@@ -42,11 +72,21 @@ func Run(query string, cat Catalog) (*Relation, error) {
 	return Execute(stmt, cat)
 }
 
-func executeSingle(stmt *sp.SelectStmt, cat Catalog) (*Relation, error) {
+// RunStatement parses and executes a SQL string of either statement kind,
+// dispatching EXPLAIN clauses to ex.
+func RunStatement(ctx context.Context, query string, cat Catalog, ex Explainer) (*Relation, error) {
+	stmt, err := sp.ParseStatement(query)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteStatement(ctx, stmt, cat, ex)
+}
+
+func executeSingle(stmt *sp.SelectStmt, env *execEnv) (*Relation, error) {
 	// FROM.
 	var input *Relation
 	if stmt.From != nil {
-		rel, err := executeFrom(stmt.From, cat)
+		rel, err := executeFrom(stmt.From, env)
 		if err != nil {
 			return nil, err
 		}

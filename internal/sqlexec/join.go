@@ -7,12 +7,12 @@ import (
 	sp "explainit/internal/sqlparse"
 )
 
-// executeFrom materialises a FROM clause: a table scan, a subquery, or a
-// join tree.
-func executeFrom(ref sp.TableRef, cat Catalog) (*Relation, error) {
+// executeFrom materialises a FROM clause: a table scan, a subquery, an
+// embedded EXPLAIN ranking, or a join tree.
+func executeFrom(ref sp.TableRef, env *execEnv) (*Relation, error) {
 	switch t := ref.(type) {
 	case *sp.TableName:
-		rel, err := cat.Table(t.Name)
+		rel, err := env.cat.Table(t.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -22,7 +22,16 @@ func executeFrom(ref sp.TableRef, cat Catalog) (*Relation, error) {
 		}
 		return rel.WithQualifier(qual), nil
 	case *sp.Subquery:
-		rel, err := Execute(t.Stmt, cat)
+		rel, err := executeSelect(t.Stmt, env)
+		if err != nil {
+			return nil, err
+		}
+		if t.Alias != "" {
+			return rel.WithQualifier(t.Alias), nil
+		}
+		return rel, nil
+	case *sp.ExplainRef:
+		rel, err := env.explain(t.Stmt)
 		if err != nil {
 			return nil, err
 		}
@@ -31,11 +40,11 @@ func executeFrom(ref sp.TableRef, cat Catalog) (*Relation, error) {
 		}
 		return rel, nil
 	case *sp.Join:
-		left, err := executeFrom(t.Left, cat)
+		left, err := executeFrom(t.Left, env)
 		if err != nil {
 			return nil, err
 		}
-		right, err := executeFrom(t.Right, cat)
+		right, err := executeFrom(t.Right, env)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,12 @@ import (
 // Node is any AST node.
 type Node interface{ String() string }
 
+// Statement is a top-level statement: SELECT (with UNION chain) or EXPLAIN.
+type Statement interface {
+	Node
+	stmtNode()
+}
+
 // Expr is an expression node.
 type Expr interface {
 	Node
@@ -286,6 +292,8 @@ type SelectStmt struct {
 	UnionAll bool
 }
 
+func (s *SelectStmt) stmtNode() {}
+
 func (s *SelectStmt) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
@@ -333,4 +341,137 @@ func (s *SelectStmt) String() string {
 		b.WriteString(s.Union.String())
 	}
 	return b.String()
+}
+
+// ExplainStmt is the declarative root-cause query of the dialect:
+//
+//	EXPLAIN <target>
+//	  [GIVEN <family>, ...]
+//	  [USING FAMILIES (<family>, ...)]
+//	  [OVER <from> TO <to>]
+//	  [LIMIT k]
+//
+// Target names the family to explain; GIVEN lists conditioning families
+// (Algorithm 1's "control for known causes"); USING FAMILIES restricts the
+// candidate search space; OVER bounds the range-to-explain (string literals
+// parse as RFC3339, numbers as unix seconds); LIMIT bounds the ranking.
+type ExplainStmt struct {
+	Target   string
+	Given    []string
+	Families []string // nil means every defined family
+	From, To Expr     // both nil when no OVER clause
+	Limit    int      // -1 means no limit
+}
+
+func (s *ExplainStmt) stmtNode() {}
+
+func (s *ExplainStmt) String() string {
+	var b strings.Builder
+	b.WriteString("EXPLAIN ")
+	b.WriteString(renderName(s.Target))
+	if len(s.Given) > 0 {
+		b.WriteString(" GIVEN ")
+		b.WriteString(renderNames(s.Given))
+	}
+	if len(s.Families) > 0 {
+		b.WriteString(" USING FAMILIES (")
+		b.WriteString(renderNames(s.Families))
+		b.WriteString(")")
+	}
+	if s.From != nil && s.To != nil {
+		fmt.Fprintf(&b, " OVER %s TO %s", s.From, s.To)
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// renderName renders a family name as a bare identifier when possible and
+// as a quoted string literal otherwise, so every name round-trips through
+// String() → Parse.
+func renderName(name string) string {
+	if isBareName(name) {
+		return name
+	}
+	return (&StringLit{Value: name}).String()
+}
+
+func renderNames(names []string) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = renderName(n)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// isBareName reports whether name lexes as a single identifier that no
+// grammar position could mistake for a (hard or soft) keyword. Restricted
+// to ASCII: the lexer scans identifiers byte-wise, so non-ASCII names only
+// round-trip through string-literal rendering.
+func isBareName(name string) bool {
+	upper := strings.ToUpper(name)
+	if name == "" || keywords[upper] || softKeywords[upper] {
+		return false
+	}
+	for i, r := range name {
+		if r > 127 {
+			return false
+		}
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if !isIdentPart(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExplainRef embeds an EXPLAIN statement as a table in FROM, so rankings
+// compose with the ordinary SELECT machinery:
+//
+//	SELECT family, score FROM (EXPLAIN t GIVEN c) r WHERE score > 0.5
+type ExplainRef struct {
+	Stmt  *ExplainStmt
+	Alias string
+}
+
+func (t *ExplainRef) tableNode() {}
+func (t *ExplainRef) String() string {
+	if t.Alias != "" {
+		return "(" + t.Stmt.String() + ") " + t.Alias
+	}
+	return "(" + t.Stmt.String() + ")"
+}
+
+// HasExplain reports whether a statement dispatches into the ranking
+// engine anywhere: it is an EXPLAIN, or a SELECT with an embedded
+// (EXPLAIN ...) table ref in any FROM clause of its subquery/union tree.
+// Callers use it to skip engine setup (family construction) for plain
+// relational queries.
+func HasExplain(stmt Statement) bool {
+	switch s := stmt.(type) {
+	case *ExplainStmt:
+		return true
+	case *SelectStmt:
+		for sel := s; sel != nil; sel = sel.Union {
+			if tableRefHasExplain(sel.From) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func tableRefHasExplain(ref TableRef) bool {
+	switch t := ref.(type) {
+	case *ExplainRef:
+		return true
+	case *Subquery:
+		return HasExplain(t.Stmt)
+	case *Join:
+		return tableRefHasExplain(t.Left) || tableRefHasExplain(t.Right)
+	}
+	return false
 }

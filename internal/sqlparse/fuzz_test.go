@@ -1,11 +1,101 @@
 package sqlparse
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// FuzzParse is the native fuzz target (go test -fuzz=FuzzParse): any input
+// must parse or error without panicking, and every accepted statement must
+// render to a string that re-parses to the same rendering (fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// SELECT dialect.
+		"SELECT 1",
+		"SELECT a, AVG(b) AS m FROM t WHERE c = 'x' GROUP BY a ORDER BY a DESC LIMIT 5",
+		"SELECT tag['host'], SPLIT(h, '-')[0] FROM tsdb",
+		"SELECT a FROM (SELECT a FROM b) s UNION ALL SELECT a FROM c",
+		"SELECT CASE WHEN a THEN 1 ELSE 0 END FROM t FULL OUTER JOIN u ON t.k = u.k",
+		// EXPLAIN dialect.
+		"EXPLAIN runtime_pipeline_0",
+		"EXPLAIN runtime_pipeline_0 GIVEN input_size LIMIT 10",
+		"EXPLAIN t GIVEN a, 'b c' USING FAMILIES (x, y) LIMIT 0",
+		"EXPLAIN 'weird name' USING FAMILIES ('a b', c)",
+		"EXPLAIN t OVER '2026-01-01T00:00:00Z' TO '2026-01-02T00:00:00Z'",
+		"EXPLAIN t GIVEN a OVER 100 TO 200.5 LIMIT 3",
+		"SELECT family, score FROM (EXPLAIN t GIVEN c) r WHERE score > 0.5",
+		"SELECT * FROM (EXPLAIN t) a JOIN (EXPLAIN u) b ON a.family = b.family",
+		// Near-miss inputs to steer mutation at clause boundaries.
+		"EXPLAIN t GIVEN",
+		"EXPLAIN t USING FAMILIES (",
+		"EXPLAIN t OVER 1 TO",
+		"EXPLAIN t LIMIT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := ParseStatement(input)
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		again, err := ParseStatement(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", input, rendered, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("rendering is not a fixpoint:\n%q\n%q", rendered, got)
+		}
+	})
+}
+
+// TestExplainASTRoundTrip is the parse → String() → parse property for the
+// EXPLAIN statement: random ASTs (including names that need string-literal
+// quoting) must survive a render/re-parse cycle structurally unchanged.
+func TestExplainASTRoundTrip(t *testing.T) {
+	names := []string{
+		"runtime_pipeline_0", "tcp_retransmits", "a", "_x9",
+		"has space", "quote's", "UPPER", "select", "explain", "given",
+		"families", "over", "to", "limit", "0starts_with_digit", "dash-ed",
+		"dot.ted", "ünïcode", "tab\there", "new\nline", "",
+	}
+	rng := rand.New(rand.NewSource(11))
+	pick := func() string { return names[rng.Intn(len(names))] }
+	for i := 0; i < 500; i++ {
+		stmt := &ExplainStmt{Target: pick(), Limit: -1}
+		for k := rng.Intn(3); k > 0; k-- {
+			stmt.Given = append(stmt.Given, pick())
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			stmt.Families = append(stmt.Families, pick())
+		}
+		switch rng.Intn(3) {
+		case 1:
+			stmt.From = &StringLit{Value: "2026-01-01T00:00:00Z"}
+			stmt.To = &StringLit{Value: "2026-01-02T00:00:00Z"}
+		case 2:
+			n1, n2 := rng.Intn(1000), 1000+rng.Intn(1000)
+			stmt.From = &NumberLit{Text: fmt.Sprint(n1), Value: float64(n1)}
+			stmt.To = &NumberLit{Text: fmt.Sprint(n2), Value: float64(n2)}
+		}
+		if rng.Intn(2) == 0 {
+			stmt.Limit = rng.Intn(30)
+		}
+		rendered := stmt.String()
+		parsed, err := ParseStatement(rendered)
+		if err != nil {
+			t.Fatalf("%+v rendered %q does not parse: %v", stmt, rendered, err)
+		}
+		if !reflect.DeepEqual(parsed, stmt) {
+			t.Fatalf("round trip mismatch for %q:\n%#v\n%#v", rendered, stmt, parsed)
+		}
+	}
+}
 
 // TestParseNeverPanics feeds the parser random token soup: it must return
 // an error or an AST, never panic, and never accept obviously truncated

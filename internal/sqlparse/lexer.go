@@ -54,6 +54,16 @@ var keywords = map[string]bool{
 	"ELSE": true, "END": true,
 }
 
+// softKeywords are the EXPLAIN statement's clause words. They lex as plain
+// identifiers — so pre-EXPLAIN statements using them as column names or
+// aliases keep parsing — and the parser matches them by text
+// (case-insensitive) only where the EXPLAIN grammar expects them. A family
+// actually named like one of these is written as a string literal.
+var softKeywords = map[string]bool{
+	"EXPLAIN": true, "GIVEN": true, "USING": true, "FAMILIES": true,
+	"OVER": true, "TO": true,
+}
+
 // SyntaxError reports a lexing or parsing failure with its position.
 type SyntaxError struct {
 	Pos int
@@ -62,6 +72,26 @@ type SyntaxError struct {
 
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("sql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Position converts a byte offset in input into a 1-based (line, column)
+// pair, so error reporters can point at the failing token instead of
+// quoting a raw offset. Offsets past the end of input report the position
+// one past the last byte.
+func Position(input string, pos int) (line, col int) {
+	if pos > len(input) {
+		pos = len(input)
+	}
+	line, col = 1, 1
+	for i := 0; i < pos; i++ {
+		if input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
 }
 
 // Lex tokenises the input. Comments (-- to end of line) are skipped.

@@ -9,12 +9,32 @@ import (
 // Parse parses one SELECT statement (with optional UNION chain) and returns
 // its AST. Trailing input after the statement is an error.
 func Parse(input string) (*SelectStmt, error) {
+	stmt, err := ParseStatement(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, &SyntaxError{Pos: 0, Msg: "expected a SELECT statement"}
+	}
+	return sel, nil
+}
+
+// ParseStatement parses one statement of either kind — SELECT (with UNION
+// chain) or EXPLAIN — and returns its AST. Trailing input after the
+// statement is an error.
+func ParseStatement(input string) (Statement, error) {
 	toks, err := Lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	stmt, err := p.parseSelect()
+	var stmt Statement
+	if isWord(p.peek(), "EXPLAIN") {
+		stmt, err = p.parseExplain()
+	} else {
+		stmt, err = p.parseSelect()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -49,6 +69,29 @@ func (p *parser) acceptKeyword(kw string) bool {
 func (p *parser) expectKeyword(kw string) error {
 	if !p.acceptKeyword(kw) {
 		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+// isWord reports whether a token is the given soft keyword: clause words
+// of the EXPLAIN grammar lex as identifiers (so old statements using them
+// as column names keep parsing) and match by text only where expected.
+func isWord(t Token, word string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, word)
+}
+
+// acceptWord consumes the soft keyword if present.
+func (p *parser) acceptWord(word string) bool {
+	if isWord(p.peek(), word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(word string) error {
+	if !p.acceptWord(word) {
+		return p.errorf("expected %s, found %s", word, p.peek())
 	}
 	return nil
 }
@@ -161,6 +204,109 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// parseExplain parses EXPLAIN <target> [GIVEN ...] [USING FAMILIES (...)]
+// [OVER <from> TO <to>] [LIMIT k].
+func (p *parser) parseExplain() (*ExplainStmt, error) {
+	if err := p.expectWord("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	stmt := &ExplainStmt{Limit: -1}
+	target, err := p.parseName("target family")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Target = target
+	if p.acceptWord("GIVEN") {
+		if stmt.Given, err = p.parseNameList("conditioning family"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptWord("USING") {
+		if err := p.expectWord("FAMILIES"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if stmt.Families, err = p.parseNameList("search-space family"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptWord("OVER") {
+		if stmt.From, err = p.parseTimeLit(); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("TO"); err != nil {
+			return nil, err
+		}
+		if stmt.To, err = p.parseTimeLit(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("expected LIMIT count, found %s", t)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.Text)
+		}
+		p.pos++
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// parseName reads a family name: a bare identifier or a string literal
+// (for names that are not valid identifiers).
+func (p *parser) parseName(role string) (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent && t.Kind != TokString {
+		return "", p.errorf("expected %s name, found %s", role, t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+// parseNameList reads one or more comma-separated family names.
+func (p *parser) parseNameList(role string) ([]string, error) {
+	var names []string
+	for {
+		n, err := p.parseName(role)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		if !p.acceptSymbol(",") {
+			return names, nil
+		}
+	}
+}
+
+// parseTimeLit reads one OVER bound: a string literal (RFC3339) or a
+// numeric literal (unix seconds). Resolution to a time happens in the
+// planner; the parser only pins the literal kinds.
+func (p *parser) parseTimeLit() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokString:
+		p.pos++
+		return &StringLit{Value: t.Text}, nil
+	case TokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &NumberLit{Text: t.Text, Value: v}, nil
+	}
+	return nil, p.errorf("expected a time literal (RFC3339 string or unix seconds), found %s", t)
+}
+
 func (p *parser) parseSelectItem() (SelectItem, error) {
 	// Bare * projection.
 	if t := p.peek(); t.Kind == TokSymbol && t.Text == "*" {
@@ -234,6 +380,21 @@ func (p *parser) parseTableRef() (TableRef, error) {
 
 func (p *parser) parseTablePrimary() (TableRef, error) {
 	if p.acceptSymbol("(") {
+		// (EXPLAIN ...) embeds a ranking as a table. Unambiguous even with
+		// EXPLAIN as a soft keyword: a parenthesised FROM item otherwise
+		// always starts with SELECT.
+		if isWord(p.peek(), "EXPLAIN") {
+			ex, err := p.parseExplain()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			ref := &ExplainRef{Stmt: ex}
+			ref.Alias = p.parseOptionalAlias()
+			return ref, nil
+		}
 		stmt, err := p.parseSelect()
 		if err != nil {
 			return nil, err

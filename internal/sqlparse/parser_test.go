@@ -282,3 +282,192 @@ func TestSyntaxErrorMessageHasOffset(t *testing.T) {
 		t.Fatalf("error should carry offset: %v", err)
 	}
 }
+
+func mustParseStatement(t *testing.T, q string) Statement {
+	t.Helper()
+	stmt, err := ParseStatement(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseExplainFull(t *testing.T) {
+	q := `EXPLAIN runtime_pipeline_0
+	      GIVEN input_size, 'tcp retransmits'
+	      USING FAMILIES (disk_io, cpu_usage)
+	      OVER '2026-01-01T00:00:00Z' TO 1767225600
+	      LIMIT 10`
+	stmt, ok := mustParseStatement(t, q).(*ExplainStmt)
+	if !ok {
+		t.Fatalf("not an ExplainStmt: %T", mustParseStatement(t, q))
+	}
+	if stmt.Target != "runtime_pipeline_0" {
+		t.Fatalf("target %q", stmt.Target)
+	}
+	if len(stmt.Given) != 2 || stmt.Given[0] != "input_size" || stmt.Given[1] != "tcp retransmits" {
+		t.Fatalf("given %v", stmt.Given)
+	}
+	if len(stmt.Families) != 2 || stmt.Families[0] != "disk_io" || stmt.Families[1] != "cpu_usage" {
+		t.Fatalf("families %v", stmt.Families)
+	}
+	if _, ok := stmt.From.(*StringLit); !ok {
+		t.Fatalf("from %T", stmt.From)
+	}
+	if _, ok := stmt.To.(*NumberLit); !ok {
+		t.Fatalf("to %T", stmt.To)
+	}
+	if stmt.Limit != 10 {
+		t.Fatalf("limit %d", stmt.Limit)
+	}
+}
+
+func TestParseExplainMinimal(t *testing.T) {
+	stmt, ok := mustParseStatement(t, "EXPLAIN t").(*ExplainStmt)
+	if !ok || stmt.Target != "t" || stmt.Given != nil || stmt.Families != nil ||
+		stmt.From != nil || stmt.To != nil || stmt.Limit != -1 {
+		t.Fatalf("minimal explain %+v", stmt)
+	}
+	// ParseStatement still dispatches SELECT.
+	if _, ok := mustParseStatement(t, "SELECT 1").(*SelectStmt); !ok {
+		t.Fatal("SELECT must parse as SelectStmt")
+	}
+	// Parse (the SELECT-only entry point) rejects EXPLAIN.
+	if _, err := Parse("EXPLAIN t"); err == nil {
+		t.Fatal("Parse must reject EXPLAIN")
+	}
+}
+
+func TestParseExplainAsTableRef(t *testing.T) {
+	q := "SELECT family, score FROM (EXPLAIN t GIVEN c) r WHERE score > 0.5"
+	stmt := mustParse(t, q)
+	ref, ok := stmt.From.(*ExplainRef)
+	if !ok {
+		t.Fatalf("FROM is %T", stmt.From)
+	}
+	if ref.Alias != "r" || ref.Stmt.Target != "t" || len(ref.Stmt.Given) != 1 {
+		t.Fatalf("explain ref %+v", ref)
+	}
+	// And it joins like any table.
+	q2 := "SELECT * FROM (EXPLAIN t) a JOIN (EXPLAIN u) b ON a.family = b.family"
+	stmt2 := mustParse(t, q2)
+	if _, ok := stmt2.From.(*Join); !ok {
+		t.Fatalf("FROM is %T", stmt2.From)
+	}
+}
+
+func TestParseExplainErrors(t *testing.T) {
+	bad := []string{
+		"EXPLAIN",                     // no target
+		"EXPLAIN 1",                   // numeric target
+		"EXPLAIN t GIVEN",             // empty GIVEN
+		"EXPLAIN t GIVEN a,",          // trailing comma
+		"EXPLAIN t USING (a)",         // missing FAMILIES
+		"EXPLAIN t USING FAMILIES a",  // missing parens
+		"EXPLAIN t USING FAMILIES ()", // empty list
+		"EXPLAIN t OVER 1",            // missing TO
+		"EXPLAIN t OVER 1 TO",         // missing end
+		"EXPLAIN t OVER a TO b",       // idents are not time literals
+		"EXPLAIN t LIMIT -1",          // negative limit
+		"EXPLAIN t LIMIT x",           // non-numeric limit
+		"EXPLAIN t trailing",          // trailing garbage
+		"EXPLAIN t GIVEN SELECT",      // keyword as name
+		"SELECT * FROM (EXPLAIN t",    // unterminated ref
+	}
+	for _, q := range bad {
+		if _, err := ParseStatement(q); err == nil {
+			t.Fatalf("expected error for %q", q)
+		}
+	}
+}
+
+func TestExplainStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"EXPLAIN t",
+		"EXPLAIN 'weird family' GIVEN a, 'b c' USING FAMILIES (x) LIMIT 0",
+		"EXPLAIN t GIVEN a OVER '2026-01-01T00:00:00Z' TO '2026-01-02T00:00:00Z' LIMIT 5",
+		"EXPLAIN t OVER 100 TO 200",
+		"SELECT family FROM (EXPLAIN t GIVEN c) r ORDER BY score DESC LIMIT 3",
+	}
+	for _, q := range queries {
+		stmt := mustParseStatement(t, q)
+		rendered := stmt.String()
+		again := mustParseStatement(t, rendered)
+		if again.String() != rendered {
+			t.Fatalf("round trip mismatch:\n%s\n%s", rendered, again.String())
+		}
+	}
+}
+
+func TestPosition(t *testing.T) {
+	input := "SELECT a\nFROM t\nWHERE x"
+	cases := []struct{ pos, line, col int }{
+		{0, 1, 1},
+		{7, 1, 8},
+		{9, 2, 1},
+		{13, 2, 5},
+		{16, 3, 1},
+		{99, 3, 8}, // clamped past the end
+	}
+	for _, tc := range cases {
+		if line, col := Position(input, tc.pos); line != tc.line || col != tc.col {
+			t.Errorf("Position(%d) = (%d, %d), want (%d, %d)", tc.pos, line, col, tc.line, tc.col)
+		}
+	}
+}
+
+// TestSoftKeywordsStayValidIdentifiers pins backwards compatibility: the
+// EXPLAIN clause words are soft keywords, so pre-EXPLAIN statements using
+// them as column names, aliases, or table names keep parsing.
+func TestSoftKeywordsStayValidIdentifiers(t *testing.T) {
+	queries := []string{
+		"SELECT value AS to FROM tsdb",
+		"SELECT over, given FROM t WHERE explain = 1",
+		"SELECT a FROM families",
+		"SELECT t.using FROM tsdb t",
+		"SELECT value over FROM tsdb", // implicit alias
+		"SELECT explain FROM (SELECT 1 AS explain) s",
+	}
+	for _, q := range queries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("%q must keep parsing with soft keywords: %v", q, err)
+		}
+	}
+	// And quoting lets a family named like a clause word through EXPLAIN.
+	stmt, err := ParseStatement("EXPLAIN 'over' GIVEN 'given', a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := stmt.(*ExplainStmt)
+	if ex.Target != "over" || ex.Given[0] != "given" || ex.Given[1] != "a" {
+		t.Fatalf("quoted soft-keyword names: %+v", ex)
+	}
+	// Bare soft-keyword names parse too (positionally unambiguous)...
+	ex = mustParseStatement(t, "EXPLAIN given GIVEN over OVER 1 TO 2").(*ExplainStmt)
+	if ex.Target != "given" || len(ex.Given) != 1 || ex.Given[0] != "over" || ex.From == nil {
+		t.Fatalf("bare soft-keyword names: %+v", ex)
+	}
+	// ...but the renderer quotes them, so round-trips never depend on it.
+	if got := ex.String(); got != "EXPLAIN 'given' GIVEN 'over' OVER 1 TO 2" {
+		t.Fatalf("rendering %q", got)
+	}
+}
+
+func TestHasExplain(t *testing.T) {
+	cases := map[string]bool{
+		"EXPLAIN t":                        true,
+		"SELECT family FROM (EXPLAIN t) r": true,
+		"SELECT * FROM a JOIN (EXPLAIN t) b ON a.x = b.family": true,
+		"SELECT * FROM (SELECT * FROM (EXPLAIN t) r) s":        true,
+		"SELECT 1 UNION SELECT family FROM (EXPLAIN t) r":      true,
+		"SELECT 1":                                    false,
+		"SELECT a FROM t JOIN u ON t.x = u.x":         false,
+		"SELECT explain FROM (SELECT 1 AS explain) s": false,
+	}
+	for q, want := range cases {
+		stmt := mustParseStatement(t, q)
+		if got := HasExplain(stmt); got != want {
+			t.Errorf("HasExplain(%q) = %v, want %v", q, got, want)
+		}
+	}
+}
