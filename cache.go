@@ -1,0 +1,130 @@
+package explainit
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"explainit/internal/rescache"
+)
+
+// Ranking result cache. A completed ranking is a pure function of (family
+// registry generation, target, conditioning sequence, search space, scorer,
+// seed, TopK, explain range) and the data under the store — so the facade
+// memoizes completed rankings in a watermark-validated LRU
+// (internal/rescache) keyed by the former and invalidated by the latter.
+// Explain, ExplainStream, Investigation steps and (through them) the SQL
+// and HTTP layers all consult it: a repeat EXPLAIN over unchanged data
+// returns the identical Ranking without touching the engine. Worker count
+// is deliberately not part of the key — rankings are bitwise identical at
+// any worker count, so results are shared across parallelism settings.
+
+// defaultRankingCacheCap bounds the ranking LRU. Each entry is one TopK
+// result table (a few KB), so the default is generous for dashboard-style
+// workloads while staying far from memory pressure.
+const defaultRankingCacheCap = 128
+
+// rankingCache returns the current cache (nil-safe: a zero Client has no
+// cache and every probe misses).
+func (c *Client) rankingCache() *rescache.Cache {
+	return c.rcache.Load()
+}
+
+// SetRankingCacheCapacity replaces the ranking result cache with a fresh
+// one bounded to n entries; n <= 0 disables result caching entirely (every
+// Explain recomputes — the setting benchmarks use to measure the engine).
+// Existing cached results are dropped; counters restart from zero.
+func (c *Client) SetRankingCacheCapacity(n int) {
+	c.rcache.Store(rescache.New(n))
+}
+
+// RankingCacheStats reports the ranking cache counters: served results
+// (Hits), computed results (Misses), entries dropped because an ingest or
+// retention watermark moved under them (Invalidated), and live Entries.
+type RankingCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Invalidated uint64 `json:"invalidated"`
+	Entries     int    `json:"entries"`
+}
+
+// RankingCacheStats snapshots the ranking cache counters.
+func (c *Client) RankingCacheStats() RankingCacheStats {
+	s := c.rankingCache().Stats()
+	return RankingCacheStats{Hits: s.Hits, Misses: s.Misses, Invalidated: s.Invalidated, Entries: s.Entries}
+}
+
+// famGeneration reads the family registry generation: bumped on every
+// registry mutation, it stands in for a hash of the family definitions in
+// cache keys (two rankings may share a cached result only when computed
+// against the same registry build).
+func (c *Client) famGeneration() uint64 {
+	c.famMu.RLock()
+	defer c.famMu.RUnlock()
+	return c.famGen
+}
+
+// rankingKey renders one computation's identity. createGen/curGen are the
+// family-registry generations the computation's pinned families were
+// resolved at and the current one: an ad-hoc Explain uses the same value
+// twice, while an Investigation step keys on (session generation, current
+// generation) — its target and conditioning are pinned at session creation
+// but candidates resolve live, so a step only shares results with
+// computations seeing exactly that combination. condNames is the
+// conditioning sequence in engine order (order matters: column order
+// affects float rounding, and the cache must only ever serve bitwise
+// replays).
+func rankingKey(createGen, curGen uint64, target string, condNames []string,
+	pseudo bool, pseudoPeriod int, searchSpace []string,
+	scorer ScorerName, seed int64, topK int, from, to time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d\x1e%d\x1e%s\x1e%t\x1e%d\x1e", createGen, curGen, target, pseudo, pseudoPeriod)
+	b.WriteString(strings.Join(condNames, "\x1f"))
+	b.WriteByte('\x1e')
+	b.WriteString(strings.Join(searchSpace, "\x1f"))
+	fmt.Fprintf(&b, "\x1e%s\x1e%d\x1e%d\x1e%d\x1e%d", scorer, seed, topK, from.UnixNano(), to.UnixNano())
+	return b.String()
+}
+
+// explainOptsKey keys an ad-hoc Explain/ExplainStream call. The
+// pseudocause, when requested, is derived from the target and appended
+// after the named conditions by resolveExplain, so flag + period fully
+// determine it; an Investigation orders the pseudocause first and its name
+// lands in condNames instead — the two shapes never collide.
+func explainOptsKey(gen uint64, opts ExplainOptions) string {
+	return rankingKey(gen, gen, opts.Target, opts.Condition,
+		opts.Pseudocause, opts.PseudocausePeriod, opts.SearchSpace,
+		opts.Scorer, opts.Seed, opts.TopK, opts.ExplainFrom, opts.ExplainTo)
+}
+
+// clone returns an independent copy of the ranking, so cached snapshots and
+// the values handed to callers never alias (a caller mutating its result
+// must not poison the cache).
+func (r *Ranking) clone() *Ranking {
+	cp := &Ranking{}
+	if r.Rows != nil {
+		cp.Rows = append([]RankedFamily(nil), r.Rows...)
+	}
+	if r.Skipped != nil {
+		cp.Skipped = append([]string(nil), r.Skipped...)
+	}
+	return cp
+}
+
+// replayRanking turns a cached ranking into the stream a live computation
+// would have produced: one Row event per ranked row (in rank order — the
+// original completion order is not recorded) and the terminal Final event.
+// The channel is pre-filled and closed, so consuming it never blocks. The
+// caller passes an already-cloned ranking; row events copy per-row again so
+// every event owns its value.
+func replayRanking(r *Ranking) <-chan RankUpdate {
+	total := len(r.Rows)
+	ch := make(chan RankUpdate, total+1)
+	for i := range r.Rows {
+		row := r.Rows[i]
+		ch <- RankUpdate{Row: &row, Scored: i + 1, Total: total}
+	}
+	ch <- RankUpdate{Final: r, Scored: total, Total: total}
+	close(ch)
+	return ch
+}

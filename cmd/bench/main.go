@@ -30,7 +30,8 @@ const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL
 	"BenchmarkEndToEndExplain$|BenchmarkRidgeFitPrimal$|BenchmarkRidgeFitDual$|" +
 	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$|BenchmarkIngestWAL$|" +
 	"BenchmarkIngestWALConcurrent$|BenchmarkIngestWALConcurrentShard1$|" +
-	"BenchmarkCondPrepReuse$|BenchmarkCondPrepScratch$"
+	"BenchmarkCondPrepReuse$|BenchmarkCondPrepScratch$|" +
+	"BenchmarkRepeatExplainCacheHit$|BenchmarkConcurrentExplain$"
 
 // Measurement is one benchmark's result in a snapshot.
 type Measurement struct {
@@ -48,7 +49,13 @@ type Snapshot struct {
 	GOOS       string                 `json:"goos"`
 	GOARCH     string                 `json:"goarch"`
 	NumCPU     int                    `json:"num_cpu"`
-	Benchtime  string                 `json:"benchtime"`
+	// GOMAXPROCS is the scheduler's value when the snapshot ran — quota-
+	// capped containers often run far below NumCPU, and parallel-path
+	// numbers (engine ranking, concurrent ingest/explain) are only
+	// comparable across snapshots taken at the same effective parallelism.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Benchtime  string `json:"benchtime"`
+	Count      int    `json:"count"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 	// Baseline and Speedup are filled when -baseline is given: Speedup is
 	// baseline ns/op divided by this snapshot's ns/op (>1 means faster).
@@ -94,7 +101,9 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchtime:  *benchtime,
+		Count:      *count,
 		Benchmarks: map[string]Measurement{},
 	}
 	if snap.Label == "" {

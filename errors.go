@@ -34,6 +34,11 @@ var (
 	// (syntax error, bad time literal, or a non-EXPLAIN statement where only
 	// EXPLAIN is accepted). The wrapped error carries the position detail.
 	ErrBadSQL = errors.New("explainit: invalid SQL")
+	// ErrOverloaded: the server shed the request under admission control —
+	// the ranking queue is full, the tenant is at its concurrency budget, or
+	// the investigation-session quota is reached. Maps to HTTP 429; the
+	// request is safe to retry after backing off.
+	ErrOverloaded = errors.New("explainit: overloaded")
 )
 
 // errorCodes maps wire codes to sentinels — the single source of truth for
@@ -47,6 +52,7 @@ var errorCodes = map[string]error{
 	"investigation_closed":  ErrInvestigationClosed,
 	"step_in_progress":      ErrStepInProgress,
 	"bad_sql":               ErrBadSQL,
+	"overloaded":            ErrOverloaded,
 }
 
 // ErrorCode returns the wire code for err ("" when err wraps no sentinel).

@@ -30,11 +30,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"explainit/internal/cluster"
 	"explainit/internal/connector"
 	"explainit/internal/core"
+	"explainit/internal/rescache"
 	"explainit/internal/sqlexec"
 	ts "explainit/internal/timeseries"
 	"explainit/internal/tsdb"
@@ -49,19 +51,29 @@ type Tags map[string]string
 // families while rankings resolve candidates.
 type Client struct {
 	db       *tsdb.DB
-	famMu    sync.RWMutex // guards families and famOrder
+	famMu    sync.RWMutex // guards families, famOrder and famGen
 	families map[string]*core.Family
 	famOrder []string
-	workers  *cluster.Pool // non-nil after ConnectWorkers
+	// famGen counts registry mutations; it keys cached rankings to the
+	// registry build they were computed against (see cache.go).
+	famGen  uint64
+	rcache  atomic.Pointer[rescache.Cache]
+	workers *cluster.Pool // non-nil after ConnectWorkers
+}
+
+func newClient(db *tsdb.DB) *Client {
+	c := &Client{
+		db:       db,
+		families: make(map[string]*core.Family),
+	}
+	c.rcache.Store(rescache.New(defaultRankingCacheCap))
+	return c
 }
 
 // New creates an empty client with a purely in-memory store: a restart
 // loses all telemetry. Use Open for a durable store.
 func New() *Client {
-	return &Client{
-		db:       tsdb.New(),
-		families: make(map[string]*core.Family),
-	}
+	return newClient(tsdb.New())
 }
 
 // Open creates a client whose time series store is durably persisted
@@ -84,10 +96,7 @@ func OpenShards(dir string, shards int) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		db:       db,
-		families: make(map[string]*core.Family),
-	}, nil
+	return newClient(db), nil
 }
 
 // Flush forces WAL data into compressed chunks (no-op for an in-memory
@@ -135,6 +144,12 @@ func (c *Client) MetricNames() []string { return c.db.MetricNames() }
 // NumSeries returns the number of distinct (metric, tags) series.
 func (c *Client) NumSeries() int { return c.db.NumSeries() }
 
+// NumSamples returns the total number of stored samples.
+func (c *Client) NumSamples() int { return c.db.NumSamples() }
+
+// NumShards returns the underlying store's shard count.
+func (c *Client) NumShards() int { return c.db.NumShards() }
+
 // Bounds returns the time range covered by the stored data.
 func (c *Client) Bounds() (from, to time.Time, ok bool) {
 	min, max, ok := c.db.Bounds()
@@ -173,6 +188,7 @@ func (c *Client) BuildFamilies(groupBy string, from, to time.Time, step time.Dur
 	c.famMu.Lock()
 	c.families = make(map[string]*core.Family, len(fams))
 	c.famOrder = c.famOrder[:0]
+	c.famGen++
 	c.famMu.Unlock()
 	return c.registerFamilies(fams), nil
 }
@@ -203,6 +219,7 @@ func (c *Client) DefineFamiliesSQL(query, timeCol, keyCol string, from, to time.
 func (c *Client) registerFamilies(fams []*core.Family) []FamilyInfo {
 	c.famMu.Lock()
 	defer c.famMu.Unlock()
+	c.famGen++
 	infos := make([]FamilyInfo, 0, len(fams))
 	for _, f := range fams {
 		if _, exists := c.families[f.Name]; !exists {
@@ -467,7 +484,25 @@ func (c *Client) Explain(opts ExplainOptions) (*Ranking, error) {
 // ExplainContext is Explain with cooperative cancellation: the engine
 // checks ctx before every candidate and at every CV fold, so a cancelled
 // ranking returns ctx.Err() promptly with all of its workers reaped.
+//
+// Completed rankings are memoized: repeating a call with the same options
+// over an unchanged store (no ingest, no retention sweep, no family
+// rebuild) returns the identical Ranking without touching the engine. See
+// cache.go for the keying and invalidation rules.
 func (c *Client) ExplainContext(ctx context.Context, opts ExplainOptions) (*Ranking, error) {
+	cache := c.rankingCache()
+	var key string
+	var wm []uint64
+	if cache.Enabled() {
+		// Watermarks are snapshotted before any data is read: a write landing
+		// mid-ranking moves them past the snapshot, so the entry stored below
+		// can never outlive data it did not see.
+		key = explainOptsKey(c.famGeneration(), opts)
+		wm = c.db.Watermarks()
+		if v, ok := cache.Get(key, wm); ok {
+			return v.(*Ranking).clone(), nil
+		}
+	}
 	eng, req, err := c.resolveExplain(opts)
 	if err != nil {
 		return nil, err
@@ -476,7 +511,11 @@ func (c *Client) ExplainContext(ctx context.Context, opts ExplainOptions) (*Rank
 	if err != nil {
 		return nil, err
 	}
-	return rankingFromTable(table), nil
+	ranking := rankingFromTable(table)
+	if cache.Enabled() {
+		cache.Put(key, wm, ranking.clone())
+	}
+	return ranking, nil
 }
 
 // RankUpdate is one event on a streaming ranking channel. Progress events
@@ -502,11 +541,27 @@ type RankUpdate struct {
 // stream's Final ranking is identical to the blocking ExplainContext
 // result at any worker count.
 func (c *Client) ExplainStream(ctx context.Context, opts ExplainOptions) (<-chan RankUpdate, error) {
+	cache := c.rankingCache()
+	var key string
+	var wm []uint64
+	var onDone func(*Ranking, error)
+	if cache.Enabled() {
+		key = explainOptsKey(c.famGeneration(), opts)
+		wm = c.db.Watermarks()
+		if v, ok := cache.Get(key, wm); ok {
+			return replayRanking(v.(*Ranking).clone()), nil
+		}
+		onDone = func(r *Ranking, err error) {
+			if err == nil {
+				cache.Put(key, wm, r.clone())
+			}
+		}
+	}
 	eng, req, err := c.resolveExplain(opts)
 	if err != nil {
 		return nil, err
 	}
-	return streamRank(ctx, eng, req, nil, nil), nil
+	return streamRank(ctx, eng, req, nil, onDone), nil
 }
 
 // streamRank runs one ranking on a fresh goroutine, translating the

@@ -1,0 +1,274 @@
+package apihttp
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"explainit"
+)
+
+// Admission control. Every ranking-running endpoint (blocking explain,
+// blocking query, step jobs, async query jobs) passes the server's gate
+// before it reaches the engine: a bounded number run concurrently, a
+// bounded number wait in queue, and everything beyond that is shed with a
+// typed 429 (explainit.ErrOverloaded) instead of piling goroutines onto an
+// already-saturated worker pool. Tenants — identified by the X-Tenant
+// header — additionally have individual in-flight budgets, so one
+// dashboard refreshing aggressively cannot starve every other tenant out
+// of the queue.
+
+// TenantHeader names the request header carrying the tenant identity.
+// Requests without it share the "default" tenant budget.
+const TenantHeader = "X-Tenant"
+
+const defaultTenant = "default"
+
+// Limits configures admission control and session quotas. The zero value
+// selects the documented defaults; pass explicit values to
+// NewServerWithLimits to override (negative values are treated as the
+// default too, except SessionTTL where <= 0 disables eviction only when
+// explicitly negative).
+type Limits struct {
+	// MaxConcurrent bounds rankings running at once, across all endpoints.
+	// Default: 2 x GOMAXPROCS (the engine parallelises internally, so a
+	// small multiple keeps the pool busy without thrashing).
+	MaxConcurrent int
+	// MaxQueue bounds rankings waiting for a slot; arrivals beyond it are
+	// shed immediately with 429. Default: 4 x MaxConcurrent.
+	MaxQueue int
+	// TenantConcurrent bounds one tenant's in-flight + queued rankings.
+	// Default: MaxConcurrent (a single tenant may use the whole pool until
+	// an operator says otherwise).
+	TenantConcurrent int
+	// MaxSessions bounds open investigation sessions. Default: 64.
+	MaxSessions int
+	// SessionTTL evicts investigation sessions idle longer than this (their
+	// running jobs are cancelled), keeping a daemon's memory bounded when
+	// clients leak sessions instead of DELETEing them. Default: 30m;
+	// negative disables TTL eviction.
+	SessionTTL time.Duration
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (l Limits) withDefaults() Limits {
+	if l.MaxConcurrent <= 0 {
+		l.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if l.MaxQueue <= 0 {
+		l.MaxQueue = 4 * l.MaxConcurrent
+	}
+	if l.TenantConcurrent <= 0 {
+		l.TenantConcurrent = l.MaxConcurrent
+	}
+	if l.MaxSessions <= 0 {
+		l.MaxSessions = 64
+	}
+	if l.SessionTTL == 0 {
+		l.SessionTTL = 30 * time.Minute
+	}
+	return l
+}
+
+// gate is the admission semaphore: a slot channel for the run budget, an
+// atomic waiter count for the queue bound, and per-tenant in-flight counts.
+type gate struct {
+	slots     chan struct{}
+	queueMax  int
+	tenantMax int
+
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	shed     atomic.Uint64
+
+	mu      sync.Mutex
+	tenants map[string]int
+}
+
+func newGate(lim Limits) *gate {
+	return &gate{
+		slots:     make(chan struct{}, lim.MaxConcurrent),
+		queueMax:  lim.MaxQueue,
+		tenantMax: lim.TenantConcurrent,
+		tenants:   make(map[string]int),
+	}
+}
+
+// acquire admits one ranking for the tenant, blocking in the bounded queue
+// while the pool is full. It returns a release closure (idempotent; must be
+// called exactly when the ranking's work is finished) or an error: a
+// wrapped ErrOverloaded when the tenant budget or the queue is exhausted,
+// ctx.Err() when the caller gave up while queued.
+func (g *gate) acquire(ctx context.Context, tenant string) (func(), error) {
+	// Tenant budget first: a tenant at its budget is shed immediately and
+	// never occupies queue capacity others could use.
+	g.mu.Lock()
+	if g.tenants[tenant] >= g.tenantMax {
+		g.mu.Unlock()
+		g.shed.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q is at its concurrency budget (%d)",
+			explainit.ErrOverloaded, tenant, g.tenantMax)
+	}
+	g.tenants[tenant]++
+	g.mu.Unlock()
+	releaseTenant := func() {
+		g.mu.Lock()
+		if g.tenants[tenant]--; g.tenants[tenant] <= 0 {
+			delete(g.tenants, tenant)
+		}
+		g.mu.Unlock()
+	}
+
+	select {
+	case g.slots <- struct{}{}:
+	default:
+		if int(g.queued.Add(1)) > g.queueMax {
+			g.queued.Add(-1)
+			releaseTenant()
+			g.shed.Add(1)
+			return nil, fmt.Errorf("%w: %d rankings in flight and the queue of %d is full",
+				explainit.ErrOverloaded, cap(g.slots), g.queueMax)
+		}
+		select {
+		case g.slots <- struct{}{}:
+			g.queued.Add(-1)
+		case <-ctx.Done():
+			g.queued.Add(-1)
+			releaseTenant()
+			return nil, ctx.Err()
+		}
+	}
+	g.inFlight.Add(1)
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-g.slots
+			g.inFlight.Add(-1)
+			releaseTenant()
+		})
+	}, nil
+}
+
+// tenantOf extracts the request's tenant identity.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return defaultTenant
+}
+
+// admit runs the gate for one request and writes the 429/499 envelope on
+// failure. Callers must invoke the returned release exactly once when ok.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	release, err := s.gate.acquire(r.Context(), tenantOf(r))
+	if err != nil {
+		writeError(w, err)
+		return nil, false
+	}
+	return release, true
+}
+
+// --- saturation / cache observability ---
+
+// statsPayload is the expvar-style counter snapshot served at /api/stats
+// (and /api/v1/stats): store size, session/job table size, admission gate
+// saturation, and ranking-cache effectiveness.
+type statsPayload struct {
+	Families       int `json:"families"`
+	Series         int `json:"series"`
+	Samples        int `json:"samples"`
+	Shards         int `json:"shards"`
+	Investigations int `json:"investigations"`
+	Jobs           int `json:"jobs"`
+
+	RankingsInFlight int64  `json:"rankings_in_flight"`
+	QueueDepth       int64  `json:"queue_depth"`
+	ShedTotal        uint64 `json:"shed_total"`
+
+	Cache explainit.RankingCacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	s.mu.Lock()
+	invs, jobs := len(s.invs), len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsPayload{
+		Families:         len(s.client.Families()),
+		Series:           s.client.NumSeries(),
+		Samples:          s.client.NumSamples(),
+		Shards:           s.client.NumShards(),
+		Investigations:   invs,
+		Jobs:             jobs,
+		RankingsInFlight: s.gate.inFlight.Load(),
+		QueueDepth:       s.gate.queued.Load(),
+		ShedTotal:        s.gate.shed.Load(),
+		Cache:            s.client.RankingCacheStats(),
+	})
+}
+
+// --- session quota + TTL eviction ---
+
+// session wraps one investigation with its idle clock; lastUsed is guarded
+// by the server mutex.
+type session struct {
+	inv      *explainit.Investigation
+	lastUsed time.Time
+}
+
+// janitor evicts idle sessions until the server closes. The sweep interval
+// is a quarter of the TTL, clamped to [50ms, 1m] so short test TTLs evict
+// promptly and long production TTLs don't wake a daemon every tick.
+func (s *Server) janitor(ttl time.Duration) {
+	interval := ttl / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.evictIdleSessions(ttl)
+		}
+	}
+}
+
+// evictIdleSessions closes and forgets sessions idle longer than ttl,
+// cancelling their jobs — the same teardown as DELETE
+// /api/v1/investigations/{id}.
+func (s *Server) evictIdleSessions(ttl time.Duration) {
+	cutoff := time.Now().Add(-ttl)
+	var evict []*explainit.Investigation
+	s.mu.Lock()
+	for id, sess := range s.invs {
+		if sess.lastUsed.After(cutoff) {
+			continue
+		}
+		delete(s.invs, id)
+		for jid, j := range s.jobs {
+			if j.invID == id {
+				j.cancel()
+				delete(s.jobs, jid)
+			}
+		}
+		evict = append(evict, sess.inv)
+	}
+	s.mu.Unlock()
+	for _, inv := range evict {
+		_ = inv.Close()
+	}
+}

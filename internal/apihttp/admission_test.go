@@ -1,0 +1,320 @@
+package apihttp
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"explainit"
+)
+
+// seedServerWithLimits is seedServer with explicit admission limits.
+func seedServerWithLimits(t *testing.T, lim Limits) (*Server, *explainit.Client) {
+	t.Helper()
+	c := explainit.New()
+	for i := 0; i < 240; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		fault := 0.0
+		if i%120 >= 80 && i%120 < 110 {
+			fault = 4
+		}
+		c.Put("cause", nil, at, fault+float64(i%13)*0.01)
+		c.Put("target", nil, at, 10+3*fault+float64(i%7)*0.01)
+	}
+	from, to, _ := c.Bounds()
+	if _, err := c.BuildFamilies("name", from, to, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWithLimits(c, lim)
+	t.Cleanup(func() { srv.Close() })
+	return srv, c
+}
+
+// TestSessionQuota429 is the error-path test for the investigation quota:
+// the request past MaxSessions gets the typed overloaded envelope and a
+// 429, and DELETE frees the quota again.
+func TestSessionQuota429(t *testing.T) {
+	srv, _ := seedServerWithLimits(t, Limits{MaxSessions: 2, SessionTTL: -1})
+
+	create := func() *investigationPayload {
+		w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations",
+			createInvestigationRequest{Target: "target", Seed: 1})
+		if w.Code != http.StatusCreated {
+			t.Fatalf("create: %d %s", w.Code, w.Body.String())
+		}
+		var inv investigationPayload
+		decodeBody(t, w, &inv)
+		return &inv
+	}
+	first := create()
+	create()
+
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations",
+		createInvestigationRequest{Target: "target", Seed: 1})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota create: %d %s", w.Code, w.Body.String())
+	}
+	env := envelopeOf(t, w)
+	if !errors.Is(env, explainit.ErrOverloaded) {
+		t.Fatalf("envelope %+v is not ErrOverloaded", env)
+	}
+
+	// Freeing a session frees the quota.
+	if w := doJSON(t, srv, http.MethodDelete, "/api/v1/investigations/"+first.ID, nil); w.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", w.Code, w.Body.String())
+	}
+	create()
+}
+
+// TestSessionTTLEviction: an idle session disappears (404) after its TTL,
+// while a touched one survives.
+func TestSessionTTLEviction(t *testing.T) {
+	srv, _ := seedServerWithLimits(t, Limits{SessionTTL: 120 * time.Millisecond})
+
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations",
+		createInvestigationRequest{Target: "target", Seed: 1})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", w.Code, w.Body.String())
+	}
+	var inv investigationPayload
+	decodeBody(t, w, &inv)
+
+	// Touch it for a while: it must survive well past one TTL.
+	for i := 0; i < 4; i++ {
+		time.Sleep(60 * time.Millisecond)
+		if w := doJSON(t, srv, http.MethodGet, "/api/v1/investigations/"+inv.ID, nil); w.Code != http.StatusOK {
+			t.Fatalf("touched session evicted early: %d %s", w.Code, w.Body.String())
+		}
+	}
+
+	// Go idle: the janitor must evict it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(60 * time.Millisecond)
+		srv.mu.Lock()
+		n := len(srv.invs)
+		srv.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session never evicted (%d left)", n)
+		}
+	}
+	if w := doJSON(t, srv, http.MethodGet, "/api/v1/investigations/"+inv.ID, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("evicted session GET: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// TestGateTenantBudget drives the gate directly: a tenant at its budget is
+// shed with ErrOverloaded without consuming queue capacity, and release
+// restores the budget.
+func TestGateTenantBudget(t *testing.T) {
+	g := newGate(Limits{MaxConcurrent: 4, MaxQueue: 4, TenantConcurrent: 2}.withDefaults())
+	ctx := context.Background()
+
+	r1, err := g.acquire(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.acquire(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.acquire(ctx, "a"); !errors.Is(err, explainit.ErrOverloaded) {
+		t.Fatalf("third acquire for tenant a: %v", err)
+	}
+	// Another tenant is unaffected.
+	rb, err := g.acquire(ctx, "b")
+	if err != nil {
+		t.Fatalf("tenant b blocked by tenant a's budget: %v", err)
+	}
+	rb()
+	r1()
+	r1() // idempotent
+	if r3, err := g.acquire(ctx, "a"); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	} else {
+		r3()
+	}
+	r2()
+	if got := g.inFlight.Load(); got != 0 {
+		t.Fatalf("inFlight %d after all releases", got)
+	}
+}
+
+// TestGateQueueShed: with the pool full, waiters queue up to MaxQueue and
+// the next arrival is shed; a queued waiter can abort via its context.
+func TestGateQueueShed(t *testing.T) {
+	g := newGate(Limits{MaxConcurrent: 1, MaxQueue: 1, TenantConcurrent: 16}.withDefaults())
+	ctx := context.Background()
+
+	hold, err := g.acquire(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue.
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	waiterErr := make(chan error, 1)
+	go func() {
+		rel, err := g.acquire(qctx, "b")
+		if err == nil {
+			rel()
+		}
+		waiterErr <- err
+	}()
+	// Wait for the waiter to be queued.
+	for i := 0; g.queued.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue is now full: the next arrival is shed.
+	shedBefore := g.shed.Load()
+	if _, err := g.acquire(ctx, "c"); !errors.Is(err, explainit.ErrOverloaded) {
+		t.Fatalf("acquire with full queue: %v", err)
+	}
+	if g.shed.Load() != shedBefore+1 {
+		t.Fatalf("shed counter %d, want %d", g.shed.Load(), shedBefore+1)
+	}
+
+	// The queued waiter aborts on cancellation.
+	qcancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	hold()
+	if got := g.queued.Load(); got != 0 {
+		t.Fatalf("queued %d after drain", got)
+	}
+}
+
+// TestExplainShed429 exercises the HTTP path end to end: with the default
+// tenant at its budget, POST /api/v1/explain sheds with the typed 429.
+func TestExplainShed429(t *testing.T) {
+	srv, _ := seedServerWithLimits(t, Limits{MaxConcurrent: 8, TenantConcurrent: 1, SessionTTL: -1})
+
+	release, err := srv.gate.acquire(context.Background(), defaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/explain",
+		explainRequest{Target: "target", Seed: 1})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("explain at budget: %d %s", w.Code, w.Body.String())
+	}
+	if env := envelopeOf(t, w); !errors.Is(env, explainit.ErrOverloaded) {
+		t.Fatalf("envelope %+v is not ErrOverloaded", env)
+	}
+
+	// A different tenant still gets through.
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/explain",
+		strings.NewReader(`{"target":"target","seed":1}`))
+	req.Header.Set(TenantHeader, "other")
+	w2 := httptest.NewRecorder()
+	srv.ServeHTTP(w2, req)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("other tenant: %d %s", w2.Code, w2.Body.String())
+	}
+
+	// After release the default tenant is admitted again.
+	release()
+	w3 := doJSON(t, srv, http.MethodPost, "/api/v1/explain",
+		explainRequest{Target: "target", Seed: 1})
+	if w3.Code != http.StatusOK {
+		t.Fatalf("explain after release: %d %s", w3.Code, w3.Body.String())
+	}
+}
+
+// TestStatsEndpoint: /api/stats (and the versioned alias) reports store
+// size, gate saturation, and cache counters.
+func TestStatsEndpoint(t *testing.T) {
+	srv, c := seedServerWithLimits(t, Limits{SessionTTL: -1})
+
+	// One cached explain miss+hit so the cache counters move.
+	if w := doJSON(t, srv, http.MethodPost, "/api/v1/explain", explainRequest{Target: "target", Seed: 1}); w.Code != http.StatusOK {
+		t.Fatalf("explain: %d %s", w.Code, w.Body.String())
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/api/v1/explain", explainRequest{Target: "target", Seed: 1}); w.Code != http.StatusOK {
+		t.Fatalf("explain: %d %s", w.Code, w.Body.String())
+	}
+
+	for _, path := range []string{"/api/stats", "/api/v1/stats"} {
+		w := doJSON(t, srv, http.MethodGet, path, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, w.Code, w.Body.String())
+		}
+		var st statsPayload
+		decodeBody(t, w, &st)
+		if st.Series != c.NumSeries() || st.Samples != c.NumSamples() || st.Shards != c.NumShards() {
+			t.Fatalf("%s store stats %+v", path, st)
+		}
+		if st.Families != 2 {
+			t.Fatalf("%s families %d", path, st.Families)
+		}
+		if st.Cache.Hits < 1 || st.Cache.Misses < 1 || st.Cache.Entries < 1 {
+			t.Fatalf("%s cache counters did not move: %+v", path, st.Cache)
+		}
+		if st.RankingsInFlight != 0 || st.QueueDepth != 0 {
+			t.Fatalf("%s gate not idle: %+v", path, st)
+		}
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/api/stats", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats: %d", w.Code)
+	}
+}
+
+// TestStepJobHoldsSlot: a step job occupies its admission slot until the
+// stream drains, then frees it.
+func TestStepJobHoldsSlot(t *testing.T) {
+	srv, _ := seedServerWithLimits(t, Limits{MaxConcurrent: 2, SessionTTL: -1})
+
+	w := doJSON(t, srv, http.MethodPost, "/api/v1/investigations",
+		createInvestigationRequest{Target: "target", Seed: 1})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", w.Code, w.Body.String())
+	}
+	var inv investigationPayload
+	decodeBody(t, w, &inv)
+
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/investigations/"+inv.ID+"/step", nil)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("step: %d %s", w.Code, w.Body.String())
+	}
+	var j jobPayload
+	decodeBody(t, w, &j)
+
+	// Poll until the job finishes; the slot must be freed shortly after.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w := doJSON(t, srv, http.MethodGet, "/api/v1/jobs/"+j.ID, nil)
+		var cur jobPayload
+		decodeBody(t, w, &cur)
+		if cur.Status == JobDone {
+			break
+		}
+		if cur.Status == JobFailed || cur.Status == JobCancelled {
+			t.Fatalf("job %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; srv.gate.inFlight.Load() != 0; i++ {
+		if i > 1000 {
+			t.Fatalf("slot still held after job done: inFlight=%d", srv.gate.inFlight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

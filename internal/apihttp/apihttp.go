@@ -24,28 +24,42 @@ import (
 	"explainit"
 )
 
-// Server routes /api/v1. Create with NewServer, mount anywhere (it serves
-// only its own prefix), and Close it on shutdown to reap running jobs.
+// Server routes /api/v1. Create with NewServer (or NewServerWithLimits for
+// explicit admission limits), mount anywhere (it serves only its own
+// prefix), and Close it on shutdown to reap running jobs and the session
+// janitor.
 type Server struct {
 	client *explainit.Client
 	mux    *http.ServeMux
+	limits Limits
+	gate   *gate
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	mu      sync.Mutex
-	invs    map[string]*explainit.Investigation
+	invs    map[string]*session
 	jobs    map[string]*job
 	nextInv int
 	nextJob int
 }
 
-// NewServer builds the /api/v1 handler over a facade client.
+// NewServer builds the /api/v1 handler over a facade client with default
+// admission limits.
 func NewServer(c *explainit.Client) *Server {
+	return NewServerWithLimits(c, Limits{})
+}
+
+// NewServerWithLimits is NewServer with explicit admission-control and
+// session-quota limits (zero fields select the defaults; see Limits).
+func NewServerWithLimits(c *explainit.Client, lim Limits) *Server {
+	lim = lim.withDefaults()
 	s := &Server{
 		client: c,
 		mux:    http.NewServeMux(),
-		invs:   make(map[string]*explainit.Investigation),
+		limits: lim,
+		gate:   newGate(lim),
+		invs:   make(map[string]*session),
 		jobs:   make(map[string]*job),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -62,7 +76,12 @@ func NewServer(c *explainit.Client) *Server {
 	s.mux.HandleFunc("/api/v1/investigations/{id}/step", s.handleStep)
 	s.mux.HandleFunc("/api/v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("/api/v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/v1/", s.handleUnknown)
+	if lim.SessionTTL > 0 {
+		go s.janitor(lim.SessionTTL)
+	}
 	return s
 }
 
@@ -105,6 +124,8 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, explainit.ErrStepInProgress),
 		errors.Is(err, explainit.ErrInvestigationClosed):
 		status = http.StatusConflict
+	case errors.Is(err, explainit.ErrOverloaded):
+		status = http.StatusTooManyRequests
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// 499 is nginx's "client closed request"; stdlib has no constant.
 		status, code = 499, "cancelled"
@@ -296,6 +317,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ranking, err := s.client.ExplainContext(r.Context(), explainit.ExplainOptions{
 		Target:      req.Target,
 		Condition:   req.Condition,
@@ -380,9 +406,16 @@ func (s *Server) handleInvestigations(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.mu.Lock()
+		if len(s.invs) >= s.limits.MaxSessions {
+			s.mu.Unlock()
+			_ = inv.Close()
+			writeError(w, fmt.Errorf("%w: session quota of %d investigations reached (DELETE idle sessions or raise Limits.MaxSessions)",
+				explainit.ErrOverloaded, s.limits.MaxSessions))
+			return
+		}
 		s.nextInv++
 		id := "inv-" + strconv.Itoa(s.nextInv)
-		s.invs[id] = inv
+		s.invs[id] = &session{inv: inv, lastUsed: time.Now()}
 		s.mu.Unlock()
 		writeJSON(w, http.StatusCreated, investigationInfo(id, inv))
 	case http.MethodGet:
@@ -393,7 +426,7 @@ func (s *Server) handleInvestigations(w http.ResponseWriter, r *http.Request) {
 		}
 		invs := make(map[string]*explainit.Investigation, len(ids))
 		for _, id := range ids {
-			invs[id] = s.invs[id]
+			invs[id] = s.invs[id].inv
 		}
 		s.mu.Unlock()
 		out := make([]investigationPayload, 0, len(ids))
@@ -409,12 +442,15 @@ func (s *Server) handleInvestigations(w http.ResponseWriter, r *http.Request) {
 func (s *Server) investigation(r *http.Request) (string, *explainit.Investigation, error) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	inv, ok := s.invs[id]
+	sess, ok := s.invs[id]
+	if ok {
+		sess.lastUsed = time.Now() // any touch resets the idle-eviction clock
+	}
 	s.mu.Unlock()
 	if !ok {
 		return id, nil, fmt.Errorf("%w %q", explainit.ErrUnknownInvestigation, id)
 	}
-	return id, inv, nil
+	return id, sess.inv, nil
 }
 
 func (s *Server) handleInvestigation(w http.ResponseWriter, r *http.Request) {

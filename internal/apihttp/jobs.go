@@ -90,6 +90,12 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// The job occupies its admission slot from launch until the ranking
+	// stream drains, not just for the lifetime of this request.
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	// The stream is created synchronously so session-state errors
 	// (ErrStepInProgress, ErrInvestigationClosed, unknown search-space
@@ -97,10 +103,11 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	ch, err := inv.ExplainStream(ctx)
 	if err != nil {
 		cancel()
+		release()
 		writeError(w, err)
 		return
 	}
-	j := s.launchJob(invID, cancel, ch)
+	j := s.launchJob(invID, cancel, release, ch)
 	j.mu.Lock()
 	payload := j.payloadLocked()
 	j.mu.Unlock()
@@ -109,8 +116,9 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 
 // launchJob registers a job over a facade ranking stream and starts the
 // goroutine that folds stream events into the job's pollable state. invID
-// is "" for sessionless jobs (async SQL queries).
-func (s *Server) launchJob(invID string, cancel context.CancelFunc, ch <-chan explainit.RankUpdate) *job {
+// is "" for sessionless jobs (async SQL queries); release (nil-safe) is the
+// job's admission slot, freed when the stream drains.
+func (s *Server) launchJob(invID string, cancel context.CancelFunc, release func(), ch <-chan explainit.RankUpdate) *job {
 	s.mu.Lock()
 	s.nextJob++
 	j := &job{
@@ -124,7 +132,12 @@ func (s *Server) launchJob(invID string, cancel context.CancelFunc, ch <-chan ex
 	s.mu.Unlock()
 
 	go func() {
-		defer cancel()
+		defer func() {
+			cancel()
+			if release != nil {
+				release()
+			}
+		}()
 		for u := range ch {
 			j.mu.Lock()
 			j.scored, j.total = u.Scored, u.Total

@@ -43,9 +43,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
-		s.handleQueryAsync(w, req.SQL)
+		s.handleQueryAsync(w, r, req.SQL)
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	res, err := s.client.Query(r.Context(), req.SQL)
 	if err != nil {
 		writeError(w, err)
@@ -73,15 +78,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // id immediately. The stream is created synchronously so parse/plan errors
 // (bad_sql, unknown family) surface on the query request itself, not
 // inside the job.
-func (s *Server) handleQueryAsync(w http.ResponseWriter, sql string) {
+func (s *Server) handleQueryAsync(w http.ResponseWriter, r *http.Request, sql string) {
+	// As with steps, the admission slot is held until the stream drains.
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	ch, err := s.client.QueryStream(ctx, sql)
 	if err != nil {
 		cancel()
+		release()
 		writeError(w, err)
 		return
 	}
-	j := s.launchJob("", cancel, ch)
+	j := s.launchJob("", cancel, release, ch)
 	j.mu.Lock()
 	payload := j.payloadLocked()
 	j.mu.Unlock()

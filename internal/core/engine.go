@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"explainit/internal/ctxpoll"
 	"explainit/internal/linalg"
 	"explainit/internal/regress"
 	"explainit/internal/stats"
@@ -421,12 +422,17 @@ func (e *Engine) RankPrepared(ctx context.Context, req Request, cond *CondState,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker hoists the Done channel once; per-job checks are
+			// then a channel poll (free for uncancellable contexts) instead
+			// of ctx.Err()'s lock, which the workers would otherwise contend
+			// on twice per candidate.
+			poll := ctxpoll.New(ctx, 1)
 			for j := range jobs {
-				if ctx.Err() != nil {
+				if poll.Cancelled() {
 					return // cancelled: drop remaining jobs, exit promptly
 				}
 				res := e.scoreOne(ctx, effective, j.fam, req.Target, zMat, prep, explainRows)
-				if ctx.Err() != nil {
+				if poll.Cancelled() {
 					return // res may carry ctx.Err(); never record or emit it
 				}
 				results[j.idx] = res

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"explainit/internal/ctxpoll"
 	"explainit/internal/linalg"
 	"explainit/internal/regress"
 	"explainit/internal/stats"
@@ -190,9 +191,12 @@ func (s *L2Scorer) score(ctx context.Context, x, y, z *linalg.Matrix, prep *cond
 	if s.ProjectDim > 0 && s.ProjectionSamples > 1 && x.Cols > s.ProjectDim {
 		samples = s.ProjectionSamples
 	}
+	// Hoisted Done read: a Background context makes the per-draw check free,
+	// a cancellable one costs a channel poll instead of the context's lock.
+	poll := ctxpoll.New(ctx, 1)
 	var total float64
 	for i := 0; i < samples; i++ {
-		if err := ctx.Err(); err != nil {
+		if err := poll.Check(); err != nil {
 			return 0, err
 		}
 		px, py, pz := x, y, z

@@ -1,0 +1,79 @@
+package ctxpoll
+
+import (
+	"context"
+	"testing"
+)
+
+func TestZeroValueNeverCancels(t *testing.T) {
+	var p Poll
+	for i := 0; i < 3; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("zero-value Check = %v", err)
+		}
+	}
+	if p.Cancelled() {
+		t.Fatal("zero-value Cancelled = true")
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("zero-value Err = %v", err)
+	}
+}
+
+func TestBackgroundIsFree(t *testing.T) {
+	p := New(context.Background(), 8)
+	if p.done != nil {
+		t.Fatal("Background context should hoist a nil Done channel")
+	}
+	if err := p.Check(); err != nil {
+		t.Fatalf("Check = %v", err)
+	}
+}
+
+func TestPreCancelledFiresOnFirstCheck(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Even with a wide stride, the FIRST Check must poll: a pre-cancelled
+	// context aborts a loop before any work (the CV tests rely on this).
+	p := New(ctx, 1024)
+	if err := p.Check(); err != context.Canceled {
+		t.Fatalf("first Check = %v, want context.Canceled", err)
+	}
+}
+
+func TestStrideAmortizesThenDetects(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(ctx, 4)
+	if err := p.Check(); err != nil { // first call polls
+		t.Fatalf("Check = %v", err)
+	}
+	cancel()
+	// Calls 2..4 are within the stride window and skip the poll.
+	for i := 0; i < 3; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("strided Check %d = %v, want nil (amortized)", i, err)
+		}
+	}
+	// Call 5 polls again and must see the cancellation.
+	if err := p.Check(); err != context.Canceled {
+		t.Fatalf("post-stride Check = %v, want context.Canceled", err)
+	}
+	if !p.Cancelled() {
+		t.Fatal("Cancelled = false after cancel")
+	}
+	if err := p.Err(); err != context.Canceled {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestCancelledIgnoresStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(ctx, 1000)
+	if p.Cancelled() {
+		t.Fatal("Cancelled before cancel")
+	}
+	cancel()
+	if !p.Cancelled() {
+		t.Fatal("Cancelled must detect promptly, independent of stride state")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"explainit/internal/ctxpoll"
 	"explainit/internal/linalg"
 	"explainit/internal/stats"
 )
@@ -205,9 +206,12 @@ func CrossValidateRidge(x, y *linalg.Matrix, grid []float64, folds []FoldRange) 
 }
 
 // CrossValidateRidgeCtx is CrossValidateRidge with cooperative cancellation:
-// the context is checked once per fold (the unit of non-trivial work — one
+// the context is polled once per fold (the unit of non-trivial work — one
 // Gram + λ sweep), so a cancelled ranking abandons a candidate within one
-// fold's worth of compute. A cancelled run returns ctx.Err().
+// fold's worth of compute. A cancelled run returns ctx.Err(), including for
+// a context cancelled before the first fold. The Done channel is hoisted
+// out of the fold loop (ctxpoll), so an uncancellable context costs nothing
+// per fold and a cancellable one costs a lock-free channel poll.
 func CrossValidateRidgeCtx(ctx context.Context, x, y *linalg.Matrix, grid []float64, folds []FoldRange) (CVResult, error) {
 	if len(grid) == 0 {
 		return CVResult{}, fmt.Errorf("regress: empty lambda grid")
@@ -218,10 +222,11 @@ func CrossValidateRidgeCtx(ctx context.Context, x, y *linalg.Matrix, grid []floa
 	if x.Rows != y.Rows {
 		return CVResult{}, fmt.Errorf("regress: x has %d rows, y has %d", x.Rows, y.Rows)
 	}
+	poll := ctxpoll.New(ctx, 1)
 	totals := make([]float64, len(grid))
 	used := make([]int, len(grid))
 	for _, f := range folds {
-		if err := ctx.Err(); err != nil {
+		if err := poll.Check(); err != nil {
 			return CVResult{}, err
 		}
 		if f.From < 0 || f.To > x.Rows || f.From >= f.To {
@@ -300,7 +305,11 @@ func CrossValidatedScoreCtx(ctx context.Context, x, y *linalg.Matrix, grid []flo
 	if len(grid) == 0 {
 		grid = DefaultLambdaGrid
 	}
-	if err := ctx.Err(); err != nil {
+	// One hoisted poll instead of ctx.Err(): the pre-fold check inside
+	// CrossValidateRidgeCtx covers the common path; this entry check keeps
+	// the too-few-rows fallback (which never reaches the fold loop) prompt.
+	entry := ctxpoll.New(ctx, 1)
+	if err := entry.Check(); err != nil {
 		return 0, err
 	}
 	folds, err := TimeSeriesFoldRanges(x.Rows, k)

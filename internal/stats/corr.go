@@ -64,20 +64,21 @@ func Pearson(x, y []float64) float64 {
 // CorrelationMatrix returns the |X.Cols| x |Y.Cols| matrix of pairwise
 // Pearson correlations between the columns of X and the columns of Y.
 func CorrelationMatrix(x, y *linalg.Matrix) *linalg.Matrix {
-	// Standardise copies of both matrices; then correlation is the scaled
-	// inner product of columns.
-	xs := x.Clone()
-	ys := y.Clone()
-	xMeans := xs.ColMeans()
-	yMeans := ys.ColMeans()
-	xs.CenterColumns(xMeans)
-	ys.CenterColumns(yMeans)
-	xNorms := columnNorms(xs)
-	yNorms := columnNorms(ys)
-	prod, err := xs.MulT(ys) // (p_x x p_y)
-	if err != nil {
+	if x.Rows != y.Rows {
 		// Mismatched row counts: return an empty matrix rather than panic;
 		// callers validate shapes upstream.
+		return linalg.NewMatrix(0, 0)
+	}
+	// Center copies of both matrices and take column norms in one fused
+	// write pass each (centeredWithNorms); then correlation is the scaled
+	// inner product of columns. Accumulation order matches the unfused
+	// clone/center/norm sequence term for term, so results are bitwise
+	// identical — this only removes the redundant clone-copy and the extra
+	// norm pass over each matrix.
+	xs, xNorms := centeredWithNorms(x)
+	ys, yNorms := centeredWithNorms(y)
+	prod, err := xs.MulT(ys) // (p_x x p_y)
+	if err != nil {
 		return linalg.NewMatrix(0, 0)
 	}
 	for i := 0; i < prod.Rows; i++ {
@@ -93,17 +94,39 @@ func CorrelationMatrix(x, y *linalg.Matrix) *linalg.Matrix {
 	return prod
 }
 
-func columnNorms(m *linalg.Matrix) []float64 {
+// centeredWithNorms returns a column-centered copy of m and the Euclidean
+// norm of each centered column, computed in the same row-major accumulation
+// order as Clone + ColMeans + CenterColumns + a norm pass would — one
+// allocation and two passes instead of four.
+func centeredWithNorms(m *linalg.Matrix) (*linalg.Matrix, []float64) {
+	out := linalg.NewMatrix(m.Rows, m.Cols)
+	means := make([]float64, m.Cols)
 	norms := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return out, norms
+	}
 	for i := 0; i < m.Rows; i++ {
 		for j, v := range m.Row(i) {
-			norms[j] += v * v
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, v := range src {
+			c := v - means[j]
+			dst[j] = c
+			norms[j] += c * c
 		}
 	}
 	for j := range norms {
 		norms[j] = math.Sqrt(norms[j])
 	}
-	return norms
+	return out, norms
 }
 
 // AbsMeanMax returns the mean and the max of absolute values over all

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"explainit/internal/storage"
@@ -56,6 +57,14 @@ type shard struct {
 	byName map[string]map[string]struct{}
 	byTag  map[string]map[string]struct{} // key "k=v"
 	sorted bool
+
+	// seq is the shard's ingest watermark: a monotonic sequence bumped once
+	// per applied mutation batch (Put, putBatch partition, retention sweep
+	// that pruned something). Result caches snapshot it to detect whether
+	// any data under them changed. Bumps happen inside the mu critical
+	// section that applies the mutation, so an observer that sees the bump
+	// is guaranteed to also see the data once it takes the read lock.
+	seq atomic.Uint64
 
 	store *storage.Store // immutable after Open; nil in memory-only mode
 }
@@ -212,6 +221,7 @@ func (db *DB) Put(name string, tags ts.Tags, at time.Time, value float64) {
 	}
 	sh.mu.Lock()
 	sh.putLocked(id, name, tags, at, value)
+	sh.seq.Add(1)
 	sh.mu.Unlock()
 	if sh.store != nil {
 		sh.wmu.Unlock()
@@ -307,6 +317,7 @@ func (sh *shard) putBatch(recs []Record, ids []byte, ends []int) error {
 		}
 		sh.putLocked(id, r.Metric, tags, r.TS, r.Value)
 	}
+	sh.seq.Add(1)
 	sh.mu.Unlock()
 	if ib != nil {
 		idPool.Put(ib)
@@ -365,6 +376,21 @@ func (sh *shard) sortLocked() {
 		s.Sort()
 	}
 	sh.sorted = true
+}
+
+// Watermarks snapshots every shard's ingest watermark, index-aligned with
+// the shard layout. Two equal snapshots bracket a window in which no shard
+// applied a mutation (no Put/PutBatch partition, no pruning Retain), so any
+// result computed strictly inside the window is still valid — the
+// invalidation signal for the ranking result cache. The snapshot is not
+// atomic across shards; a concurrent writer makes the snapshots differ,
+// which errs on the side of invalidation, never staleness.
+func (db *DB) Watermarks() []uint64 {
+	wm := make([]uint64, len(db.shards))
+	for i, sh := range db.shards {
+		wm[i] = sh.seq.Load()
+	}
+	return wm
 }
 
 // NumSeries returns the number of distinct series.
@@ -507,6 +533,9 @@ func (sh *shard) retain(r ts.TimeRange) (int, error) {
 			continue
 		}
 		s.Samples = append([]ts.Sample(nil), kept...)
+	}
+	if removed > 0 {
+		sh.seq.Add(1)
 	}
 	sh.mu.Unlock()
 	if sh.store != nil {

@@ -1,0 +1,67 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	ts "explainit/internal/timeseries"
+)
+
+func wmSum(wm []uint64) uint64 {
+	var s uint64
+	for _, v := range wm {
+		s += v
+	}
+	return s
+}
+
+func TestWatermarksAdvanceOnWrites(t *testing.T) {
+	db := NewWithShards(4)
+	w0 := db.Watermarks()
+	if len(w0) != 4 || wmSum(w0) != 0 {
+		t.Fatalf("fresh watermarks = %v", w0)
+	}
+
+	at := time.Unix(1000, 0).UTC()
+	db.Put("m", ts.Tags{"h": "a"}, at, 1)
+	w1 := db.Watermarks()
+	if wmSum(w1) != 1 {
+		t.Fatalf("after Put: %v", w1)
+	}
+
+	// A batch bumps each touched shard once, not once per record.
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = Record{Metric: "m", Tags: map[string]string{"h": string(rune('a' + i))}, TS: at, Value: float64(i)}
+	}
+	if err := db.PutBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	w2 := db.Watermarks()
+	if wmSum(w2) <= wmSum(w1) || wmSum(w2) > wmSum(w1)+4 {
+		t.Fatalf("after PutBatch: %v (was %v)", w2, w1)
+	}
+
+	// Reads never move watermarks.
+	if _, err := db.Run(Query{Metric: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Watermarks(); wmSum(got) != wmSum(w2) {
+		t.Fatalf("watermarks moved on read: %v vs %v", got, w2)
+	}
+
+	// A pruning Retain bumps; a no-op Retain does not.
+	w3 := db.Watermarks()
+	if _, err := db.Retain(ts.TimeRange{From: at.Add(-time.Hour), To: at.Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Watermarks(); wmSum(got) != wmSum(w3) {
+		t.Fatalf("no-op Retain moved watermarks: %v vs %v", got, w3)
+	}
+	if _, err := db.Retain(ts.TimeRange{From: at.Add(time.Minute), To: at.Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Watermarks(); wmSum(got) <= wmSum(w3) {
+		t.Fatalf("pruning Retain did not move watermarks: %v vs %v", got, w3)
+	}
+}

@@ -78,6 +78,7 @@ type Investigation struct {
 	target     *core.Family
 	targetName string
 	opts       InvestigateOptions
+	gen        uint64 // family-registry generation the session pinned at
 	eng        *core.Engine
 	pseudo     *core.Family // pinned pseudocause family, when requested
 
@@ -108,6 +109,7 @@ func (c *Client) NewInvestigation(target string, opts InvestigateOptions) (*Inve
 		target:     fam,
 		targetName: target,
 		opts:       opts,
+		gen:        c.famGeneration(),
 		eng:        &core.Engine{Scorer: scorer, Workers: opts.Workers, TopK: opts.TopK},
 		condFams:   make(map[string]*core.Family),
 		states:     make(map[string]*core.CondState),
@@ -211,18 +213,32 @@ func (inv *Investigation) Close() error {
 // condSignature is the cache key of one conditioning set.
 func condSignature(names []string) string { return strings.Join(names, "\x1f") }
 
-// beginStep snapshots the session under the lock and prepares (or fetches)
-// the conditioning state for the current set. It marks the session
-// stepping; the caller must finishStep exactly once.
-func (inv *Investigation) beginStep() (core.Request, *core.CondState, string, error) {
+// stepPlan is what beginStep hands the step runners: either a cached
+// ranking to serve as-is, or the engine request plus conditioning state to
+// compute one (key/wm then locate where to store the result).
+type stepPlan struct {
+	req    core.Request
+	state  *core.CondState
+	sig    string
+	names  []string // conditioning names in engine order, for history
+	cached *Ranking // non-nil: serve without touching the engine
+	key    string   // ranking-cache slot ("" when the cache is disabled)
+	wm     []uint64
+}
+
+// beginStep snapshots the session under the lock, probes the ranking cache,
+// and on a miss prepares (or fetches) the conditioning state for the
+// current set. It marks the session stepping; the caller must finishStep
+// exactly once.
+func (inv *Investigation) beginStep() (stepPlan, error) {
 	inv.mu.Lock()
 	if inv.closed {
 		inv.mu.Unlock()
-		return core.Request{}, nil, "", ErrInvestigationClosed
+		return stepPlan{}, ErrInvestigationClosed
 	}
 	if inv.stepping {
 		inv.mu.Unlock()
-		return core.Request{}, nil, "", ErrStepInProgress
+		return stepPlan{}, ErrStepInProgress
 	}
 	inv.stepping = true
 	// The pseudocause leads the conditioning sequence so user additions
@@ -263,6 +279,26 @@ func (inv *Investigation) beginStep() (core.Request, *core.CondState, string, er
 	}
 	inv.mu.Unlock()
 
+	plan := stepPlan{sig: sig, names: condNames}
+	// Probe the ranking cache before paying for conditioning prep or
+	// candidate resolution. The key pairs the session's pinned registry
+	// generation with the current one: the session's target/conditioning
+	// resolve at pin time while candidates resolve live, so a result is
+	// shared only between computations that see exactly that combination
+	// (when the registry hasn't changed, the pair collapses to the ad-hoc
+	// Explain form and dashboards re-issuing EXPLAIN ... GIVEN across
+	// fresh one-step sessions hit it).
+	if cache := inv.client.rankingCache(); cache.Enabled() {
+		plan.key = rankingKey(inv.gen, inv.client.famGeneration(), inv.targetName, condNames,
+			inv.opts.Pseudocause, inv.opts.PseudocausePeriod, inv.opts.SearchSpace,
+			inv.opts.Scorer, inv.opts.Seed, inv.opts.TopK, inv.opts.ExplainFrom, inv.opts.ExplainTo)
+		plan.wm = inv.client.db.Watermarks()
+		if v, ok := cache.Get(plan.key, plan.wm); ok {
+			plan.cached = v.(*Ranking).clone()
+			return plan, nil
+		}
+	}
+
 	if state == nil && len(condition) > 0 {
 		var err error
 		state, err = inv.eng.PrepareConditioning(inv.target, condition, prev)
@@ -270,22 +306,23 @@ func (inv *Investigation) beginStep() (core.Request, *core.CondState, string, er
 			inv.mu.Lock()
 			inv.stepping = false
 			inv.mu.Unlock()
-			return core.Request{}, nil, "", err
+			return stepPlan{}, err
 		}
 	}
+	plan.state = state
 
 	candidates, err := inv.client.candidateFamilies(inv.opts.SearchSpace)
 	if err != nil {
 		inv.mu.Lock()
 		inv.stepping = false
 		inv.mu.Unlock()
-		return core.Request{}, nil, "", err
+		return stepPlan{}, err
 	}
-	req := core.Request{Target: inv.target, Condition: condition, Candidates: candidates}
+	plan.req = core.Request{Target: inv.target, Condition: condition, Candidates: candidates}
 	if !inv.opts.ExplainFrom.IsZero() || !inv.opts.ExplainTo.IsZero() {
-		req.ExplainRange = ts.TimeRange{From: inv.opts.ExplainFrom, To: inv.opts.ExplainTo}
+		plan.req.ExplainRange = ts.TimeRange{From: inv.opts.ExplainFrom, To: inv.opts.ExplainTo}
 	}
-	return req, state, sig, nil
+	return plan, nil
 }
 
 // finishStep stores the conditioning state for reuse and, on success,
@@ -318,32 +355,32 @@ func (inv *Investigation) finishStep(sig string, state *core.CondState, conditio
 	inv.history = append(inv.history, rec)
 }
 
-// stepCondition renders the conditioning names of a request for history.
-func stepCondition(req core.Request) []string {
-	names := make([]string, len(req.Condition))
-	for i, f := range req.Condition {
-		names[i] = f.Name
-	}
-	return names
-}
-
 // Step runs one ranking iteration under the current conditioning set —
 // Algorithm 1's inner loop as a session operation. The first step factors
 // the conditioning set from scratch; later steps whose set extends an
 // earlier one only factor the delta. A cancelled ctx returns ctx.Err()
 // promptly with every scoring worker reaped.
 func (inv *Investigation) Step(ctx context.Context) (*Ranking, error) {
-	req, state, sig, err := inv.beginStep()
+	plan, err := inv.beginStep()
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	table, err := inv.eng.RankPrepared(ctx, req, state, nil)
+	if plan.cached != nil {
+		// Served from the ranking cache: the step still lands in History
+		// (it is a step the operator took), with the replay's elapsed time.
+		inv.finishStep(plan.sig, nil, plan.names, plan.cached, time.Since(start), nil)
+		return plan.cached, nil
+	}
+	table, err := inv.eng.RankPrepared(ctx, plan.req, plan.state, nil)
 	var ranking *Ranking
 	if err == nil {
 		ranking = rankingFromTable(table)
+		if cache := inv.client.rankingCache(); plan.key != "" && cache.Enabled() {
+			cache.Put(plan.key, plan.wm, ranking.clone())
+		}
 	}
-	inv.finishStep(sig, state, stepCondition(req), ranking, time.Since(start), err)
+	inv.finishStep(plan.sig, plan.state, plan.names, ranking, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -356,13 +393,22 @@ func (inv *Investigation) Step(ctx context.Context) (*Ranking, error) {
 // buffered for the whole step, so abandoning it leaks nothing; cancel ctx
 // to stop the scoring itself.
 func (inv *Investigation) ExplainStream(ctx context.Context) (<-chan RankUpdate, error) {
-	req, state, sig, err := inv.beginStep()
+	plan, err := inv.beginStep()
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	ch := streamRank(ctx, inv.eng, req, state, func(ranking *Ranking, err error) {
-		inv.finishStep(sig, state, stepCondition(req), ranking, time.Since(start), err)
+	if plan.cached != nil {
+		inv.finishStep(plan.sig, nil, plan.names, plan.cached, time.Since(start), nil)
+		return replayRanking(plan.cached), nil
+	}
+	ch := streamRank(ctx, inv.eng, plan.req, plan.state, func(ranking *Ranking, err error) {
+		if err == nil && plan.key != "" {
+			if cache := inv.client.rankingCache(); cache.Enabled() {
+				cache.Put(plan.key, plan.wm, ranking.clone())
+			}
+		}
+		inv.finishStep(plan.sig, plan.state, plan.names, ranking, time.Since(start), err)
 	})
 	return ch, nil
 }
