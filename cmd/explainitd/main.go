@@ -18,6 +18,13 @@
 // jobs, and flushes the WALs into chunks:
 //
 //	explainitd -listen :9101 -http :9102 -data-dir /var/lib/explainit/worker-0 -shards 4
+//
+// The daemon can observe itself: -self-scrape=10s snapshots the in-process
+// metrics registry every interval and writes the explainit_* series into
+// the serving store, so "EXPLAIN explainit_request_latency_ms GIVEN
+// explainit_cache_hit_ratio" runs the engine over the engine's own
+// telemetry. -slow-query-log appends one JSON line per request slower than
+// -slow-query-threshold, each with a stage-level span breakdown.
 package main
 
 import (
@@ -34,7 +41,9 @@ import (
 
 	"explainit"
 	"explainit/internal/apihttp"
+	"explainit/internal/buildinfo"
 	"explainit/internal/cluster"
+	"explainit/internal/obs"
 )
 
 func main() {
@@ -42,7 +51,16 @@ func main() {
 	httpAddr := flag.String("http", "", "address to serve the /api/v1 investigation HTTP API on (empty = disabled)")
 	dataDir := flag.String("data-dir", "", "durable local store directory (per-shard WAL + compressed chunks)")
 	shards := flag.Int("shards", 0, "shard count for the store (0 = default; an existing -data-dir keeps its creation-time count)")
+	selfScrape := flag.Duration("self-scrape", 0, "interval to scrape the daemon's own metrics into the serving store as explainit_* series (0 = disabled)")
+	slowLogPath := flag.String("slow-query-log", "", "file to append one JSON line per slow request to (empty = disabled)")
+	slowThreshold := flag.Duration("slow-query-threshold", 500*time.Millisecond, "requests slower than this are recorded in -slow-query-log")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("explainitd %s (commit %s)\n", buildinfo.Version, buildinfo.Commit)
+		return
+	}
 
 	var client *explainit.Client
 	if *dataDir != "" {
@@ -68,11 +86,31 @@ func main() {
 	httpErr := make(chan error, 1)
 	if *httpAddr != "" {
 		api = apihttp.NewServer(client)
+		if *slowLogPath != "" {
+			f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "explainitd: opening slow-query log:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			api.SetSlowLog(obs.NewSlowLog(f, *slowThreshold))
+			fmt.Fprintf(os.Stderr, "explainitd: logging requests slower than %v to %s\n", *slowThreshold, *slowLogPath)
+		}
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: api}
 		go func() {
 			fmt.Fprintf(os.Stderr, "explainitd: serving /api/v1 on http://%s\n", *httpAddr)
 			httpErr <- httpSrv.ListenAndServe()
 		}()
+	}
+
+	stopScrape := func() {}
+	if *selfScrape > 0 {
+		if client == nil {
+			fmt.Fprintln(os.Stderr, "explainitd: -self-scrape requires a store (-data-dir or -http)")
+			os.Exit(1)
+		}
+		stopScrape = client.StartSelfScrape(*selfScrape)
+		fmt.Fprintf(os.Stderr, "explainitd: self-scraping metrics into the store every %v\n", *selfScrape)
 	}
 
 	shuttingDown := make(chan struct{})
@@ -102,6 +140,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "explainitd: serving hypothesis scoring on %s\n", l.Addr())
 	serveErr := cluster.Serve(l)
 
+	stopScrape() // last partial interval is dropped, not half-written
 	if client != nil {
 		if err := client.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "explainitd: closing store:", err)

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"explainit/internal/buildinfo"
 	"explainit/internal/tsdb"
 	"explainit/internal/tsdbhttp"
 )
@@ -39,7 +40,13 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for the store (0 = default; an existing -data-dir keeps its creation-time count)")
 	snapshot := flag.String("snapshot", "", "legacy in-memory mode: snapshot file to restore from and persist to")
 	interval := flag.Duration("snapshot-interval", time.Minute, "how often to persist the -snapshot file")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("tsdbd %s (commit %s)\n", buildinfo.Version, buildinfo.Commit)
+		return
+	}
 
 	if *dataDir != "" && *snapshot != "" {
 		fmt.Fprintln(os.Stderr, "tsdbd: -data-dir and -snapshot are mutually exclusive")

@@ -36,6 +36,7 @@ import (
 	"explainit/internal/cluster"
 	"explainit/internal/connector"
 	"explainit/internal/core"
+	"explainit/internal/obs"
 	"explainit/internal/rescache"
 	"explainit/internal/sqlexec"
 	ts "explainit/internal/timeseries"
@@ -490,6 +491,8 @@ func (c *Client) Explain(opts ExplainOptions) (*Ranking, error) {
 // rebuild) returns the identical Ranking without touching the engine. See
 // cache.go for the keying and invalidation rules.
 func (c *Client) ExplainContext(ctx context.Context, opts ExplainOptions) (*Ranking, error) {
+	start := time.Now()
+	defer noteRequest(metExplainReqs, start)
 	cache := c.rankingCache()
 	var key string
 	var wm []uint64
@@ -497,17 +500,24 @@ func (c *Client) ExplainContext(ctx context.Context, opts ExplainOptions) (*Rank
 		// Watermarks are snapshotted before any data is read: a write landing
 		// mid-ranking moves them past the snapshot, so the entry stored below
 		// can never outlive data it did not see.
+		_, endProbe := obs.StartSpan(ctx, "cache_probe")
 		key = explainOptsKey(c.famGeneration(), opts)
 		wm = c.db.Watermarks()
-		if v, ok := cache.Get(key, wm); ok {
+		v, ok := cache.Get(key, wm)
+		endProbe()
+		if ok {
 			return v.(*Ranking).clone(), nil
 		}
 	}
+	_, endPlan := obs.StartSpan(ctx, "plan")
 	eng, req, err := c.resolveExplain(opts)
+	endPlan()
 	if err != nil {
 		return nil, err
 	}
-	table, err := eng.RankCtx(ctx, req, nil)
+	rankCtx, endRank := obs.StartSpan(ctx, "rank")
+	table, err := eng.RankCtx(rankCtx, req, nil)
+	endRank()
 	if err != nil {
 		return nil, err
 	}
@@ -541,14 +551,19 @@ type RankUpdate struct {
 // stream's Final ranking is identical to the blocking ExplainContext
 // result at any worker count.
 func (c *Client) ExplainStream(ctx context.Context, opts ExplainOptions) (<-chan RankUpdate, error) {
+	start := time.Now()
 	cache := c.rankingCache()
 	var key string
 	var wm []uint64
 	var onDone func(*Ranking, error)
 	if cache.Enabled() {
+		_, endProbe := obs.StartSpan(ctx, "cache_probe")
 		key = explainOptsKey(c.famGeneration(), opts)
 		wm = c.db.Watermarks()
-		if v, ok := cache.Get(key, wm); ok {
+		v, ok := cache.Get(key, wm)
+		endProbe()
+		if ok {
+			noteRequest(metExplainStreamReqs, start)
 			return replayRanking(v.(*Ranking).clone()), nil
 		}
 		onDone = func(r *Ranking, err error) {
@@ -557,11 +572,18 @@ func (c *Client) ExplainStream(ctx context.Context, opts ExplainOptions) (<-chan
 			}
 		}
 	}
+	_, endPlan := obs.StartSpan(ctx, "plan")
 	eng, req, err := c.resolveExplain(opts)
+	endPlan()
 	if err != nil {
 		return nil, err
 	}
-	return streamRank(ctx, eng, req, nil, onDone), nil
+	return streamRank(ctx, eng, req, nil, func(r *Ranking, err error) {
+		if onDone != nil {
+			onDone(r, err)
+		}
+		noteRequest(metExplainStreamReqs, start)
+	}), nil
 }
 
 // streamRank runs one ranking on a fresh goroutine, translating the
@@ -574,7 +596,9 @@ func streamRank(ctx context.Context, eng *core.Engine, req core.Request, cond *c
 	go func() {
 		defer close(ch)
 		scored := 0
-		table, err := eng.RankPrepared(ctx, req, cond, func(res core.Result) {
+		rankCtx, endRank := obs.StartSpan(ctx, "rank")
+		defer endRank()
+		table, err := eng.RankPrepared(rankCtx, req, cond, func(res core.Result) {
 			scored++
 			if res.Err != nil {
 				ch <- RankUpdate{Scored: scored, Total: total}

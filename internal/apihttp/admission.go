@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"explainit"
+	"explainit/internal/buildinfo"
 )
 
 // Admission control. Every ranking-running endpoint (blocking explain,
@@ -52,6 +53,11 @@ type Limits struct {
 	// clients leak sessions instead of DELETEing them. Default: 30m;
 	// negative disables TTL eviction.
 	SessionTTL time.Duration
+	// SSEKeepalive is how often an idle job event stream emits a
+	// ": keepalive" comment frame so intermediaries don't reap the
+	// connection while scoring workers grind. Default: 15s; negative
+	// disables keepalives.
+	SSEKeepalive time.Duration
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -70,6 +76,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.SessionTTL == 0 {
 		l.SessionTTL = 30 * time.Minute
+	}
+	if l.SSEKeepalive == 0 {
+		l.SSEKeepalive = 15 * time.Second
 	}
 	return l
 }
@@ -110,6 +119,7 @@ func (g *gate) acquire(ctx context.Context, tenant string) (func(), error) {
 	if g.tenants[tenant] >= g.tenantMax {
 		g.mu.Unlock()
 		g.shed.Add(1)
+		metShed.Inc()
 		return nil, fmt.Errorf("%w: tenant %q is at its concurrency budget (%d)",
 			explainit.ErrOverloaded, tenant, g.tenantMax)
 	}
@@ -130,15 +140,22 @@ func (g *gate) acquire(ctx context.Context, tenant string) (func(), error) {
 			g.queued.Add(-1)
 			releaseTenant()
 			g.shed.Add(1)
+			metShed.Inc()
 			return nil, fmt.Errorf("%w: %d rankings in flight and the queue of %d is full",
 				explainit.ErrOverloaded, cap(g.slots), g.queueMax)
 		}
+		// Only genuinely-queued requests reach this wait, so the histogram
+		// measures saturation; abandoned waits are observed too — a client
+		// that gave up after two seconds in queue is a two-second wait.
+		waitStart := time.Now()
 		select {
 		case g.slots <- struct{}{}:
 			g.queued.Add(-1)
+			metQueueWaitMs.ObserveSince(waitStart)
 		case <-ctx.Done():
 			g.queued.Add(-1)
 			releaseTenant()
+			metQueueWaitMs.ObserveSince(waitStart)
 			return nil, ctx.Err()
 		}
 	}
@@ -190,6 +207,11 @@ type statsPayload struct {
 	QueueDepth       int64  `json:"queue_depth"`
 	ShedTotal        uint64 `json:"shed_total"`
 
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version"`
+	Commit        string  `json:"commit"`
+	GoMaxProcs    int     `json:"go_maxprocs"`
+
 	Cache explainit.RankingCacheStats `json:"cache"`
 }
 
@@ -211,6 +233,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RankingsInFlight: s.gate.inFlight.Load(),
 		QueueDepth:       s.gate.queued.Load(),
 		ShedTotal:        s.gate.shed.Load(),
+		UptimeSeconds:    buildinfo.Uptime().Seconds(),
+		Version:          buildinfo.Version,
+		Commit:           buildinfo.Commit,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
 		Cache:            s.client.RankingCacheStats(),
 	})
 }

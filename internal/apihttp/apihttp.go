@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"explainit"
+	"explainit/internal/obs"
 )
 
 // Server routes /api/v1. Create with NewServer (or NewServerWithLimits for
@@ -33,6 +34,7 @@ type Server struct {
 	mux    *http.ServeMux
 	limits Limits
 	gate   *gate
+	slow   *obs.SlowLog
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -65,19 +67,25 @@ func NewServerWithLimits(c *explainit.Client, lim Limits) *Server {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	// Paths are registered method-less: method checks happen in the
 	// handlers so a wrong verb gets the typed envelope, not the stdlib
-	// text/plain 405.
-	s.mux.HandleFunc("/api/v1/put", s.handlePut)
-	s.mux.HandleFunc("/api/v1/families", s.handleFamilies)
-	s.mux.HandleFunc("/api/v1/explain", s.handleExplain)
-	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/api/v1/investigations", s.handleInvestigations)
-	s.mux.HandleFunc("/api/v1/investigations/{id}", s.handleInvestigation)
-	s.mux.HandleFunc("/api/v1/investigations/{id}/condition", s.handleCondition)
-	s.mux.HandleFunc("/api/v1/investigations/{id}/step", s.handleStep)
-	s.mux.HandleFunc("/api/v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("/api/v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
+	// text/plain 405. Every route is instrumented under its mux pattern —
+	// bounded label cardinality — except /metrics itself, which would
+	// otherwise measure its own scrape.
+	reg := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, instrument(pattern, h))
+	}
+	reg("/api/v1/put", s.handlePut)
+	reg("/api/v1/families", s.handleFamilies)
+	reg("/api/v1/explain", s.handleExplain)
+	reg("/api/v1/query", s.handleQuery)
+	reg("/api/v1/investigations", s.handleInvestigations)
+	reg("/api/v1/investigations/{id}", s.handleInvestigation)
+	reg("/api/v1/investigations/{id}/condition", s.handleCondition)
+	reg("/api/v1/investigations/{id}/step", s.handleStep)
+	reg("/api/v1/jobs/{id}", s.handleJob)
+	reg("/api/v1/jobs/{id}/events", s.handleJobEvents)
+	reg("/api/v1/stats", s.handleStats)
+	reg("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/api/v1/", s.handleUnknown)
 	if lim.SessionTTL > 0 {
 		go s.janitor(lim.SessionTTL)
@@ -93,6 +101,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Close() error {
 	s.baseCancel()
 	return nil
+}
+
+// SetSlowLog installs a slow-query log (see obs.NewSlowLog). Requests
+// slower than its threshold are recorded with a span breakdown; a nil log
+// disables recording. Set before serving traffic — the field is not
+// mutex-guarded.
+func (s *Server) SetSlowLog(l *obs.SlowLog) { s.slow = l }
+
+// traceFor decides whether a request runs under a stage tracer: the client
+// asked for one (?trace=1) or the slow-query log needs span breakdowns for
+// over-threshold requests. It returns the (possibly derived) context, the
+// trace (nil when untraced), and whether the span tree belongs in the
+// response envelope.
+func (s *Server) traceFor(r *http.Request) (context.Context, *obs.Trace, bool) {
+	want := r.URL.Query().Get("trace") == "1"
+	if !want && !s.slow.Enabled() {
+		return r.Context(), nil, false
+	}
+	ctx, t := obs.WithTrace(r.Context())
+	return ctx, t, want
 }
 
 // --- error envelope ---
@@ -177,24 +205,24 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	obs := make([]explainit.Observation, 0, len(records))
+	batch := make([]explainit.Observation, 0, len(records))
 	for i, rec := range records {
 		if rec.Metric == "" {
 			writeErrorCode(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("record %d: empty metric", i))
 			return
 		}
-		obs = append(obs, explainit.Observation{
+		batch = append(batch, explainit.Observation{
 			Metric: rec.Metric,
 			Tags:   rec.Tags,
 			At:     time.Unix(rec.Timestamp, 0).UTC(),
 			Value:  rec.Value,
 		})
 	}
-	if err := s.client.PutBatch(obs); err != nil {
+	if err := s.client.PutBatch(batch); err != nil {
 		writeErrorCode(w, http.StatusInternalServerError, "storage", err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"stored": len(obs)})
+	writeJSON(w, http.StatusOK, map[string]int{"stored": len(batch)})
 }
 
 type buildFamiliesRequest struct {
@@ -282,8 +310,9 @@ type rowPayload struct {
 }
 
 type rankingPayload struct {
-	Rows    []rowPayload `json:"rows"`
-	Skipped []string     `json:"skipped,omitempty"`
+	Rows    []rowPayload    `json:"rows"`
+	Skipped []string        `json:"skipped,omitempty"`
+	Trace   []*obs.SpanNode `json:"trace,omitempty"` // present when ?trace=1
 }
 
 func rowFromRanked(row explainit.RankedFamily) rowPayload {
@@ -317,12 +346,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	start := time.Now()
+	ctx, tr, wantTrace := s.traceFor(r)
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
-	ranking, err := s.client.ExplainContext(r.Context(), explainit.ExplainOptions{
+	ranking, err := s.client.ExplainContext(ctx, explainit.ExplainOptions{
 		Target:      req.Target,
 		Condition:   req.Condition,
 		SearchSpace: req.SearchSpace,
@@ -336,7 +367,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, payloadFromRanking(ranking))
+	payload := payloadFromRanking(ranking)
+	if wantTrace {
+		payload.Trace = tr.Tree()
+	}
+	// Elapsed includes any queue wait: a request that was slow because the
+	// gate was saturated is exactly what the slow log should surface.
+	s.slow.Record("explain", req.Target, time.Since(start), start, tr)
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // --- investigations ---

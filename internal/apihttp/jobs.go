@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"explainit"
 )
@@ -244,6 +245,17 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// Idle streams emit ": keepalive" comment frames — the SSE grammar's
+	// comment line, which clients discard — so proxies and load balancers
+	// with idle timeouts don't reap a connection whose job is still
+	// scoring. A nil channel (keepalives disabled) never fires.
+	var keepaliveC <-chan time.Time
+	if s.limits.SSEKeepalive > 0 {
+		ticker := time.NewTicker(s.limits.SSEKeepalive)
+		defer ticker.Stop()
+		keepaliveC = ticker.C
+	}
+
 	sent := 0
 	for {
 		j.mu.Lock()
@@ -275,6 +287,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-waitCh:
+		case <-keepaliveC:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				j.cancelIfRunning()
+				return
+			}
+			flusher.Flush()
 		case <-r.Context().Done():
 			// Client disconnected mid-stream: reap the job's workers.
 			j.cancelIfRunning()

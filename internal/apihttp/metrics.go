@@ -1,0 +1,45 @@
+package apihttp
+
+import (
+	"net/http"
+	"time"
+
+	"explainit/internal/obs"
+)
+
+// Admission-gate observability: how long admitted rankings waited in queue
+// (only genuinely-queued requests are observed, so the histogram measures
+// saturation, not the fast path) and how many arrivals were shed. These
+// self-scrape into the serving store alongside the request latencies, so
+// "why did p99 jump" and "were we shedding" are answerable with one EXPLAIN.
+var (
+	metQueueWaitMs = obs.Default().Histogram("explainit_http_queue_wait_ms", obs.LatencyBucketsMs)
+	metShed        = obs.Default().Counter("explainit_http_shed_total")
+)
+
+// instrument wraps one route's handler with a per-route request counter and
+// latency histogram. The label is the mux pattern, not the request path, so
+// cardinality is bounded by the route table; handles resolve once at
+// registration, leaving two atomic ops plus a clock read per request.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := obs.Default().Counter("explainit_http_requests_total", "route", route)
+	lat := obs.Default().Histogram("explainit_http_request_ms", obs.LatencyBucketsMs, "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.ObserveSince(start)
+	}
+}
+
+// handleMetrics serves the process-default registry in Prometheus text
+// exposition format (0.0.4), so the same numbers the self-scrape loop feeds
+// back into the store are also scrapeable by an external Prometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/http"
 	"time"
+
+	"explainit/internal/obs"
 )
 
 // queryRequest is the wire form of POST /api/v1/query: one SQL statement,
@@ -22,6 +24,7 @@ type queryRequest struct {
 type queryPayload struct {
 	Columns []string        `json:"columns"`
 	Rows    [][]interface{} `json:"rows"`
+	Trace   []*obs.SpanNode `json:"trace,omitempty"` // present when ?trace=1
 }
 
 // handleQuery executes one declarative statement. Blocking queries run
@@ -46,12 +49,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.handleQueryAsync(w, r, req.SQL)
 		return
 	}
+	start := time.Now()
+	ctx, tr, wantTrace := s.traceFor(r)
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
-	res, err := s.client.Query(r.Context(), req.SQL)
+	res, err := s.client.Query(ctx, req.SQL)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -71,6 +76,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Rows[i] = enc
 	}
+	if wantTrace {
+		out.Trace = tr.Tree()
+	}
+	s.slow.Record("query", req.SQL, time.Since(start), start, tr)
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -1,0 +1,48 @@
+// Package buildinfo carries build attribution injected at link time:
+//
+//	go build -ldflags "-X explainit/internal/buildinfo.Version=v1.2.3 \
+//	                   -X explainit/internal/buildinfo.Commit=abc1234" ./cmd/explainitd
+//
+// Both daemons link it, so /api/stats snapshots are attributable across
+// deploys even when the binaries were built from the same tree.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"time"
+)
+
+// Version and Commit are set via -ldflags -X; they default to "dev" /
+// best-effort VCS metadata when built without flags (go test, go run).
+var (
+	Version = "dev"
+	Commit  = ""
+)
+
+// startTime anchors Uptime to process start (package init).
+var startTime = time.Now()
+
+func init() {
+	if Commit != "" {
+		return
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				Commit = s.Value
+				if len(Commit) > 12 {
+					Commit = Commit[:12]
+				}
+				return
+			}
+		}
+	}
+	Commit = "unknown"
+}
+
+// StartTime returns when the process started (approximated by package
+// initialization).
+func StartTime() time.Time { return startTime }
+
+// Uptime returns time elapsed since process start.
+func Uptime() time.Duration { return time.Since(startTime) }

@@ -10,6 +10,7 @@ import (
 
 	"explainit/internal/ctxpoll"
 	"explainit/internal/linalg"
+	"explainit/internal/obs"
 	"explainit/internal/regress"
 	"explainit/internal/stats"
 	ts "explainit/internal/timeseries"
@@ -401,9 +402,12 @@ func (e *Engine) RankPrepared(ctx context.Context, req Request, cond *CondState,
 	// prep per candidate and surface the identical error on each Result.
 	if prep == nil && zMat != nil && zMat.Cols > 0 {
 		if l2, ok := effective.(*L2Scorer); ok && l2.condCacheable(req.Target.Matrix, zMat) {
+			_, endPrep := obs.StartSpan(ctx, "gram_cholesky")
 			prep, _ = l2.prepareCond(req.Target.Matrix, zMat)
+			endPrep()
 		}
 	}
+	metRankings.Inc()
 
 	table := &ScoreTable{}
 	type job struct {
@@ -416,6 +420,9 @@ func (e *Engine) RankPrepared(ctx context.Context, req Request, cond *CondState,
 	jobs := make(chan job, len(req.Candidates))
 	results := make([]Result, len(req.Candidates))
 	valid := make([]bool, len(req.Candidates))
+	// rankCtx nests the workers' per-candidate spans under one rank_stream
+	// span; it derives from ctx, so cancellation semantics are unchanged.
+	rankCtx, endRankSpan := obs.StartSpan(ctx, "rank_stream")
 	var emitMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -431,7 +438,7 @@ func (e *Engine) RankPrepared(ctx context.Context, req Request, cond *CondState,
 				if poll.Cancelled() {
 					return // cancelled: drop remaining jobs, exit promptly
 				}
-				res := e.scoreOne(ctx, effective, j.fam, req.Target, zMat, prep, explainRows)
+				res := e.scoreOne(rankCtx, effective, j.fam, req.Target, zMat, prep, explainRows)
 				if poll.Cancelled() {
 					return // res may carry ctx.Err(); never record or emit it
 				}
@@ -462,6 +469,7 @@ func (e *Engine) RankPrepared(ctx context.Context, req Request, cond *CondState,
 	}
 	close(jobs)
 	wg.Wait()
+	endRankSpan()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -488,6 +496,7 @@ func (e *Engine) RankPrepared(ctx context.Context, req Request, cond *CondState,
 }
 
 func (e *Engine) scoreOne(ctx context.Context, scorer Scorer, x, y *Family, zMat *linalg.Matrix, prep *condPrep, explainRows []int) Result {
+	ctx, endSpan := obs.StartSpanName(ctx, "score ", x.Name)
 	start := time.Now()
 	res := Result{Family: x.Name, Features: x.NumFeatures()}
 	var score float64
@@ -500,6 +509,9 @@ func (e *Engine) scoreOne(ctx context.Context, scorer Scorer, x, y *Family, zMat
 		score, err = scorer.Score(x.Matrix, y.Matrix, zMat, explainRows)
 	}
 	res.Elapsed = time.Since(start)
+	endSpan()
+	metCandidates.Inc()
+	metCandidateMs.Observe(float64(res.Elapsed) / float64(time.Millisecond))
 	if err != nil {
 		res.Err = err
 		return res

@@ -1,0 +1,12 @@
+package core
+
+import "explainit/internal/obs"
+
+// Engine metric handles, resolved once at package init. Candidate timing
+// reuses the Elapsed already measured per Result, so instrumentation adds
+// no extra clock reads to the scoring loop.
+var (
+	metRankings    = obs.Default().Counter("explainit_engine_rankings_total")
+	metCandidates  = obs.Default().Counter("explainit_engine_candidates_total")
+	metCandidateMs = obs.Default().Histogram("explainit_engine_candidate_ms", obs.LatencyBucketsMs)
+)

@@ -6,6 +6,7 @@ import (
 
 	"explainit/internal/ctxpoll"
 	"explainit/internal/linalg"
+	"explainit/internal/obs"
 	"explainit/internal/regress"
 	"explainit/internal/stats"
 )
@@ -263,7 +264,10 @@ func (s *L2Scorer) scoreOnce(ctx context.Context, x, y, z *linalg.Matrix, prep *
 		}
 		return stats.ExplainedVarianceMean(ye, pred), nil
 	}
-	return regress.CrossValidatedScoreCtx(ctx, x, y, s.grid(), s.folds())
+	_, endCV := obs.StartSpan(ctx, "cv")
+	score, err := regress.CrossValidatedScoreCtx(ctx, x, y, s.grid(), s.folds())
+	endCV()
+	return score, err
 }
 
 // residualizeBoth residualizes y then x on the same conditioning set,

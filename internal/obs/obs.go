@@ -1,0 +1,56 @@
+// Package obs is the self-hosted observability substrate: a
+// zero-dependency metrics registry (atomic counters, gauges and
+// fixed-bucket histograms, snapshot-on-read), a per-request stage tracer
+// threaded through context.Context, a registry-to-TSDB scraper that turns
+// the process's own counters into explainit_* time series, and a
+// structured slow-query log.
+//
+// Design rules:
+//
+//   - Hot-path operations are lock-free: Counter.Add/Gauge.Set/
+//     Histogram.Observe are a handful of atomic ops, and instrumented
+//     packages hold metric handles resolved once at init, so steady-state
+//     recording never touches the registry mutex.
+//   - Everything is nil-safe and gate-checked: a nil handle or a disabled
+//     package (EXPLAINIT_OBS=off) reduces every recording call to one
+//     atomic load and a branch, which is how the bench overhead guard
+//     measures the instrumentation's cost.
+//   - Traces are opt-in per request: obs.WithTrace attaches one, and every
+//     span helper first checks for it — an untraced request pays one
+//     context lookup per instrumented stage, nothing more.
+package obs
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// enabled gates every metric recording. It is process-wide (one atomic
+// load per op) rather than per-registry so handles stay one word and the
+// overhead guard can flip it at runtime.
+var enabled atomic.Bool
+
+func init() {
+	switch os.Getenv("EXPLAINIT_OBS") {
+	case "off", "0", "false":
+		enabled.Store(false)
+	default:
+		enabled.Store(true)
+	}
+}
+
+// Enabled reports whether metric recording is on (EXPLAINIT_OBS unset or
+// anything but off/0/false).
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled flips metric recording at runtime — the hook the overhead
+// guard uses to measure instrumented-vs-bare hot paths in one process.
+// Tracing (explicitly attached per request) is unaffected.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// std is the process-default registry all instrumented packages record
+// into; tests that need isolation construct their own with NewRegistry.
+var std = NewRegistry()
+
+// Default returns the process-default registry.
+func Default() *Registry { return std }

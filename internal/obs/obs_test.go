@@ -1,0 +1,429 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "route", "/x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("depth")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+
+	h := r.Histogram("lat_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	pts := r.Snapshot()
+	var hp *Point
+	for i := range pts {
+		if pts[i].Name == "lat_ms" {
+			hp = &pts[i]
+		}
+	}
+	if hp == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if want := []uint64{1, 1, 1}; fmt.Sprint(hp.Counts) != fmt.Sprint(want) {
+		t.Fatalf("bucket counts = %v, want %v", hp.Counts, want)
+	}
+	if hp.Inf != 1 || hp.Count != 4 || hp.Sum != 555.5 {
+		t.Fatalf("inf=%d count=%d sum=%v, want 1/4/555.5", hp.Inf, hp.Count, hp.Sum)
+	}
+}
+
+func TestGetOrCreateAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("same id should return same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch should panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestNilAndDisabledNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	var sl *SlowLog
+	sl.Record("explain", "q", time.Second, time.Now(), nil)
+	if sl.Enabled() {
+		t.Fatal("nil slowlog reports enabled")
+	}
+
+	r := NewRegistry()
+	c2 := r.Counter("gated_total")
+	SetEnabled(false)
+	c2.Inc()
+	SetEnabled(true)
+	c2.Inc()
+	if got := c2.Value(); got != 1 {
+		t.Fatalf("gated counter = %d, want 1 (disabled inc must no-op)", got)
+	}
+}
+
+func TestTraceNesting(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	ctx2, endRoot := StartSpan(ctx, "root")
+	_, endChild := StartSpan(ctx2, "child")
+	endChild()
+	endRoot()
+	_, endSibling := StartSpan(ctx, "sibling")
+	endSibling()
+
+	roots := tr.Tree()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	if roots[0].Name != "root" || roots[1].Name != "sibling" {
+		t.Fatalf("root names = %q, %q", roots[0].Name, roots[1].Name)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "child" {
+		t.Fatalf("child not nested under root: %+v", roots[0])
+	}
+	if len(roots[1].Children) != 0 {
+		t.Fatal("sibling should have no children")
+	}
+}
+
+func TestTraceUntracedIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, end := StartSpan(ctx, "x")
+	if ctx2 != ctx {
+		t.Fatal("untraced StartSpan must return ctx unchanged")
+	}
+	end()
+	if Traced(ctx) {
+		t.Fatal("bare context reports traced")
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	for i := 0; i < maxSpans+10; i++ {
+		_, end := StartSpan(ctx, "s")
+		end()
+	}
+	if got := tr.Dropped(); got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+	if got := len(tr.Tree()); got != maxSpans {
+		t.Fatalf("tree size = %d, want %d", got, maxSpans)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				_, end := StartSpan(ctx, "worker")
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Tree()); got != 160 {
+		t.Fatalf("spans = %d, want 160", got)
+	}
+}
+
+// TestPrometheusExposition renders a populated registry and validates the
+// output against the text exposition grammar with a hand-written parser.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("explainit_requests_total", "route", "/api/v1/explain").Add(7)
+	r.Gauge("explainit_inflight").Set(2)
+	r.GaugeFunc("explainit_uptime_seconds", func() float64 { return 12.5 })
+	h := r.Histogram("explainit_latency_ms", []float64{1, 10}, "route", "/api/v1/query")
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	types := map[string]string{}
+	values := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "TYPE" {
+				t.Fatalf("bad comment line %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad type %q in %q", f[3], line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("bad value %q in %q: %v", valStr, line, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			for _, pair := range strings.Split(series[i+1:len(series)-1], ",") {
+				k, val, ok := strings.Cut(pair, "=")
+				if !ok || k == "" || !strings.HasPrefix(val, `"`) || !strings.HasSuffix(val, `"`) {
+					t.Fatalf("bad label pair %q in %q", pair, line)
+				}
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := types[base]; !ok {
+			if _, ok := types[name]; !ok {
+				t.Fatalf("sample %q precedes its TYPE line", line)
+			}
+		}
+		values[series] = v
+	}
+
+	if types["explainit_requests_total"] != "counter" {
+		t.Fatalf("types = %v", types)
+	}
+	if types["explainit_latency_ms"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+	if got := values[`explainit_requests_total{route="/api/v1/explain"}`]; got != 7 {
+		t.Fatalf("counter sample = %v, want 7", got)
+	}
+	if got := values[`explainit_uptime_seconds`]; got != 12.5 {
+		t.Fatalf("gaugefunc sample = %v, want 12.5", got)
+	}
+	if got := values[`explainit_latency_ms_bucket{route="/api/v1/query",le="10"}`]; got != 2 {
+		t.Fatalf("cumulative bucket = %v, want 2", got)
+	}
+	if got := values[`explainit_latency_ms_bucket{route="/api/v1/query",le="+Inf"}`]; got != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", got)
+	}
+	if got := values[`explainit_latency_ms_count{route="/api/v1/query"}`]; got != 3 {
+		t.Fatalf("hist count = %v, want 3", got)
+	}
+}
+
+type captureSink struct {
+	batches [][]Sample
+	err     error
+}
+
+func (s *captureSink) WriteSamples(samples []Sample) error {
+	if s.err != nil {
+		return s.err
+	}
+	cp := append([]Sample(nil), samples...)
+	s.batches = append(s.batches, cp)
+	return nil
+}
+
+func findSample(batch []Sample, metric string) (Sample, bool) {
+	for _, s := range batch {
+		if s.Metric == metric {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+func TestScraperDeltasAndRatios(t *testing.T) {
+	r := NewRegistry()
+	hits := r.Counter("cache_hits_total")
+	misses := r.Counter("cache_misses_total")
+	g := r.Gauge("inflight")
+	h := r.Histogram("lat_ms", []float64{1, 10, 100})
+
+	sink := &captureSink{}
+	sc := NewScraper(r, sink)
+	sc.Ratio("cache_hit_ratio", "cache_hits_total", "cache_hits_total", "cache_misses_total")
+
+	t0 := time.Unix(1000, 0)
+
+	// First scrape: baseline. Gauges only.
+	hits.Add(5)
+	g.Set(2)
+	if err := sc.ScrapeOnce(t0); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(sink.batches))
+	}
+	if _, ok := findSample(sink.batches[0], "cache_hits_total"); ok {
+		t.Fatal("first scrape must not emit counter deltas")
+	}
+	if s, ok := findSample(sink.batches[0], "inflight"); !ok || s.Value != 2 {
+		t.Fatalf("gauge sample = %+v ok=%v", s, ok)
+	}
+
+	// Second scrape: hits +3, misses +1, two latency observations.
+	hits.Add(3)
+	misses.Add(1)
+	h.Observe(4)
+	h.Observe(6)
+	if err := sc.ScrapeOnce(t0.Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	b := sink.batches[1]
+	if s, _ := findSample(b, "cache_hits_total"); s.Value != 3 {
+		t.Fatalf("hits delta = %v, want 3", s.Value)
+	}
+	if s, _ := findSample(b, "lat_ms"); s.Value != 5 {
+		t.Fatalf("hist mean = %v, want 5", s.Value)
+	}
+	if s, _ := findSample(b, "lat_ms_count"); s.Value != 2 {
+		t.Fatalf("hist count delta = %v, want 2", s.Value)
+	}
+	if s, _ := findSample(b, "cache_hit_ratio"); s.Value != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", s.Value)
+	}
+
+	// Third scrape: idle interval → ratio holds last value, hist mean 0.
+	if err := sc.ScrapeOnce(t0.Add(20 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	b = sink.batches[2]
+	if s, _ := findSample(b, "cache_hit_ratio"); s.Value != 0.75 {
+		t.Fatalf("idle ratio = %v, want held 0.75", s.Value)
+	}
+	if s, _ := findSample(b, "lat_ms"); s.Value != 0 {
+		t.Fatalf("idle hist mean = %v, want 0", s.Value)
+	}
+	if sc.Written() == 0 {
+		t.Fatal("scraper written counter not advanced")
+	}
+}
+
+func TestScraperLabelsBecomeTags(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "route", "/x", "code", "200")
+	sink := &captureSink{}
+	sc := NewScraper(r, sink)
+	t0 := time.Unix(0, 0)
+	if err := sc.ScrapeOnce(t0); err != nil {
+		t.Fatal(err)
+	}
+	c.Add(2)
+	if err := sc.ScrapeOnce(t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := findSample(sink.batches[len(sink.batches)-1], "reqs_total")
+	if !ok {
+		t.Fatal("labeled counter delta missing")
+	}
+	if s.Labels["route"] != "/x" || s.Labels["code"] != "200" {
+		t.Fatalf("labels = %v", s.Labels)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	sl := NewSlowLog(&buf, 10*time.Millisecond)
+
+	ctx, tr := WithTrace(context.Background())
+	_, end := StartSpan(ctx, "rank")
+	end()
+
+	sl.Record("explain", "EXPLAIN cpu", 5*time.Millisecond, time.Now(), tr) // under threshold
+	if buf.Len() != 0 {
+		t.Fatal("under-threshold request logged")
+	}
+	started := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	sl.Record("explain", "EXPLAIN cpu", 50*time.Millisecond, started, tr)
+
+	var e SlowEntry
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("slowlog line not valid JSON: %v (%q)", err, buf.String())
+	}
+	if e.Kind != "explain" || e.Query != "EXPLAIN cpu" || e.ElapsedMs != 50 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if len(e.Spans) != 1 || e.Spans[0].Name != "rank" {
+		t.Fatalf("spans = %+v", e.Spans)
+	}
+	if !strings.HasPrefix(e.TS, "2026-08-07T12:00:00") {
+		t.Fatalf("ts = %q", e.TS)
+	}
+	if NewSlowLog(nil, time.Second) != nil || NewSlowLog(&buf, 0) != nil {
+		t.Fatal("disabled slowlog must be nil")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			h := r.Histogram("shared_ms", LatencyBucketsMs)
+			g := r.Gauge("g", "w", strconv.Itoa(i))
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 50))
+				g.Set(float64(j))
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range r.Snapshot() {
+		if p.Name == "shared_total" && p.Value != 8000 {
+			t.Fatalf("shared counter = %v, want 8000", p.Value)
+		}
+		if p.Name == "shared_ms" && p.Count != 8000 {
+			t.Fatalf("hist count = %d, want 8000", p.Count)
+		}
+	}
+}

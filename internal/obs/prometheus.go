@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry's current state in Prometheus text
+// exposition format (version 0.0.4): one # TYPE line per metric family,
+// counters/gauges as single samples, histograms as cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	pts := r.Snapshot()
+
+	// Group points by family name, preserving the sorted-by-id order
+	// within each family.
+	families := make(map[string][]Point, len(pts))
+	var names []string
+	for _, p := range pts {
+		if _, ok := families[p.Name]; !ok {
+			names = append(names, p.Name)
+		}
+		families[p.Name] = append(families[p.Name], p)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		fam := families[name]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, fam[0].Kind)
+		for _, p := range fam {
+			switch p.Kind {
+			case KindHistogram:
+				cum := uint64(0)
+				for i, bound := range p.Bounds {
+					cum += p.Counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(p.Labels, "le", formatBound(bound)), cum)
+				}
+				cum += p.Inf
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, promLabels(p.Labels, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, promLabels(p.Labels), formatValue(p.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(p.Labels), p.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", name, promLabels(p.Labels), formatValue(p.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promLabels renders {k="v",...} with optional extra trailing pair(s);
+// empty label sets render as "".
+func promLabels(labels []Label, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for _, l := range labels {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.V))
+		b.WriteByte('"')
+		n++
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extra[i+1]))
+		b.WriteByte('"')
+		n++
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatBound renders a bucket upper bound the way Prometheus clients do:
+// shortest float representation ("0.05", "1", "250").
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a metric.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Label is one key/value metric dimension.
+type Label struct {
+	K, V string
+}
+
+// Counter is a monotonically increasing count. The zero value is usable;
+// nil receivers no-op, so a handle from a disabled registry costs one
+// branch per op.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets plus a
+// +Inf overflow, tracking sum and count — everything a latency quantile
+// estimate or an interval mean needs, with Observe lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; immutable after creation
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-added
+	count   atomic.Uint64
+}
+
+// LatencyBucketsMs is the default latency bucket layout, in milliseconds.
+// It reaches down to 50µs so cache-hit rankings (microseconds) and engine
+// rankings (milliseconds to seconds) land in distinct buckets.
+var LatencyBucketsMs = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	// Linear scan: bucket layouts are small (≤ ~20) and the common latency
+	// values land early; a branch-predicted scan beats binary search here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in milliseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// metric is one registered instrument: exactly one of c/g/h/fn is set.
+type metric struct {
+	name   string
+	labels []Label
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // gauge callback, evaluated at snapshot time
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram/
+// GaugeFunc) takes a mutex and is meant for init-time get-or-create;
+// recording through the returned handles is lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // by id (name + sorted labels)
+	kinds   map[string]Kind    // by bare name: one kind per family
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		kinds:   make(map[string]Kind),
+	}
+}
+
+// metricID renders the canonical id "name{k=v,...}" with labels sorted by
+// key — the same identity Prometheus exposition and the scraper use.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteByte('=')
+		b.WriteString(l.V)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseLabels turns variadic "k1", "v1", "k2", "v2" pairs into sorted
+// labels. Odd arities are a programming error.
+func parseLabels(kv []string) []Label {
+	if len(kv) == 0 {
+		return nil
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label arguments %q", kv))
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		labels = append(labels, Label{K: kv[i], V: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].K < labels[j].K })
+	return labels
+}
+
+// register get-or-creates the metric under the id, enforcing one kind per
+// family name (a name registered as a counter can never re-register as a
+// gauge — that would corrupt the exposition).
+func (r *Registry) register(name string, labels []Label, kind Kind, build func() *metric) *metric {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", id, kind, m.kind))
+		}
+		return m
+	}
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: metric family %q re-registered as %s (was %s)", name, kind, prev))
+	}
+	m := build()
+	m.name, m.labels, m.kind = name, labels, kind
+	r.metrics[id] = m
+	r.kinds[name] = kind
+	r.order = append(r.order, id)
+	return m
+}
+
+// Counter get-or-creates a counter. labels are "k1", "v1", ... pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	m := r.register(name, parseLabels(labels), KindCounter, func() *metric {
+		return &metric{c: &Counter{}}
+	})
+	return m.c
+}
+
+// Gauge get-or-creates a gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	m := r.register(name, parseLabels(labels), KindGauge, func() *metric {
+		return &metric{g: &Gauge{}}
+	})
+	return m.g
+}
+
+// Histogram get-or-creates a histogram with the given bucket upper bounds
+// (ascending; a +Inf bucket is implicit). Buckets of an existing histogram
+// are kept.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	m := r.register(name, parseLabels(labels), KindHistogram, func() *metric {
+		h := &Histogram{bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Uint64, len(h.bounds))
+		return &metric{h: h}
+	})
+	return m.h
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time (watermark lag, uptime, goroutine count — anything already tracked
+// elsewhere). Re-registering the same id replaces the callback, so
+// per-instance closures (a test server replacing an earlier one) stay
+// fresh instead of conflicting.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	m := r.register(name, parseLabels(labels), KindGauge, func() *metric {
+		return &metric{fn: fn}
+	})
+	if m.fn != nil { // replace-on-reregister; plain gauges keep their value
+		r.mu.Lock()
+		m.fn = fn
+		r.mu.Unlock()
+	}
+}
+
+// Point is one metric's state in a snapshot.
+type Point struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+
+	// Value holds the counter or gauge reading.
+	Value float64
+
+	// Histogram state: cumulative counts per bound plus the +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Inf    uint64
+	Sum    float64
+	Count  uint64
+}
+
+// ID renders the point's canonical id.
+func (p Point) ID() string { return metricID(p.Name, p.Labels) }
+
+// Snapshot reads every metric (gauge callbacks included) and returns the
+// points sorted by id, so output is deterministic across runs. Histogram
+// bucket counts are read bucket-by-bucket without a lock: a snapshot taken
+// under concurrent Observes may be off by in-flight observations, never
+// torn beyond that.
+func (r *Registry) Snapshot() []Point {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	ms := make([]*metric, len(ids))
+	for i, id := range ids {
+		ms[i] = r.metrics[id]
+	}
+	r.mu.Unlock()
+
+	pts := make([]Point, 0, len(ms))
+	for _, m := range ms {
+		p := Point{Name: m.name, Labels: m.labels, Kind: m.kind}
+		switch {
+		case m.c != nil:
+			p.Value = float64(m.c.Value())
+		case m.g != nil:
+			p.Value = m.g.Value()
+		case m.fn != nil:
+			p.Value = m.fn()
+		case m.h != nil:
+			p.Bounds = m.h.bounds
+			p.Counts = make([]uint64, len(m.h.bounds))
+			for i := range m.h.counts {
+				p.Counts[i] = m.h.counts[i].Load()
+			}
+			p.Inf = m.h.inf.Load()
+			p.Sum = math.Float64frombits(m.h.sumBits.Load())
+			p.Count = m.h.count.Load()
+		}
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].ID() < pts[j].ID() })
+	return pts
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Sample is one self-scraped datapoint, ready to become a TSDB
+// observation: metric name, tags from the metric's labels, timestamp,
+// value.
+type Sample struct {
+	Metric string
+	Labels map[string]string
+	At     time.Time
+	Value  float64
+}
+
+// Sink receives one scrape's worth of samples. The facade adapts this to
+// PutBatch so explainit_* series land in the serving TSDB like tenant data.
+type Sink interface {
+	WriteSamples(samples []Sample) error
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(samples []Sample) error
+
+// WriteSamples implements Sink.
+func (f SinkFunc) WriteSamples(samples []Sample) error { return f(samples) }
+
+// ratioSpec derives a gauge series from counter deltas:
+// value = Δnum / Σ Δdenoms, aggregated across label sets by family name.
+type ratioSpec struct {
+	name   string
+	num    string
+	denoms []string
+	last   float64 // kept when the denominator delta is 0 (idle interval)
+}
+
+// Scraper converts registry snapshots into rate/level samples. Counters
+// become per-interval deltas (a rate the RCA engine can correlate, not an
+// ever-growing total), gauges pass through, histograms become the interval
+// mean (Δsum/Δcount) plus a _count delta. The first scrape only records
+// baselines and emits gauges, so no bogus since-process-start "delta"
+// pollutes the series.
+type Scraper struct {
+	reg    *Registry
+	sink   Sink
+	ratios []*ratioSpec
+
+	prev    map[string]Point // by id, last scrape's snapshot
+	primed  bool
+	written Counter // samples successfully written, for the scraper's own metric
+	errs    Counter
+}
+
+// NewScraper scrapes reg into sink.
+func NewScraper(reg *Registry, sink Sink) *Scraper {
+	return &Scraper{reg: reg, sink: sink, prev: make(map[string]Point)}
+}
+
+// Ratio registers a derived gauge series: name = Δnum / (Δdenom1 + ...),
+// deltas aggregated over all label sets of each counter family. Used for
+// explainit_cache_hit_ratio = Δhits / (Δhits + Δmisses). When the
+// denominator delta is 0 (nothing happened), the last value is re-emitted
+// so the series stays dense for conditioning.
+func (s *Scraper) Ratio(name, num string, denoms ...string) {
+	s.ratios = append(s.ratios, &ratioSpec{name: name, num: num, denoms: denoms})
+}
+
+// ScrapeOnce takes one snapshot stamped at, derives samples against the
+// previous snapshot, and writes them to the sink. Deterministic given the
+// registry state and timestamps, so tests drive it with synthetic clocks.
+func (s *Scraper) ScrapeOnce(at time.Time) error {
+	pts := s.reg.Snapshot()
+	cur := make(map[string]Point, len(pts))
+	for _, p := range pts {
+		cur[p.ID()] = p
+	}
+
+	// Counter-family deltas by bare name, for ratio derivation.
+	famDelta := make(map[string]float64)
+
+	var samples []Sample
+	for _, p := range pts {
+		id := p.ID()
+		switch p.Kind {
+		case KindGauge:
+			samples = append(samples, Sample{Metric: p.Name, Labels: labelMap(p.Labels), At: at, Value: p.Value})
+		case KindCounter:
+			prev, ok := s.prev[id]
+			if !ok {
+				continue // baseline only
+			}
+			d := p.Value - prev.Value
+			if d < 0 {
+				d = p.Value // counter reset (registry swapped); treat as fresh
+			}
+			famDelta[p.Name] += d
+			samples = append(samples, Sample{Metric: p.Name, Labels: labelMap(p.Labels), At: at, Value: d})
+		case KindHistogram:
+			prev, ok := s.prev[id]
+			if !ok {
+				continue
+			}
+			dCount := float64(p.Count) - float64(prev.Count)
+			dSum := p.Sum - prev.Sum
+			if dCount < 0 {
+				dCount, dSum = float64(p.Count), p.Sum
+			}
+			mean := 0.0
+			if dCount > 0 {
+				mean = dSum / dCount
+			}
+			samples = append(samples, Sample{Metric: p.Name, Labels: labelMap(p.Labels), At: at, Value: mean})
+			samples = append(samples, Sample{Metric: p.Name + "_count", Labels: labelMap(p.Labels), At: at, Value: dCount})
+		}
+	}
+
+	if s.primed {
+		for _, r := range s.ratios {
+			den := 0.0
+			for _, d := range r.denoms {
+				den += famDelta[d]
+			}
+			v := r.last
+			if den > 0 {
+				v = famDelta[r.num] / den
+				r.last = v
+			}
+			samples = append(samples, Sample{Metric: r.name, At: at, Value: v})
+		}
+	}
+
+	s.prev = cur
+	s.primed = true
+
+	if len(samples) == 0 {
+		return nil
+	}
+	if err := s.sink.WriteSamples(samples); err != nil {
+		s.errs.Add(1)
+		return err
+	}
+	s.written.Add(uint64(len(samples)))
+	return nil
+}
+
+// Run scrapes every interval until ctx is done. Scrape errors are counted
+// and the loop keeps going — a transient ingest failure must not kill
+// self-observation.
+func (s *Scraper) Run(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			_ = s.ScrapeOnce(now)
+		}
+	}
+}
+
+// Written reports how many samples the scraper has written.
+func (s *Scraper) Written() uint64 { return s.written.Value() }
+
+// Errors reports how many scrapes failed to write.
+func (s *Scraper) Errors() uint64 { return s.errs.Value() }
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.K] = l.V
+	}
+	return m
+}

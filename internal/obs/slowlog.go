@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowLog writes one JSON line per request slower than the threshold,
+// carrying the request's span breakdown so the offending stage is visible
+// without re-running the query under a tracer.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+}
+
+// SlowEntry is one slow-query log line.
+type SlowEntry struct {
+	TS        string      `json:"ts"`
+	Kind      string      `json:"kind"` // "explain", "query", "step", ...
+	Query     string      `json:"query,omitempty"`
+	ElapsedMs float64     `json:"elapsed_ms"`
+	Spans     []*SpanNode `json:"spans,omitempty"`
+	Dropped   int         `json:"spans_dropped,omitempty"`
+}
+
+// NewSlowLog logs requests slower than threshold to w. A nil writer or
+// non-positive threshold disables logging (Record no-ops), so callers can
+// hold an unconditional *SlowLog.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{w: w, threshold: threshold}
+}
+
+// Enabled reports whether the log records anything; callers use it to
+// decide whether to attach a trace to otherwise-untraced requests.
+func (l *SlowLog) Enabled() bool { return l != nil }
+
+// Threshold returns the configured threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record logs the request if elapsed crosses the threshold. t may be nil
+// (the entry just has no span breakdown). Safe for concurrent use; each
+// entry is one write call, so lines don't interleave.
+func (l *SlowLog) Record(kind, query string, elapsed time.Duration, started time.Time, t *Trace) {
+	if l == nil || elapsed < l.threshold {
+		return
+	}
+	e := SlowEntry{
+		TS:        started.UTC().Format(time.RFC3339Nano),
+		Kind:      kind,
+		Query:     query,
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+		Spans:     t.Tree(),
+		Dropped:   t.Dropped(),
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+}

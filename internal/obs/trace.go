@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// maxSpans caps spans recorded per trace. Rankings score thousands of
+// candidate families; without a cap a single traced EXPLAIN could carry
+// megabytes of span tree back through the HTTP envelope. Overflow is
+// counted, not silently dropped.
+const maxSpans = 512
+
+// Span is one recorded stage interval.
+type Span struct {
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Parent int // index into Trace.spans; -1 for roots
+}
+
+// Trace collects spans for one request. Spans nest via the parent index
+// carried in context, so stages started on engine worker goroutines (which
+// inherit the request context) attach under the right parent.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	spans   []Span
+	dropped int
+}
+
+type traceCtxKey struct{}
+type parentCtxKey struct{}
+
+// WithTrace attaches a new Trace to ctx and returns both. Span helpers
+// below are no-ops on contexts without one.
+func WithTrace(ctx context.Context) (context.Context, *Trace) {
+	t := &Trace{start: time.Now()}
+	return context.WithValue(ctx, traceCtxKey{}, t), t
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// Traced reports whether ctx carries a trace. Instrumented code uses it to
+// skip building span detail strings for untraced requests.
+func Traced(ctx context.Context) bool { return TraceFrom(ctx) != nil }
+
+// StartSpan opens a span named name if ctx carries a trace. It returns a
+// derived context (making the new span the parent of spans started under
+// it) and a closure that ends the span. On an untraced context it returns
+// ctx unchanged and a no-op: one context lookup, zero allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return ctx, noopEnd
+	}
+	parent := -1
+	if p, ok := ctx.Value(parentCtxKey{}).(int); ok {
+		parent = p
+	}
+	t.mu.Lock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return ctx, noopEnd
+	}
+	idx := len(t.spans)
+	t.spans = append(t.spans, Span{Name: name, Start: time.Now(), Parent: parent})
+	t.mu.Unlock()
+	return context.WithValue(ctx, parentCtxKey{}, idx), func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans[idx].End = end
+		t.mu.Unlock()
+	}
+}
+
+// StartSpanName is StartSpan for dynamically named spans ("score cpu_util"):
+// the name is concatenated only when a trace is attached, so untraced hot
+// loops never pay the string build.
+func StartSpanName(ctx context.Context, prefix, detail string) (context.Context, func()) {
+	if TraceFrom(ctx) == nil {
+		return ctx, noopEnd
+	}
+	return StartSpan(ctx, prefix+detail)
+}
+
+func noopEnd() {}
+
+// SpanNode is the JSON rendering of one span and its children.
+type SpanNode struct {
+	Name       string      `json:"name"`
+	StartMs    float64     `json:"start_ms"`
+	DurationMs float64     `json:"duration_ms"`
+	Children   []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree renders the recorded spans as a forest of SpanNodes with offsets
+// relative to the trace start. Spans still open (end not recorded, e.g. a
+// cancelled worker) report duration up to now.
+func (t *Trace) Tree() []*SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	start := t.start
+	t.mu.Unlock()
+
+	now := time.Now()
+	nodes := make([]*SpanNode, len(spans))
+	for i, s := range spans {
+		end := s.End
+		if end.IsZero() {
+			end = now
+		}
+		nodes[i] = &SpanNode{
+			Name:       s.Name,
+			StartMs:    float64(s.Start.Sub(start)) / float64(time.Millisecond),
+			DurationMs: float64(end.Sub(s.Start)) / float64(time.Millisecond),
+		}
+	}
+	var roots []*SpanNode
+	for i, s := range spans {
+		if s.Parent >= 0 && s.Parent < len(nodes) {
+			nodes[s.Parent].Children = append(nodes[s.Parent].Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}
+
+// Dropped reports how many spans were discarded after the cap.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

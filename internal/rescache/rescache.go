@@ -19,6 +19,20 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"explainit/internal/obs"
+)
+
+// Process-wide obs counters, aggregated across every Cache instance (the
+// facade owns one per client; the self-scraped hit-ratio series is about
+// the process). Unlike the per-cache Stats atomics, a probe against a
+// disabled cache counts as an obs miss: the request did probe and did not
+// get a ranking, which is exactly the signal a mid-run cache outage must
+// leave in explainit_cache_hit_ratio.
+var (
+	metHits        = obs.Default().Counter("explainit_ranking_cache_hits_total")
+	metMisses      = obs.Default().Counter("explainit_ranking_cache_misses_total")
+	metInvalidated = obs.Default().Counter("explainit_ranking_cache_invalidated_total")
 )
 
 // Cache is a bounded, watermark-validated LRU. A Cache with capacity <= 0
@@ -72,6 +86,7 @@ func (c *Cache) Enabled() bool { return c != nil && c.cap > 0 }
 // invalidated) and the lookup misses.
 func (c *Cache) Get(key string, wm []uint64) (any, bool) {
 	if !c.Enabled() {
+		metMisses.Inc()
 		return nil, false
 	}
 	c.mu.Lock()
@@ -79,6 +94,7 @@ func (c *Cache) Get(key string, wm []uint64) (any, bool) {
 	if !ok {
 		c.mu.Unlock()
 		c.misses.Add(1)
+		metMisses.Inc()
 		return nil, false
 	}
 	e := el.Value.(*entry)
@@ -88,12 +104,15 @@ func (c *Cache) Get(key string, wm []uint64) (any, bool) {
 		c.mu.Unlock()
 		c.invalidated.Add(1)
 		c.misses.Add(1)
+		metInvalidated.Inc()
+		metMisses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
 	v := e.val
 	c.mu.Unlock()
 	c.hits.Add(1)
+	metHits.Inc()
 	return v, true
 }
 

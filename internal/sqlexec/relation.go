@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -115,7 +116,14 @@ func (c *MemCatalog) Table(name string) (*Relation, error) {
 //
 //	timestamp (time), metric_name (string), tag (map), value (number)
 func TSDBRelation(db *tsdb.DB, q tsdb.Query) (*Relation, error) {
-	series, err := db.Run(q)
+	return TSDBRelationContext(context.Background(), db, q)
+}
+
+// TSDBRelationContext is TSDBRelation under a caller context, so the shard
+// fan-out underneath observes cancellation and records trace spans for
+// traced requests.
+func TSDBRelationContext(ctx context.Context, db *tsdb.DB, q tsdb.Query) (*Relation, error) {
+	series, err := db.RunContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,15 @@
+package storage
+
+import "explainit/internal/obs"
+
+// Metric handles resolved once at package init so the WAL/compaction hot
+// paths never touch the registry mutex. Buckets reach down to 50µs: a
+// buffered-cache fsync and a real disk fsync must land in different
+// buckets for WAL stalls to show up in self-scraped series.
+var (
+	metWALAppendMs  = obs.Default().Histogram("explainit_wal_append_ms", obs.LatencyBucketsMs)
+	metWALFsyncMs   = obs.Default().Histogram("explainit_wal_fsync_ms", obs.LatencyBucketsMs)
+	metWALAppends   = obs.Default().Counter("explainit_wal_appends_total")
+	metCompactionMs = obs.Default().Histogram("explainit_storage_compaction_ms", obs.LatencyBucketsMs)
+	metCompactions  = obs.Default().Counter("explainit_storage_compactions_total")
+)

@@ -339,6 +339,11 @@ func (s *Store) compactSealedLocked() error {
 	if len(sealed) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() {
+		metCompactionMs.ObserveSince(start)
+		metCompactions.Inc()
+	}()
 
 	bb := newBlockBuilder()
 	for _, seq := range sealed {

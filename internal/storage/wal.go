@@ -109,6 +109,11 @@ func (w *wal) Append(recs []Record) (sealed bool, err error) {
 	if len(recs) == 0 {
 		return false, nil
 	}
+	start := time.Now()
+	defer func() {
+		metWALAppendMs.ObserveSince(start)
+		metWALAppends.Inc()
+	}()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -166,7 +171,10 @@ func (w *wal) Append(recs []Record) (sealed bool, err error) {
 	}
 	w.size += int64(len(w.buf))
 	if w.sync == SyncBatch {
-		if err := w.f.Sync(); err != nil {
+		syncStart := time.Now()
+		err := w.f.Sync()
+		metWALFsyncMs.ObserveSince(syncStart)
+		if err != nil {
 			// Durability of the written frames is unknown; seal the
 			// segment so the failure can't contaminate later batches. The
 			// unacked frames are intact on disk and may be replayed —

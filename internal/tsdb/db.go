@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"explainit/internal/obs"
 	"explainit/internal/storage"
 	ts "explainit/internal/timeseries"
 )
@@ -67,6 +68,10 @@ type shard struct {
 	seq atomic.Uint64
 
 	store *storage.Store // immutable after Open; nil in memory-only mode
+
+	// scans counts query executions against this shard, labeled by shard
+	// index (handle resolved at construction; nil-safe if never wired).
+	scans *obs.Counter
 }
 
 // DefaultShards is the shard count used when neither NewWithShards /
@@ -104,6 +109,7 @@ func NewWithShards(n int) *DB {
 	db := &DB{shards: make([]*shard, n)}
 	for i := range db.shards {
 		db.shards[i] = newShard()
+		db.shards[i].scans = obs.Default().Counter("explainit_tsdb_shard_scans_total", "shard", strconv.Itoa(i))
 	}
 	return db
 }
@@ -227,6 +233,7 @@ func (db *DB) Put(name string, tags ts.Tags, at time.Time, value float64) {
 		sh.wmu.Unlock()
 	}
 	idPool.Put(ib)
+	noteIngest(1)
 }
 
 // PutBatch appends a batch of observations. The batch is partitioned by
@@ -322,6 +329,7 @@ func (sh *shard) putBatch(recs []Record, ids []byte, ends []int) error {
 	if ib != nil {
 		idPool.Put(ib)
 	}
+	noteIngest(len(recs))
 	return nil
 }
 

@@ -1,0 +1,56 @@
+package tsdb
+
+import (
+	"sync/atomic"
+	"time"
+
+	"explainit/internal/obs"
+)
+
+// Metric handles resolved once at package init; the per-shard scan counter
+// is resolved per shard at construction (shard index as a label) so sh.run
+// increments one atomic without touching the registry. Ingest counters are
+// bumped once per batch, not per record — a million-sample PutBatch costs
+// two atomic adds.
+var (
+	metIngestBatches = obs.Default().Counter("explainit_tsdb_ingest_batches_total")
+	metIngestSamples = obs.Default().Counter("explainit_tsdb_ingest_samples_total")
+	metQueries       = obs.Default().Counter("explainit_tsdb_queries_total")
+	metSeriesOut     = obs.Default().Counter("explainit_tsdb_series_returned_total")
+)
+
+// lastIngestNanos is the wall-clock time of the most recent applied batch,
+// read by the watermark-lag gauge below.
+var lastIngestNanos atomic.Int64
+
+// putStride counts single-sample Puts so the wall-clock stamp is taken
+// once per 256 of them instead of per sample — time.Now costs a
+// meaningful fraction of the ~200ns Put hot path. The lag gauge loses at
+// most 255 samples of precision while actively ingesting (when lag is ~0
+// anyway); a stall's ramp starts from the last stamp, at most 255 puts
+// early. Batches always stamp: they already amortize.
+var putStride atomic.Uint64
+
+func noteIngest(samples int) {
+	metIngestBatches.Inc()
+	metIngestSamples.Add(uint64(samples))
+	if !obs.Enabled() {
+		return
+	}
+	if samples == 1 && putStride.Add(1)%256 != 0 {
+		return
+	}
+	lastIngestNanos.Store(time.Now().UnixNano())
+}
+
+func init() {
+	// Watermark lag: seconds since anything was ingested, 0 until the
+	// first batch. A stalled connector shows up as a ramp.
+	obs.Default().GaugeFunc("explainit_tsdb_watermark_lag_seconds", func() float64 {
+		last := lastIngestNanos.Load()
+		if last == 0 {
+			return 0
+		}
+		return float64(time.Now().UnixNano()-last) / float64(time.Second)
+	})
+}

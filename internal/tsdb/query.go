@@ -5,9 +5,11 @@ import (
 	"context"
 	"regexp"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"explainit/internal/obs"
 	ts "explainit/internal/timeseries"
 )
 
@@ -92,13 +94,18 @@ func (db *DB) RunContext(ctx context.Context, q Query) ([]*ts.Series, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	metQueries.Inc()
 	if len(db.shards) == 1 {
+		_, end := obs.StartSpan(ctx, "shard_scan")
 		_, out := db.shards[0].run(cq)
+		end()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		metSeriesOut.Add(uint64(len(out)))
 		return out, nil
 	}
+	scanCtx, endScan := obs.StartSpan(ctx, "shard_scan")
 	parts := make([]shardResult, len(db.shards))
 	var wg sync.WaitGroup
 	for i, sh := range db.shards {
@@ -108,14 +115,21 @@ func (db *DB) RunContext(ctx context.Context, q Query) ([]*ts.Series, error) {
 			if ctx.Err() != nil {
 				return // abort the fan-out: leave this shard's part empty
 			}
+			_, endOne := obs.StartSpanName(scanCtx, "shard ", strconv.Itoa(i))
 			parts[i].ids, parts[i].series = sh.run(cq)
+			endOne()
 		}(i, sh)
 	}
 	wg.Wait()
+	endScan()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mergeByID(parts), nil
+	_, endMerge := obs.StartSpan(ctx, "merge")
+	out := mergeByID(parts)
+	endMerge()
+	metSeriesOut.Add(uint64(len(out)))
+	return out, nil
 }
 
 type shardResult struct {
@@ -130,6 +144,7 @@ type shardResult struct {
 // runs under; the rare unsorted shard is queried under the write lock,
 // with the sort and the scan in one critical section.
 func (sh *shard) run(cq *compiledQuery) ([]string, []*ts.Series) {
+	sh.scans.Inc()
 	sh.mu.RLock()
 	if sh.sorted {
 		defer sh.mu.RUnlock()

@@ -12,9 +12,12 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strings"
 	"time"
 
+	"explainit/internal/buildinfo"
+	"explainit/internal/obs"
 	ts "explainit/internal/timeseries"
 	"explainit/internal/tsdb"
 )
@@ -55,6 +58,7 @@ func NewHandler(db *tsdb.DB) *Handler {
 	h.mux.HandleFunc("/api/query", h.handleQuery)
 	h.mux.HandleFunc("/api/suggest", h.handleSuggest)
 	h.mux.HandleFunc("/api/stats", h.handleStats)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	return h
 }
 
@@ -208,13 +212,41 @@ func (h *Handler) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, h.DB.MetricNames())
 }
 
-// handleStats reports store size and layout.
+// statsPayload reports store size and layout plus process identity, so an
+// operator curling /api/stats can tell which build has been up how long.
+type statsPayload struct {
+	Series  int `json:"series"`
+	Samples int `json:"samples"`
+	Shards  int `json:"shards"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version"`
+	Commit        string  `json:"commit"`
+	GoMaxProcs    int     `json:"go_maxprocs"`
+}
+
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]int{
-		"series":  h.DB.NumSeries(),
-		"samples": h.DB.NumSamples(),
-		"shards":  h.DB.NumShards(),
+	writeJSON(w, statsPayload{
+		Series:        h.DB.NumSeries(),
+		Samples:       h.DB.NumSamples(),
+		Shards:        h.DB.NumShards(),
+		UptimeSeconds: buildinfo.Uptime().Seconds(),
+		Version:       buildinfo.Version,
+		Commit:        buildinfo.Commit,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 	})
+}
+
+// handleMetrics serves the process-default registry in Prometheus text
+// exposition format, covering the tsdb/storage instrumentation (ingest
+// rates, per-shard scans, WAL and compaction timings).
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
 }
 
 // Client talks to a remote tsdbhttp server: the "external data source"

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"explainit/internal/core"
+	"explainit/internal/obs"
 	ts "explainit/internal/timeseries"
 )
 
@@ -229,8 +230,9 @@ type stepPlan struct {
 // beginStep snapshots the session under the lock, probes the ranking cache,
 // and on a miss prepares (or fetches) the conditioning state for the
 // current set. It marks the session stepping; the caller must finishStep
-// exactly once.
-func (inv *Investigation) beginStep() (stepPlan, error) {
+// exactly once. ctx is for tracing only (cache_probe / gram_cholesky
+// spans); cancellation is the step runner's concern.
+func (inv *Investigation) beginStep(ctx context.Context) (stepPlan, error) {
 	inv.mu.Lock()
 	if inv.closed {
 		inv.mu.Unlock()
@@ -289,11 +291,14 @@ func (inv *Investigation) beginStep() (stepPlan, error) {
 	// Explain form and dashboards re-issuing EXPLAIN ... GIVEN across
 	// fresh one-step sessions hit it).
 	if cache := inv.client.rankingCache(); cache.Enabled() {
+		_, endProbe := obs.StartSpan(ctx, "cache_probe")
 		plan.key = rankingKey(inv.gen, inv.client.famGeneration(), inv.targetName, condNames,
 			inv.opts.Pseudocause, inv.opts.PseudocausePeriod, inv.opts.SearchSpace,
 			inv.opts.Scorer, inv.opts.Seed, inv.opts.TopK, inv.opts.ExplainFrom, inv.opts.ExplainTo)
 		plan.wm = inv.client.db.Watermarks()
-		if v, ok := cache.Get(plan.key, plan.wm); ok {
+		v, ok := cache.Get(plan.key, plan.wm)
+		endProbe()
+		if ok {
 			plan.cached = v.(*Ranking).clone()
 			return plan, nil
 		}
@@ -301,7 +306,9 @@ func (inv *Investigation) beginStep() (stepPlan, error) {
 
 	if state == nil && len(condition) > 0 {
 		var err error
+		_, endPrep := obs.StartSpan(ctx, "gram_cholesky")
 		state, err = inv.eng.PrepareConditioning(inv.target, condition, prev)
+		endPrep()
 		if err != nil {
 			inv.mu.Lock()
 			inv.stepping = false
@@ -361,18 +368,21 @@ func (inv *Investigation) finishStep(sig string, state *core.CondState, conditio
 // earlier one only factor the delta. A cancelled ctx returns ctx.Err()
 // promptly with every scoring worker reaped.
 func (inv *Investigation) Step(ctx context.Context) (*Ranking, error) {
-	plan, err := inv.beginStep()
+	start := time.Now()
+	defer noteRequest(metStepReqs, start)
+	plan, err := inv.beginStep(ctx)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
 	if plan.cached != nil {
 		// Served from the ranking cache: the step still lands in History
 		// (it is a step the operator took), with the replay's elapsed time.
 		inv.finishStep(plan.sig, nil, plan.names, plan.cached, time.Since(start), nil)
 		return plan.cached, nil
 	}
-	table, err := inv.eng.RankPrepared(ctx, plan.req, plan.state, nil)
+	rankCtx, endRank := obs.StartSpan(ctx, "rank")
+	table, err := inv.eng.RankPrepared(rankCtx, plan.req, plan.state, nil)
+	endRank()
 	var ranking *Ranking
 	if err == nil {
 		ranking = rankingFromTable(table)
@@ -393,11 +403,11 @@ func (inv *Investigation) Step(ctx context.Context) (*Ranking, error) {
 // buffered for the whole step, so abandoning it leaks nothing; cancel ctx
 // to stop the scoring itself.
 func (inv *Investigation) ExplainStream(ctx context.Context) (<-chan RankUpdate, error) {
-	plan, err := inv.beginStep()
+	start := time.Now()
+	plan, err := inv.beginStep(ctx)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
 	if plan.cached != nil {
 		inv.finishStep(plan.sig, nil, plan.names, plan.cached, time.Since(start), nil)
 		return replayRanking(plan.cached), nil

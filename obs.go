@@ -1,0 +1,80 @@
+package explainit
+
+import (
+	"context"
+	"time"
+
+	"explainit/internal/obs"
+)
+
+// Facade metric handles, resolved once at package init. The request
+// latency histogram deliberately covers the cache-hit path too: a cached
+// EXPLAIN answers in microseconds and an engine ranking in milliseconds,
+// so a cache outage shows up as a step change in the self-scraped
+// explainit_request_latency_ms series — exactly the regression signal the
+// self-RCA workflow ranks causes for.
+var (
+	metRequestLatencyMs  = obs.Default().Histogram("explainit_request_latency_ms", obs.LatencyBucketsMs)
+	metExplainReqs       = obs.Default().Counter("explainit_requests_total", "kind", "explain")
+	metExplainStreamReqs = obs.Default().Counter("explainit_requests_total", "kind", "explain_stream")
+	metQueryReqs         = obs.Default().Counter("explainit_requests_total", "kind", "query")
+	metQueryStreamReqs   = obs.Default().Counter("explainit_requests_total", "kind", "query_stream")
+	metStepReqs          = obs.Default().Counter("explainit_requests_total", "kind", "step")
+)
+
+// noteRequest records one completed facade request of the given kind.
+func noteRequest(kind *obs.Counter, start time.Time) {
+	kind.Inc()
+	metRequestLatencyMs.ObserveSince(start)
+}
+
+// SelfScrapeMetricPrefix is the name prefix every self-scraped series and
+// derived ratio carries; see DESIGN.md "Observability" for the catalog.
+const SelfScrapeMetricPrefix = "explainit_"
+
+// NewSelfScraper builds a scraper that converts the process-default
+// registry's snapshots into explainit_* observations written through this
+// client's normal PutBatch path — the dogfooding loop that makes the
+// serving stack's own performance EXPLAINable. Counters become
+// per-interval deltas, gauges pass through, histograms become the interval
+// mean plus a _count delta, and the derived explainit_cache_hit_ratio
+// series is registered here. Drive it with Run (explainitd -self-scrape)
+// or ScrapeOnce (tests, synthetic clocks).
+//
+// Note the feedback loop: each scrape's PutBatch bumps shard watermarks,
+// which invalidates all cached rankings — by design, since cached results
+// must never outlive a write. Dashboards re-issuing EXPLAINs over a
+// self-scraping store therefore miss the ranking cache about once per
+// interval; see DESIGN.md for the trade-off.
+func (c *Client) NewSelfScraper() *obs.Scraper {
+	sc := obs.NewScraper(obs.Default(), obs.SinkFunc(func(samples []obs.Sample) error {
+		batch := make([]Observation, len(samples))
+		for i, s := range samples {
+			batch[i] = Observation{Metric: s.Metric, Tags: Tags(s.Labels), At: s.At, Value: s.Value}
+		}
+		return c.PutBatch(batch)
+	}))
+	sc.Ratio("explainit_cache_hit_ratio",
+		"explainit_ranking_cache_hits_total",
+		"explainit_ranking_cache_hits_total", "explainit_ranking_cache_misses_total")
+	return sc
+}
+
+// StartSelfScrape starts the self-scrape loop at the given interval and
+// returns a stop function. Intervals <= 0 disable it (stop is a no-op).
+func (c *Client) StartSelfScrape(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := c.NewSelfScraper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc.Run(ctx, interval)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
+	"explainit/internal/obs"
 	"explainit/internal/sqlexec"
 	"explainit/internal/sqlparse"
 	"explainit/internal/tsdb"
@@ -26,11 +28,15 @@ import (
 // default top-20. The context cancels a running ranking. Result values are float64, string, time.Time, or nil for SQL
 // NULL; statement errors wrap ErrBadSQL, unknown names ErrUnknownFamily.
 func (c *Client) Query(ctx context.Context, query string) (*Result, error) {
+	start := time.Now()
+	defer noteRequest(metQueryReqs, start)
+	_, endParse := obs.StartSpan(ctx, "parse")
 	stmt, err := sqlparse.ParseStatement(query)
+	endParse()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSQL, err)
 	}
-	rel, err := sqlexec.ExecuteStatement(ctx, stmt, &tsdbCatalog{client: c}, clientExplainer{c})
+	rel, err := sqlexec.ExecuteStatement(ctx, stmt, &tsdbCatalog{client: c, ctx: ctx}, clientExplainer{c})
 	if err != nil {
 		// A statement that parsed but cannot be planned is still a bad
 		// query, same as a syntax error.
@@ -68,7 +74,10 @@ func (c *Client) Query(ctx context.Context, query string) (*Result, error) {
 // the whole ranking, so abandoning it leaks nothing; cancel ctx to stop
 // the scoring itself.
 func (c *Client) QueryStream(ctx context.Context, query string) (<-chan RankUpdate, error) {
+	metQueryStreamReqs.Inc()
+	_, endParse := obs.StartSpan(ctx, "parse")
 	stmt, err := sqlparse.ParseStatement(query)
+	endParse()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSQL, err)
 	}
@@ -76,7 +85,9 @@ func (c *Client) QueryStream(ctx context.Context, query string) (<-chan RankUpda
 	if !ok {
 		return nil, fmt.Errorf("%w: only EXPLAIN statements stream", ErrBadSQL)
 	}
+	_, endPlan := obs.StartSpan(ctx, "plan")
 	plan, err := sqlexec.CompileExplain(ex)
+	endPlan()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSQL, err)
 	}
@@ -202,6 +213,7 @@ func (c *Client) explainPlanStream(ctx context.Context, plan sqlexec.ExplainPlan
 // only when it actually references the table.
 type tsdbCatalog struct {
 	client *Client
+	ctx    context.Context // request context; traces the backing shard scan
 	once   sync.Once
 	rel    *sqlexec.Relation
 	err    error
@@ -213,7 +225,11 @@ func (t *tsdbCatalog) Table(name string) (*sqlexec.Relation, error) {
 		return nil, fmt.Errorf("sqlexec: unknown table %q", name)
 	}
 	t.once.Do(func() {
-		t.rel, t.err = sqlexec.TSDBRelation(t.client.db, tsdb.Query{})
+		ctx := t.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		t.rel, t.err = sqlexec.TSDBRelationContext(ctx, t.client.db, tsdb.Query{})
 	})
 	return t.rel, t.err
 }
