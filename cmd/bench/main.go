@@ -31,7 +31,9 @@ const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL
 	"BenchmarkCorrelationMatrix$|BenchmarkTSDBIngest$|BenchmarkIngestWAL$|" +
 	"BenchmarkIngestWALConcurrent$|BenchmarkIngestWALConcurrentShard1$|" +
 	"BenchmarkCondPrepReuse$|BenchmarkCondPrepScratch$|" +
-	"BenchmarkRepeatExplainCacheHit$|BenchmarkConcurrentExplain$"
+	"BenchmarkRepeatExplainCacheHit$|BenchmarkConcurrentExplain$|" +
+	"BenchmarkSQLPushdownScan$|BenchmarkSQLScanMaterialize$|" +
+	"BenchmarkSQLDashboard$|BenchmarkSQLDashboardUncached$|BenchmarkSQLHashJoin$"
 
 // Measurement is one benchmark's result in a snapshot.
 type Measurement struct {

@@ -33,6 +33,20 @@ func main() {
 		fmt.Printf("  %-18v %v points\n", row[0], row[1])
 	}
 
+	// EXPLAIN PLAN shows how a statement will run without running it: the
+	// physical plan as JSON, including which predicates were pushed into
+	// the store's inverted indexes and the estimated scan cardinality. The
+	// repl exposes the same thing as `plan <statement>`.
+	plan, err := c.Query(ctx, `
+		EXPLAIN PLAN SELECT tag['host'] AS host, AVG(value) AS cpu
+		FROM tsdb WHERE metric_name = 'process_cpu'
+		GROUP BY tag['host'] ORDER BY cpu DESC LIMIT 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nphysical plan for the top-3 CPU query:")
+	fmt.Println(plan.Rows[0][0])
+
 	// Listing 1: the target family — per-pipeline average runtime.
 	if _, err := c.DefineFamiliesSQL(`
 		SELECT timestamp, metric_name, AVG(value) AS runtime_sec

@@ -59,7 +59,12 @@ type Client struct {
 	// registry build they were computed against (see cache.go).
 	famGen  uint64
 	rcache  atomic.Pointer[rescache.Cache]
-	workers *cluster.Pool // non-nil after ConnectWorkers
+	// SQL-layer caches (sqlcache.go): compiled physical plans keyed by
+	// statement text, and pushed-down scan relations validated against the
+	// store's ingest watermarks.
+	sqlPlans atomic.Pointer[rescache.Cache]
+	sqlScans atomic.Pointer[rescache.Cache]
+	workers  *cluster.Pool // non-nil after ConnectWorkers
 }
 
 func newClient(db *tsdb.DB) *Client {
@@ -68,6 +73,8 @@ func newClient(db *tsdb.DB) *Client {
 		families: make(map[string]*core.Family),
 	}
 	c.rcache.Store(rescache.New(defaultRankingCacheCap))
+	c.sqlPlans.Store(rescache.New(defaultSQLPlanCacheCap))
+	c.sqlScans.Store(rescache.New(defaultSQLScanCacheCap))
 	return c
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -58,6 +59,22 @@ func TestQueryBlockingSelectAndExplain(t *testing.T) {
 		if got, _ := exp.Rows[i][3].(float64); got != row.Score {
 			t.Fatalf("row %d score %v vs facade %v", i, exp.Rows[i][3], row.Score)
 		}
+	}
+
+	// EXPLAIN PLAN returns the physical plan as one JSON cell.
+	w = doJSON(t, srv, http.MethodPost, "/api/v1/query",
+		queryRequest{SQL: "EXPLAIN PLAN SELECT value FROM tsdb WHERE metric_name = 'pipeline_runtime' LIMIT 5"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("explain plan: %d %s", w.Code, w.Body.String())
+	}
+	var pl queryPayload
+	decodeBody(t, w, &pl)
+	if len(pl.Columns) != 1 || pl.Columns[0] != "plan" || len(pl.Rows) != 1 {
+		t.Fatalf("explain plan payload %+v", pl)
+	}
+	planText, _ := pl.Rows[0][0].(string)
+	if !strings.Contains(planText, `"op": "scan"`) || !strings.Contains(planText, `"metric": "pipeline_runtime"`) {
+		t.Fatalf("plan JSON missing scan pushdown:\n%s", planText)
 	}
 }
 

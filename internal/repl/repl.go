@@ -137,6 +137,11 @@ func (s *Session) Execute(line string) error {
 			return fmt.Errorf("usage: sql <query>")
 		}
 		return s.sql(rest)
+	case "plan":
+		if rest == "" {
+			return fmt.Errorf("usage: plan <statement>")
+		}
+		return s.plan(rest)
 	}
 	return fmt.Errorf("unknown command %q (try help)", cmd)
 }
@@ -144,7 +149,7 @@ func (s *Session) Execute(line string) error {
 // replCommands lists the command vocabulary, for help and completion.
 var replCommands = []string{
 	"condition", "explain", "families", "help", "load", "overlay",
-	"pseudocause", "quit", "scorer", "space", "sql", "structure",
+	"plan", "pseudocause", "quit", "scorer", "space", "sql", "structure",
 	"suggest", "target", "topk",
 }
 
@@ -180,7 +185,7 @@ func (s *Session) Complete(line string) []string {
 		return prefixed([]string{"corrmean", "corrmax", "l1", "l2", "l2-p50", "l2-p500"}, last)
 	case "families":
 		return prefixed([]string{"name", "tag:"}, last)
-	case "sql":
+	case "sql", "plan":
 		return prefixed(append(s.familyNames(), sqlKeywords...), last)
 	}
 	return nil
@@ -236,6 +241,8 @@ func (s *Session) help() {
   sql <query>            ad-hoc SQL: SELECT over the tsdb table, or
                          EXPLAIN <target> [GIVEN ...] [USING FAMILIES (...)]
                          [OVER <from> TO <to>] [LIMIT k] to rank causes
+  plan <statement>       show the physical query plan (pushdown, join
+                         order, shared scans) as JSON without running it
   quit                   leave
 `)
 }
@@ -391,6 +398,32 @@ func (s *Session) sql(query string) error {
 		fmt.Fprintln(s.out, strings.Join(parts, " | "))
 	}
 	fmt.Fprintf(s.out, "(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+// plan renders the physical plan of a statement as JSON, via EXPLAIN PLAN.
+func (s *Session) plan(query string) error {
+	const prefix = "EXPLAIN PLAN "
+	res, err := s.Client.Query(context.Background(), prefix+query)
+	if err != nil {
+		var serr *sqlparse.SyntaxError
+		if errors.As(err, &serr) {
+			// Report positions in the operator's own text, not the prefixed
+			// statement actually sent.
+			pos := serr.Pos - len(prefix)
+			if pos < 0 {
+				pos = 0
+			}
+			line, col := sqlparse.Position(query, pos)
+			return fmt.Errorf("plan: syntax error at line %d, column %d: %s", line, col, serr.Msg)
+		}
+		return err
+	}
+	for _, row := range res.Rows {
+		for _, v := range row {
+			fmt.Fprintln(s.out, v)
+		}
+	}
 	return nil
 }
 

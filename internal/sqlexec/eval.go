@@ -18,6 +18,12 @@ type evalContext struct {
 	row       []Value
 	rowIdx    int       // index of row within rel.Rows (for LAG); -1 if n/a
 	groupRows [][]Value // non-nil only while evaluating grouped selects
+	// aggVals substitutes precomputed values for aggregate call sites
+	// (keyed by AST node identity). The streaming aggregation operator
+	// accumulates each aggregate incrementally and then evaluates the
+	// surrounding item expression with the results plugged in here, so the
+	// expression tree itself is never rewritten.
+	aggVals map[*sp.FuncCall]Value
 }
 
 func nan() float64 { return math.NaN() }
@@ -261,6 +267,15 @@ func evalBinary(x *sp.BinaryExpr, ctx *evalContext) (Value, error) {
 			return Null(), err
 		}
 		return boolVal(matched), nil
+	case "GLOB":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		matched, err := globValueMatch(l.AsString(), r.AsString())
+		if err != nil {
+			return Null(), err
+		}
+		return boolVal(matched), nil
 	case "||":
 		return Str(l.AsString() + r.AsString()), nil
 	case "+", "-", "*", "/", "%":
@@ -316,6 +331,27 @@ func likeMatch(s, pattern string) (bool, error) {
 	return re.MatchString(s), nil
 }
 
+// globValueMatch implements the GLOB operator with '*' wildcards — the same
+// anchored glob dialect the tsdb's NamePattern/TagPatterns use, which is
+// what lets a GLOB predicate push down into the store's inverted indexes
+// verbatim.
+func globValueMatch(s, pattern string) (bool, error) {
+	var b strings.Builder
+	b.WriteByte('^')
+	for i, part := range strings.Split(pattern, "*") {
+		if i > 0 {
+			b.WriteString(".*")
+		}
+		b.WriteString(regexp.QuoteMeta(part))
+	}
+	b.WriteByte('$')
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return false, fmt.Errorf("sqlexec: bad GLOB pattern %q: %w", pattern, err)
+	}
+	return re.MatchString(s), nil
+}
+
 func evalBetween(x *sp.BetweenExpr, ctx *evalContext) (Value, error) {
 	v, err := eval(x.X, ctx)
 	if err != nil {
@@ -365,6 +401,11 @@ func evalIn(x *sp.InExpr, ctx *evalContext) (Value, error) {
 }
 
 func evalFunc(x *sp.FuncCall, ctx *evalContext) (Value, error) {
+	if ctx.aggVals != nil {
+		if v, ok := ctx.aggVals[x]; ok {
+			return v, nil
+		}
+	}
 	if aggregateFuncs[x.Name] {
 		return evalAggregate(x, ctx)
 	}

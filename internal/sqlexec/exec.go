@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"explainit/internal/obs"
 	sp "explainit/internal/sqlparse"
 )
 
@@ -21,15 +22,35 @@ type execEnv struct {
 // Execute runs a parsed SELECT statement against the catalog and returns the
 // resulting relation. EXPLAIN refs in FROM fail: use ExecuteStatement with
 // an Explainer for those.
+//
+// Deprecated: thin wrapper over the planner path; use ExecuteStatement with
+// a context so scans and rankings are cancellable.
 func Execute(stmt *sp.SelectStmt, cat Catalog) (*Relation, error) {
 	return ExecuteStatement(context.Background(), stmt, cat, nil)
 }
 
-// ExecuteStatement runs a parsed statement of either kind. A SELECT
-// executes against the catalog; an EXPLAIN (top-level or embedded in FROM)
-// is compiled and dispatched to ex. ctx reaches the Explainer so a
-// long-running ranking is cancellable.
+// ExecuteStatement runs a parsed statement of any kind through the query
+// planner and the streaming iterator executor. A SELECT executes against
+// the catalog (with predicate/time pushdown when cat implements
+// PushdownCatalog); an EXPLAIN (top-level or embedded in FROM) is compiled
+// and dispatched to ex; an EXPLAIN PLAN returns the inner statement's
+// physical plan as JSON. ctx reaches scans and the Explainer so a
+// long-running query is cancellable.
 func ExecuteStatement(ctx context.Context, stmt sp.Statement, cat Catalog, ex Explainer) (*Relation, error) {
+	pctx, end := obs.StartSpan(ctx, "sql_plan")
+	plan, err := PlanStatement(stmt, cat)
+	end()
+	if err != nil {
+		return nil, err
+	}
+	return ExecutePlan(pctx, plan, cat, ex)
+}
+
+// ExecuteStatementLegacy runs a statement through the pre-planner
+// materialize-everything executor. Kept as the differential-testing and
+// benchmark baseline for the planner path; new code should use
+// ExecuteStatement.
+func ExecuteStatementLegacy(ctx context.Context, stmt sp.Statement, cat Catalog, ex Explainer) (*Relation, error) {
 	env := &execEnv{ctx: ctx, cat: cat, ex: ex}
 	switch s := stmt.(type) {
 	case *sp.SelectStmt:
@@ -64,6 +85,9 @@ func executeSelect(stmt *sp.SelectStmt, env *execEnv) (*Relation, error) {
 }
 
 // Run parses and executes a SQL string in one call.
+//
+// Deprecated: thin wrapper over the planner path; use RunStatement with a
+// context so scans and rankings are cancellable.
 func Run(query string, cat Catalog) (*Relation, error) {
 	stmt, err := sp.Parse(query)
 	if err != nil {
@@ -270,18 +294,15 @@ func executeGrouped(stmt *sp.SelectStmt, input *Relation) (*Relation, [][]Value,
 }
 
 func dedupRows(rel *Relation) *Relation {
-	seen := make(map[string]bool, len(rel.Rows))
+	seen := make(map[string]struct{}, len(rel.Rows))
 	out := &Relation{Cols: rel.Cols, Quals: rel.Quals}
+	var h rowHasher
 	for _, row := range rel.Rows {
-		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = v.Key()
-		}
-		key := strings.Join(parts, "\x1f")
-		if seen[key] {
+		key := h.rowKey(row)
+		if _, dup := seen[string(key)]; dup {
 			continue
 		}
-		seen[key] = true
+		seen[string(key)] = struct{}{}
 		out.Rows = append(out.Rows, row)
 	}
 	return out
@@ -289,19 +310,16 @@ func dedupRows(rel *Relation) *Relation {
 
 // dedupRowsWithSrc removes duplicate output rows, keeping src aligned.
 func dedupRowsWithSrc(rel *Relation, src [][]Value) (*Relation, [][]Value) {
-	seen := make(map[string]bool, len(rel.Rows))
+	seen := make(map[string]struct{}, len(rel.Rows))
 	out := &Relation{Cols: rel.Cols, Quals: rel.Quals}
 	var outSrc [][]Value
+	var h rowHasher
 	for i, row := range rel.Rows {
-		parts := make([]string, len(row))
-		for j, v := range row {
-			parts[j] = v.Key()
-		}
-		key := strings.Join(parts, "\x1f")
-		if seen[key] {
+		key := h.rowKey(row)
+		if _, dup := seen[string(key)]; dup {
 			continue
 		}
-		seen[key] = true
+		seen[string(key)] = struct{}{}
 		out.Rows = append(out.Rows, row)
 		if src != nil {
 			outSrc = append(outSrc, src[i])

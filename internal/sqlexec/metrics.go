@@ -1,0 +1,11 @@
+package sqlexec
+
+import "explainit/internal/obs"
+
+// Executor counters. Scan/explain sharing fires when common-subexpression
+// elimination lets a second occurrence of an identical scan or embedded
+// EXPLAIN within one statement batch reuse the first materialization.
+var (
+	metScanShared    = obs.Default().Counter("explainit_sql_scan_shared_total")
+	metExplainShared = obs.Default().Counter("explainit_sql_explain_shared_total")
+)

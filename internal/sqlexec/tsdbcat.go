@@ -1,0 +1,78 @@
+package sqlexec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"explainit/internal/tsdb"
+)
+
+// TSDBCatalog is a pushdown-capable catalog over one tsdb store: the
+// canonical "tsdb" table (timestamp, metric_name, tag, value) supports
+// predicate and time-range pushdown through the store's inverted indexes,
+// and additional plain relations can be registered alongside it. This is
+// the catalog benchmarks and planner tests run against; the facade wraps
+// the same shape with its client-level scan cache.
+type TSDBCatalog struct {
+	db     *tsdb.DB
+	tables map[string]*Relation
+}
+
+// NewTSDBCatalog builds a catalog exposing db as the "tsdb" table.
+func NewTSDBCatalog(db *tsdb.DB) *TSDBCatalog {
+	return &TSDBCatalog{db: db, tables: make(map[string]*Relation)}
+}
+
+// Register adds a plain (non-pushdown) relation under name.
+func (c *TSDBCatalog) Register(name string, rel *Relation) {
+	c.tables[strings.ToLower(name)] = rel
+}
+
+func (c *TSDBCatalog) isTSDB(name string) bool { return strings.EqualFold(name, "tsdb") }
+
+// Table implements Catalog: a full materialization of the named table.
+func (c *TSDBCatalog) Table(name string) (*Relation, error) {
+	if c.isTSDB(name) {
+		return TSDBRelation(c.db, tsdb.Query{})
+	}
+	if rel, ok := c.tables[strings.ToLower(name)]; ok {
+		return rel, nil
+	}
+	return nil, fmt.Errorf("sqlexec: unknown table %q", name)
+}
+
+// TableSchema implements SchemaCatalog without materializing rows.
+func (c *TSDBCatalog) TableSchema(name string) (*Relation, error) {
+	if c.isTSDB(name) {
+		return NewRelation("timestamp", "metric_name", "tag", "value"), nil
+	}
+	if rel, ok := c.tables[strings.ToLower(name)]; ok {
+		return schemaOnly(rel), nil
+	}
+	return nil, fmt.Errorf("sqlexec: unknown table %q", name)
+}
+
+// CanPushdown implements PushdownCatalog: only the tsdb table scans
+// through the store's indexes.
+func (c *TSDBCatalog) CanPushdown(name string) bool { return c.isTSDB(name) }
+
+// ScanTable implements PushdownCatalog: materialize only the series the
+// spec selects.
+func (c *TSDBCatalog) ScanTable(ctx context.Context, name string, spec ScanSpec) (*Relation, error) {
+	if !c.isTSDB(name) {
+		return nil, fmt.Errorf("sqlexec: table %q does not support pushdown", name)
+	}
+	return TSDBRelationContext(ctx, c.db, spec.Query())
+}
+
+// EstimateScan implements PushdownCatalog via the store's index postings.
+func (c *TSDBCatalog) EstimateScan(name string, spec ScanSpec) int {
+	if !c.isTSDB(name) {
+		if rel, ok := c.tables[strings.ToLower(name)]; ok {
+			return rel.NumRows()
+		}
+		return -1
+	}
+	return c.db.EstimateQuery(spec.Query())
+}

@@ -428,6 +428,24 @@ func isBareName(name string) bool {
 	return true
 }
 
+// ExplainPlanStmt asks for the physical plan of a statement instead of its
+// result:
+//
+//	EXPLAIN PLAN SELECT ... / EXPLAIN PLAN EXPLAIN <target> ...
+//
+// The planner compiles the inner statement and returns its plan tree as a
+// single-row relation with one "plan" column holding JSON. PLAN is not a
+// keyword: the parser treats EXPLAIN PLAN as this statement only when the
+// token after PLAN can begin a statement (SELECT or EXPLAIN), so a family
+// actually named "plan" still parses as an ordinary EXPLAIN target.
+type ExplainPlanStmt struct {
+	Stmt Statement // *SelectStmt or *ExplainStmt
+}
+
+func (s *ExplainPlanStmt) stmtNode() {}
+
+func (s *ExplainPlanStmt) String() string { return "EXPLAIN PLAN " + s.Stmt.String() }
+
 // ExplainRef embeds an EXPLAIN statement as a table in FROM, so rankings
 // compose with the ordinary SELECT machinery:
 //
@@ -449,9 +467,12 @@ func (t *ExplainRef) String() string {
 // engine anywhere: it is an EXPLAIN, or a SELECT with an embedded
 // (EXPLAIN ...) table ref in any FROM clause of its subquery/union tree.
 // Callers use it to skip engine setup (family construction) for plain
-// relational queries.
+// relational queries. An EXPLAIN PLAN never ranks — it only compiles the
+// inner statement — so it reports false regardless of what it wraps.
 func HasExplain(stmt Statement) bool {
 	switch s := stmt.(type) {
+	case *ExplainPlanStmt:
+		return false
 	case *ExplainStmt:
 		return true
 	case *SelectStmt:

@@ -1,0 +1,88 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// TestParseExplainPlan pins the EXPLAIN PLAN statement form: it wraps any
+// statement — SELECT or EXPLAIN — and round-trips through String().
+func TestParseExplainPlan(t *testing.T) {
+	cases := []string{
+		`EXPLAIN PLAN SELECT value FROM tsdb WHERE metric_name = 'cpu' LIMIT 5`,
+		`EXPLAIN PLAN SELECT a.x FROM t a JOIN u b ON a.k = b.k`,
+		`EXPLAIN PLAN EXPLAIN runtime_pipeline_0 GIVEN input_size LIMIT 10`,
+		`EXPLAIN PLAN SELECT family FROM (EXPLAIN t) r WHERE score > 0.5`,
+	}
+	for _, q := range cases {
+		stmt, err := ParseStatement(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		ep, ok := stmt.(*ExplainPlanStmt)
+		if !ok {
+			t.Fatalf("%q parsed as %T, want *ExplainPlanStmt", q, stmt)
+		}
+		if ep.Stmt == nil {
+			t.Fatalf("%q: nil inner statement", q)
+		}
+		rendered := stmt.String()
+		again, err := ParseStatement(rendered)
+		if err != nil {
+			t.Fatalf("rendered %q does not re-parse: %v", rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round trip not a fixpoint:\n%q\n%q", rendered, again.String())
+		}
+	}
+}
+
+// TestExplainPlanNotGreedy pins that EXPLAIN PLAN only triggers when a
+// statement follows: "EXPLAIN PLAN ..." ranking a family literally named
+// plan-ish stays an EXPLAIN, and a bare target named "plan" still works.
+func TestExplainPlanNotGreedy(t *testing.T) {
+	stmt, err := ParseStatement(`EXPLAIN plan`)
+	if err != nil {
+		t.Fatalf("EXPLAIN plan: %v", err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("EXPLAIN plan parsed as %T, want *ExplainStmt", stmt)
+	}
+	if ex.Target != "plan" {
+		t.Fatalf("target = %q, want plan", ex.Target)
+	}
+	stmt, err = ParseStatement(`EXPLAIN PLAN`)
+	if err != nil {
+		t.Fatalf("EXPLAIN PLAN (bare): %v", err)
+	}
+	if ex, ok := stmt.(*ExplainStmt); !ok || ex.Target != "PLAN" {
+		t.Fatalf("bare EXPLAIN PLAN parsed as %#v, want EXPLAIN of target PLAN", stmt)
+	}
+}
+
+// TestParseGlob pins the GLOB operator: a binary pattern match that
+// renders back as GLOB, while GLOB followed by a non-expression keeps its
+// legacy reading as an implicit alias.
+func TestParseGlob(t *testing.T) {
+	stmt, err := ParseStatement(`SELECT a FROM t WHERE b GLOB 'web-*'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	bin, ok := sel.Where.(*BinaryExpr)
+	if !ok || bin.Op != "GLOB" {
+		t.Fatalf("WHERE parsed as %#v, want GLOB binary expr", sel.Where)
+	}
+	if got := stmt.String(); got != `SELECT a FROM t WHERE (b GLOB 'web-*')` {
+		t.Fatalf("render = %q", got)
+	}
+
+	stmt, err = ParseStatement(`SELECT a GLOB FROM t`)
+	if err != nil {
+		t.Fatalf("GLOB as implicit alias: %v", err)
+	}
+	sel = stmt.(*SelectStmt)
+	if len(sel.Items) != 1 || sel.Items[0].Alias != "GLOB" {
+		t.Fatalf("expected GLOB as implicit alias, got %#v", sel.Items[0])
+	}
+}

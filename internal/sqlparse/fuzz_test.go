@@ -29,11 +29,18 @@ func FuzzParse(f *testing.F) {
 		"EXPLAIN t GIVEN a OVER 100 TO 200.5 LIMIT 3",
 		"SELECT family, score FROM (EXPLAIN t GIVEN c) r WHERE score > 0.5",
 		"SELECT * FROM (EXPLAIN t) a JOIN (EXPLAIN u) b ON a.family = b.family",
+		// EXPLAIN PLAN and GLOB.
+		"EXPLAIN PLAN SELECT a FROM t WHERE b GLOB 'web-*'",
+		"EXPLAIN PLAN EXPLAIN runtime_pipeline_0 GIVEN input_size LIMIT 10",
+		"EXPLAIN PLAN SELECT metric_name FROM tsdb WHERE metric_name LIKE 'cpu%' AND tag GLOB 'host=*' LIMIT 3",
+		"SELECT a GLOB FROM t", // implicit alias: GLOB as a bare identifier
 		// Near-miss inputs to steer mutation at clause boundaries.
 		"EXPLAIN t GIVEN",
 		"EXPLAIN t USING FAMILIES (",
 		"EXPLAIN t OVER 1 TO",
 		"EXPLAIN t LIMIT",
+		"EXPLAIN PLAN",
+		"EXPLAIN PLAN SELECT",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -31,7 +31,11 @@ func ParseStatement(input string) (Statement, error) {
 	p := &parser{toks: toks}
 	var stmt Statement
 	if isWord(p.peek(), "EXPLAIN") {
-		stmt, err = p.parseExplain()
+		if p.isExplainPlan() {
+			stmt, err = p.parseExplainPlan()
+		} else {
+			stmt, err = p.parseExplain()
+		}
 	} else {
 		stmt, err = p.parseSelect()
 	}
@@ -202,6 +206,44 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		stmt.Union = rest
 	}
 	return stmt, nil
+}
+
+// isExplainPlan reports whether the parser is positioned at an
+// EXPLAIN PLAN <statement> form. PLAN stays a plain identifier: the form is
+// recognised only when the token after PLAN can begin a statement (the
+// SELECT keyword, or the EXPLAIN soft keyword), so "EXPLAIN plan" and
+// "EXPLAIN plan GIVEN x" keep meaning a target family named plan.
+func (p *parser) isExplainPlan() bool {
+	if p.pos+2 >= len(p.toks) {
+		return false
+	}
+	if !isWord(p.toks[p.pos+1], "PLAN") {
+		return false
+	}
+	t := p.toks[p.pos+2]
+	return (t.Kind == TokKeyword && t.Text == "SELECT") || isWord(t, "EXPLAIN")
+}
+
+// parseExplainPlan parses EXPLAIN PLAN <statement>; the inner statement is
+// a SELECT or an EXPLAIN (EXPLAIN PLAN does not nest).
+func (p *parser) parseExplainPlan() (*ExplainPlanStmt, error) {
+	if err := p.expectWord("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("PLAN"); err != nil {
+		return nil, err
+	}
+	var inner Statement
+	var err error
+	if isWord(p.peek(), "EXPLAIN") {
+		inner, err = p.parseExplain()
+	} else {
+		inner, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainPlanStmt{Stmt: inner}, nil
 }
 
 // parseExplain parses EXPLAIN <target> [GIVEN ...] [USING FAMILIES (...)]
@@ -517,6 +559,17 @@ func (p *parser) parsePredicate() (Expr, error) {
 		}
 		return &BinaryExpr{Op: "LIKE", L: left, R: right}, nil
 	}
+	// GLOB is a soft keyword: it is only an operator when what follows can
+	// begin an expression, so "SELECT a glob FROM t" keeps parsing glob as
+	// an implicit alias.
+	if isWord(p.peek(), "GLOB") && p.pos+1 < len(p.toks) && startsExpr(p.toks[p.pos+1]) {
+		p.pos++
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "GLOB", L: left, R: right}, nil
+	}
 	negated := false
 	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
 		// lookahead for NOT BETWEEN / NOT IN / NOT LIKE
@@ -577,6 +630,21 @@ func (p *parser) parsePredicate() (Expr, error) {
 		return &IsNullExpr{X: left, Not: not}, nil
 	}
 	return left, nil
+}
+
+// startsExpr reports whether a token can begin an additive expression —
+// the lookahead that disambiguates the soft GLOB operator from an implicit
+// alias position.
+func startsExpr(t Token) bool {
+	switch t.Kind {
+	case TokNumber, TokString, TokIdent:
+		return true
+	case TokKeyword:
+		return t.Text == "NULL" || t.Text == "CASE"
+	case TokSymbol:
+		return t.Text == "(" || t.Text == "-"
+	}
+	return false
 }
 
 func (p *parser) parseAdditive() (Expr, error) {

@@ -241,6 +241,40 @@ func mergeByID(parts []shardResult) []*ts.Series {
 	return out
 }
 
+// EstimateQuery returns the number of candidate series a query would
+// consider, from index postings alone: per shard, the narrowest posting
+// set covering the query's exact metric and tags (the same selection
+// runLocked makes), or the full shard when nothing is exact. Patterns and
+// the time range are not consulted, so this is an upper bound on the
+// result cardinality — cheap enough for a planner to call per scan.
+func (db *DB) EstimateQuery(q Query) int {
+	total := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		var candidates map[string]struct{}
+		useIndex := false
+		consider := func(set map[string]struct{}) {
+			if !useIndex || len(set) < len(candidates) {
+				candidates = set
+			}
+			useIndex = true
+		}
+		if q.Metric != "" {
+			consider(sh.byName[q.Metric])
+		}
+		for k, v := range q.Tags {
+			consider(sh.byTag[k+"="+v])
+		}
+		if useIndex {
+			total += len(candidates)
+		} else {
+			total += len(sh.series)
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
 // globRegexp compiles a glob through the process-wide bounded LRU, so
 // repeated Run calls with the same patterns (dashboards, BuildFamilies
 // sweeps) skip regexp compilation.

@@ -4,14 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
-	"sync"
 	"time"
 
 	"explainit/internal/obs"
 	"explainit/internal/sqlexec"
 	"explainit/internal/sqlparse"
-	"explainit/internal/tsdb"
 )
 
 // Query runs one SQL statement against the client and returns the result
@@ -36,7 +33,14 @@ func (c *Client) Query(ctx context.Context, query string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSQL, err)
 	}
-	rel, err := sqlexec.ExecuteStatement(ctx, stmt, &tsdbCatalog{client: c, ctx: ctx}, clientExplainer{c})
+	cat := &tsdbCatalog{client: c, ctx: ctx}
+	_, endPlan := obs.StartSpan(ctx, "plan")
+	plan, err := c.planFor(query, stmt, cat)
+	endPlan()
+	var rel *sqlexec.Relation
+	if err == nil {
+		rel, err = sqlexec.ExecutePlan(ctx, plan, cat, clientExplainer{c})
+	}
 	if err != nil {
 		// A statement that parsed but cannot be planned is still a bad
 		// query, same as a syntax error.
@@ -146,12 +150,13 @@ func (e clientExplainer) ExplainRelation(ctx context.Context, plan sqlexec.Expla
 func (c *Client) explainPlanStream(ctx context.Context, plan sqlexec.ExplainPlan) (<-chan RankUpdate, error) {
 	// SQL semantics: no LIMIT means the full ranking, so the engine's
 	// default TopK must not silently truncate — bound by the family count,
-	// which every candidate set is a subset of. An explicit LIMIT maps to
-	// TopK (0 is handled by the trim below; TopK 0 means the default).
+	// which every candidate set is a subset of. The engine always runs at
+	// that full TopK regardless of LIMIT (the engine sorts the complete
+	// candidate set before cutting, so the top-k of the full ranking is the
+	// ranking computed at TopK=k); the trim below applies the LIMIT. This
+	// normalisation means the PR-6 ranking cache, whose key includes TopK,
+	// shares one entry across the same EXPLAIN at different LIMITs.
 	topK := c.numFamilies()
-	if plan.Limit > 0 {
-		topK = plan.Limit
-	}
 	var src <-chan RankUpdate
 	var inv *Investigation
 	var err error
@@ -182,7 +187,7 @@ func (c *Client) explainPlanStream(ctx context.Context, plan sqlexec.ExplainPlan
 			return nil, err
 		}
 	}
-	if inv == nil && plan.Limit != 0 {
+	if inv == nil && plan.Limit < 0 {
 		return src, nil
 	}
 	// Post-process: close the ephemeral session when the stream drains, and
@@ -208,28 +213,3 @@ func (c *Client) explainPlanStream(ctx context.Context, plan sqlexec.ExplainPlan
 	return out, nil
 }
 
-// tsdbCatalog resolves the "tsdb" table lazily: a pure EXPLAIN statement
-// never materialises the store as a relation, and a SELECT pays the scan
-// only when it actually references the table.
-type tsdbCatalog struct {
-	client *Client
-	ctx    context.Context // request context; traces the backing shard scan
-	once   sync.Once
-	rel    *sqlexec.Relation
-	err    error
-}
-
-// Table implements sqlexec.Catalog.
-func (t *tsdbCatalog) Table(name string) (*sqlexec.Relation, error) {
-	if !strings.EqualFold(name, "tsdb") {
-		return nil, fmt.Errorf("sqlexec: unknown table %q", name)
-	}
-	t.once.Do(func() {
-		ctx := t.ctx
-		if ctx == nil {
-			ctx = context.Background()
-		}
-		t.rel, t.err = sqlexec.TSDBRelationContext(ctx, t.client.db, tsdb.Query{})
-	})
-	return t.rel, t.err
-}
