@@ -365,6 +365,51 @@ func BenchmarkRepeatExplainCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkWatchTickNoChange is the standing-query idle path: a tick
+// against an unchanged store must cost a watermark comparison, not an
+// engine ranking or even a ranking-cache probe. Compare against
+// BenchmarkRepeatExplainCacheHit — the poll-driven dashboard refresh a
+// watcher replaces — for what the watermark gate saves per cadence.
+func BenchmarkWatchTickNoChange(b *testing.B) {
+	c, target := setupExplainBench(b)
+	defer c.CloseWatches()
+	info, err := c.CreateWatch(fmt.Sprintf("EXPLAIN %s EVERY '1h'", target), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Let the immediate first tick land its initial ranking.
+	for deadline := time.Now().Add(time.Minute); ; {
+		wi, err := c.WatchInfo(info.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wi.Emits >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("watcher never emitted its initial ranking")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w, ok := c.watchManager().Get(info.ID)
+	if !ok {
+		b.Fatal("watcher not registered")
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Tick(ctx)
+	}
+	b.StopTimer()
+	wi, err := c.WatchInfo(info.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if wi.Evals != 1 {
+		b.Fatalf("idle ticks ran the engine: %d evaluations", wi.Evals)
+	}
+}
+
 // BenchmarkConcurrentExplain is the multi-tenant saturation shape: many
 // goroutines each running single-worker uncached rankings on one shared
 // client. Throughput should scale with cores — the engine holds no global

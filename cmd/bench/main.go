@@ -33,7 +33,8 @@ const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL
 	"BenchmarkCondPrepReuse$|BenchmarkCondPrepScratch$|" +
 	"BenchmarkRepeatExplainCacheHit$|BenchmarkConcurrentExplain$|" +
 	"BenchmarkSQLPushdownScan$|BenchmarkSQLScanMaterialize$|" +
-	"BenchmarkSQLDashboard$|BenchmarkSQLDashboardUncached$|BenchmarkSQLHashJoin$"
+	"BenchmarkSQLDashboard$|BenchmarkSQLDashboardUncached$|BenchmarkSQLHashJoin$|" +
+	"BenchmarkWatchTickNoChange$|BenchmarkExtendDesignRows$"
 
 // Measurement is one benchmark's result in a snapshot.
 type Measurement struct {
@@ -73,7 +74,7 @@ func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
-	pkg := flag.String("pkg", ".", "package to benchmark")
+	pkg := flag.String("pkg", ". ./internal/regress", "space-separated packages to benchmark")
 	label := flag.String("label", "", "snapshot label (defaults to the output filename)")
 	out := flag.String("out", "BENCH_1.json", "output snapshot path")
 	baseline := flag.String("baseline", "", "optional prior snapshot to compute speedups against")
@@ -85,8 +86,8 @@ func main() {
 		"-benchtime", *benchtime,
 		"-count", strconv.Itoa(*count),
 		"-benchmem",
-		*pkg,
 	}
+	args = append(args, strings.Fields(*pkg)...)
 	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

@@ -34,6 +34,8 @@ var (
 	// (syntax error, bad time literal, or a non-EXPLAIN statement where only
 	// EXPLAIN is accepted). The wrapped error carries the position detail.
 	ErrBadSQL = errors.New("explainit: invalid SQL")
+	// ErrUnknownWatch: no standing query (watcher) with that id.
+	ErrUnknownWatch = errors.New("explainit: unknown watch")
 	// ErrOverloaded: the server shed the request under admission control —
 	// the ranking queue is full, the tenant is at its concurrency budget, or
 	// the investigation-session quota is reached. Maps to HTTP 429; the
@@ -49,6 +51,7 @@ var errorCodes = map[string]error{
 	"unknown_grouping":      ErrUnknownGrouping,
 	"unknown_investigation": ErrUnknownInvestigation,
 	"unknown_job":           ErrUnknownJob,
+	"unknown_watch":         ErrUnknownWatch,
 	"investigation_closed":  ErrInvestigationClosed,
 	"step_in_progress":      ErrStepInProgress,
 	"bad_sql":               ErrBadSQL,

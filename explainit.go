@@ -37,6 +37,7 @@ import (
 	"explainit/internal/connector"
 	"explainit/internal/core"
 	"explainit/internal/obs"
+	"explainit/internal/monitor"
 	"explainit/internal/rescache"
 	"explainit/internal/sqlexec"
 	ts "explainit/internal/timeseries"
@@ -65,6 +66,16 @@ type Client struct {
 	sqlPlans atomic.Pointer[rescache.Cache]
 	sqlScans atomic.Pointer[rescache.Cache]
 	workers  *cluster.Pool // non-nil after ConnectWorkers
+
+	// Standing-query subsystem (watch.go). The manager is built lazily on
+	// the first watch; watchMu guards the lazy init, the pinned options,
+	// and the registry of investigations auto-opened by ON ANOMALY
+	// watchers.
+	watchMu      sync.Mutex
+	mon          *monitor.Manager
+	watchOpts    WatchOptions
+	watchInvs    map[string]*Investigation
+	nextWatchInv int
 }
 
 func newClient(db *tsdb.DB) *Client {
@@ -111,9 +122,13 @@ func OpenShards(dir string, shards int) (*Client, error) {
 // client).
 func (c *Client) Flush() error { return c.db.Flush() }
 
-// Close flushes and releases the durable store, surfacing any write error
-// the storage engine recorded. It is a no-op for an in-memory client.
-func (c *Client) Close() error { return c.db.Close() }
+// Close tears down the standing-query subsystem (watchers stop, their
+// subscriber channels close), then flushes and releases the durable store,
+// surfacing any write error the storage engine recorded.
+func (c *Client) Close() error {
+	c.CloseWatches()
+	return c.db.Close()
+}
 
 // Put records one observation.
 func (c *Client) Put(metric string, tags Tags, at time.Time, value float64) {

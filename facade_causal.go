@@ -15,16 +15,24 @@ import (
 // an automatic version of the operator's highlighted range in Figure 2.
 // ok is false when the target contains no window above the threshold.
 func (c *Client) SuggestExplainRange(target string, threshold float64) (from, to time.Time, ok bool, err error) {
+	from, to, _, ok, err = c.anomalousWindow(target, threshold)
+	return from, to, ok, err
+}
+
+// anomalousWindow is the scan behind SuggestExplainRange and the ON
+// ANOMALY watcher gate: the target's most anomalous contiguous window as a
+// time range plus its severity (mean absolute robust z-score).
+func (c *Client) anomalousWindow(target string, threshold float64) (from, to time.Time, severity float64, ok bool, err error) {
 	f, exists := c.getFamily(target)
 	if !exists {
-		return time.Time{}, time.Time{}, false, fmt.Errorf("%w: target family %q", ErrUnknownFamily, target)
+		return time.Time{}, time.Time{}, 0, false, fmt.Errorf("%w: target family %q", ErrUnknownFamily, target)
 	}
 	if f.Index == nil {
-		return time.Time{}, time.Time{}, false, fmt.Errorf("explainit: family %q has no time index", target)
+		return time.Time{}, time.Time{}, 0, false, fmt.Errorf("explainit: family %q has no time index", target)
 	}
 	w, found := stats.DetectAnomalousWindow(f.Matrix.Col(0), threshold, 5)
 	if !found {
-		return time.Time{}, time.Time{}, false, nil
+		return time.Time{}, time.Time{}, 0, false, nil
 	}
 	from = f.Index[w.Start]
 	last := w.End
@@ -34,7 +42,7 @@ func (c *Client) SuggestExplainRange(target string, threshold float64) (from, to
 	} else {
 		to = f.Index[last]
 	}
-	return from, to, true, nil
+	return from, to, w.Severity, true, nil
 }
 
 // CausalEdge is one family in the discovered local structure.

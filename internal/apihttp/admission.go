@@ -58,6 +58,11 @@ type Limits struct {
 	// connection while scoring workers grind. Default: 15s; negative
 	// disables keepalives.
 	SSEKeepalive time.Duration
+	// TenantWatchers bounds one tenant's live standing queries (watchers).
+	// A watcher occupies engine capacity for its whole lifetime, so the
+	// budget counts registered watchers, not in-flight requests. Default:
+	// 16.
+	TenantWatchers int
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -79,6 +84,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.SSEKeepalive == 0 {
 		l.SSEKeepalive = 15 * time.Second
+	}
+	if l.TenantWatchers <= 0 {
+		l.TenantWatchers = 16
 	}
 	return l
 }
@@ -207,6 +215,12 @@ type statsPayload struct {
 	QueueDepth       int64  `json:"queue_depth"`
 	ShedTotal        uint64 `json:"shed_total"`
 
+	// Watch summarizes the standing-query subsystem; Watchers carries the
+	// per-watcher listing (cadence, tick/skip/eval/emit counters, last
+	// emit timestamp, rolling eval latency).
+	Watch    explainit.WatchStats  `json:"watch"`
+	Watchers []explainit.WatchInfo `json:"watchers,omitempty"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Version       string  `json:"version"`
 	Commit        string  `json:"commit"`
@@ -233,6 +247,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RankingsInFlight: s.gate.inFlight.Load(),
 		QueueDepth:       s.gate.queued.Load(),
 		ShedTotal:        s.gate.shed.Load(),
+		Watch:            s.client.WatchStats(),
+		Watchers:         s.client.WatchInfos(),
 		UptimeSeconds:    buildinfo.Uptime().Seconds(),
 		Version:          buildinfo.Version,
 		Commit:           buildinfo.Commit,

@@ -83,6 +83,9 @@ func NewServerWithLimits(c *explainit.Client, lim Limits) *Server {
 	reg("/api/v1/investigations/{id}/step", s.handleStep)
 	reg("/api/v1/jobs/{id}", s.handleJob)
 	reg("/api/v1/jobs/{id}/events", s.handleJobEvents)
+	reg("/api/v1/watch", s.handleWatches)
+	reg("/api/v1/watch/{id}", s.handleWatch)
+	reg("/api/v1/watch/{id}/events", s.handleWatchEvents)
 	reg("/api/v1/stats", s.handleStats)
 	reg("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -147,7 +150,8 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, explainit.ErrUnknownFamily),
 		errors.Is(err, explainit.ErrUnknownInvestigation),
-		errors.Is(err, explainit.ErrUnknownJob):
+		errors.Is(err, explainit.ErrUnknownJob),
+		errors.Is(err, explainit.ErrUnknownWatch):
 		status = http.StatusNotFound
 	case errors.Is(err, explainit.ErrStepInProgress),
 		errors.Is(err, explainit.ErrInvestigationClosed):

@@ -195,6 +195,19 @@ func (cs *CondState) matches(target *Family, condition []*Family, lambda float64
 	return cs != nil && cs.lambda == lambda && cs.Matches(target, condition)
 }
 
+// sameNameSeq reports whether two name sequences are identical.
+func sameNameSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // isFamilyPrefix reports whether prefix is a (proper or improper) prefix
 // of fams, comparing family identity.
 func isFamilyPrefix(prefix, fams []*Family) bool {
@@ -278,6 +291,18 @@ func (e *Engine) PrepareConditioning(target *Family, condition []*Family, prev *
 					design, extended = d, true
 				}
 			}
+		}
+	}
+	if design == nil && prev != nil && prev.design != nil && prev.zFam != nil &&
+		sameNameSeq(prev.names, names) {
+		// Same conditioning set by name but rebuilt families — the standing
+		// re-evaluation regime. When the rebuild only appended samples (the
+		// window grew in place), the previous design's cached moments are
+		// extended with the tail rows instead of re-accumulating the whole
+		// Gram; ExtendDesignRows verifies the prefix bitwise and falls back
+		// to a scratch build when the window slid or data changed.
+		if d, grew, eerr := regress.ExtendDesignRows(prev.design, prev.zFam.Matrix, zFam.Matrix); eerr == nil {
+			design, extended = d, grew
 		}
 	}
 	if design == nil {

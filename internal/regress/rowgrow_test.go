@@ -1,0 +1,199 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"explainit/internal/linalg"
+)
+
+func randOffsetMatrix(rng *rand.Rand, rows, cols int, mean, scale float64) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = mean + scale*rng.NormFloat64()
+	}
+	return m
+}
+
+// relClose reports |a-b| <= tol * max(1, |a|, |b|).
+func relClose(a, b, tol float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+func checkRowGrowthEquivalence(t *testing.T, rng *rand.Rand, n1, tailRows, p int, mean float64) {
+	t.Helper()
+	grown := randOffsetMatrix(rng, n1+tailRows, p, mean, 3)
+	prevRaw := linalg.NewMatrix(n1, p)
+	copy(prevRaw.Data, grown.Data[:n1*p])
+
+	prev, err := NewRidgeDesign(prevRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, extended, err := ExtendDesignRows(prev, prevRaw, grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !extended {
+		t.Fatal("incremental path not taken for a pure row extension")
+	}
+	scratch, err := NewRidgeDesign(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tol = 1e-9
+	for j := 0; j < p; j++ {
+		if !relClose(inc.xMeans[j], scratch.xMeans[j], tol) {
+			t.Fatalf("mean[%d]: incremental %g scratch %g", j, inc.xMeans[j], scratch.xMeans[j])
+		}
+		if !relClose(inc.xStds[j], scratch.xStds[j], tol) {
+			t.Fatalf("std[%d]: incremental %g scratch %g", j, inc.xStds[j], scratch.xStds[j])
+		}
+	}
+	for i := range inc.gram.Data {
+		if !relClose(inc.gram.Data[i], scratch.gram.Data[i], tol) {
+			t.Fatalf("gram[%d]: incremental %g scratch %g", i, inc.gram.Data[i], scratch.gram.Data[i])
+		}
+	}
+
+	// End-to-end: the conditioning operation the engine actually runs.
+	y := randOffsetMatrix(rng, n1+tailRows, 2, 0, 1)
+	for _, lambda := range DefaultLambdaGrid {
+		ri, err := inc.Residualize(y, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := scratch.Residualize(y, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ri.Data {
+			if !relClose(ri.Data[i], rs.Data[i], tol) {
+				t.Fatalf("λ=%g residual[%d]: incremental %g scratch %g", lambda, i, ri.Data[i], rs.Data[i])
+			}
+		}
+	}
+}
+
+func TestExtendDesignRowsMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	checkRowGrowthEquivalence(t, rng, 200, 50, 12, 0)
+	checkRowGrowthEquivalence(t, rng, 64, 1, 8, 0) // single-sample growth
+	// Large offset stresses the moment shift: centered accumulation must not
+	// lose the variance to cancellation.
+	checkRowGrowthEquivalence(t, rng, 300, 30, 6, 1e6)
+}
+
+func TestExtendDesignRowsConstantColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	grown := randOffsetMatrix(rng, 130, 4, 0, 2)
+	for i := 0; i < grown.Rows; i++ {
+		grown.Row(i)[2] = 7 // degenerate column stays centered-not-divided
+	}
+	prevRaw := linalg.NewMatrix(100, 4)
+	copy(prevRaw.Data, grown.Data[:100*4])
+	prev, err := NewRidgeDesign(prevRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, extended, err := ExtendDesignRows(prev, prevRaw, grown)
+	if err != nil || !extended {
+		t.Fatalf("extended=%v err=%v", extended, err)
+	}
+	scratch, _ := NewRidgeDesign(grown)
+	for i := range inc.gram.Data {
+		if !relClose(inc.gram.Data[i], scratch.gram.Data[i], 1e-9) {
+			t.Fatalf("gram[%d]: incremental %g scratch %g", i, inc.gram.Data[i], scratch.gram.Data[i])
+		}
+	}
+}
+
+func TestExtendDesignRowsFallsBackToScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := randOffsetMatrix(rng, 60, 5, 0, 1)
+	prev, err := NewRidgeDesign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]*linalg.Matrix{}
+
+	// Slid window: drops the first row, appends two.
+	slid := randOffsetMatrix(rng, 61, 5, 0, 1)
+	for i := 0; i < 59; i++ {
+		copy(slid.Row(i), base.Row(i+1))
+	}
+	cases["slid"] = slid
+
+	// Retained/edited data: same shape growth but one historical cell changed.
+	edited := randOffsetMatrix(rng, 70, 5, 0, 1)
+	copy(edited.Data[:60*5], base.Data)
+	edited.Row(10)[3] += 0.5
+	cases["edited"] = edited
+
+	// Shrunk window.
+	shrunk := linalg.NewMatrix(40, 5)
+	copy(shrunk.Data, base.Data[:40*5])
+	cases["shrunk"] = shrunk
+
+	// Changed column count.
+	wide := randOffsetMatrix(rng, 70, 6, 0, 1)
+	cases["wide"] = wide
+
+	for name, grown := range cases {
+		inc, extended, err := ExtendDesignRows(prev, base, grown)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if extended {
+			t.Fatalf("%s: incremental path taken, want scratch fallback", name)
+		}
+		scratch, _ := NewRidgeDesign(grown)
+		for i := range inc.gram.Data {
+			if inc.gram.Data[i] != scratch.gram.Data[i] {
+				t.Fatalf("%s: fallback gram differs from scratch at %d", name, i)
+			}
+		}
+	}
+
+	// Dual-regime prev (p > n): no row extension of an outer Gram.
+	wideRaw := randOffsetMatrix(rng, 10, 20, 0, 1)
+	dual, err := NewRidgeDesign(wideRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := randOffsetMatrix(rng, 30, 20, 0, 1)
+	copy(grown.Data[:10*20], wideRaw.Data)
+	if _, extended, err := ExtendDesignRows(dual, wideRaw, grown); err != nil || extended {
+		t.Fatalf("dual prev: extended=%v err=%v, want scratch fallback", extended, err)
+	}
+}
+
+func BenchmarkExtendDesignRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	const n1, tailRows, p = 4000, 100, 48
+	grown := randOffsetMatrix(rng, n1+tailRows, p, 0, 1)
+	prevRaw := linalg.NewMatrix(n1, p)
+	copy(prevRaw.Data, grown.Data[:n1*p])
+	prev, err := NewRidgeDesign(prevRaw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, extended, err := ExtendDesignRows(prev, prevRaw, grown); err != nil || !extended {
+				b.Fatalf("extended=%v err=%v", extended, err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NewRidgeDesign(grown); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

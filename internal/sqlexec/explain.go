@@ -22,9 +22,20 @@ type ExplainPlan struct {
 	Families []string
 	// From/To bound the range-to-explain (OVER); both zero when absent.
 	From, To time.Time
+	// Every is the standing-query re-evaluation cadence (EVERY); zero for
+	// ordinary one-shot queries. A plan with Every set cannot be executed
+	// through the relational machinery — it is the monitor subsystem's
+	// input (facade Watch / POST /api/v1/watch).
+	Every time.Duration
+	// OnAnomaly gates each standing re-evaluation on an anomaly-detection
+	// pass over the target (EVERY ... ON ANOMALY).
+	OnAnomaly bool
 	// Limit bounds the ranking; -1 means no explicit limit.
 	Limit int
 }
+
+// Standing reports whether the plan is a standing query (EVERY clause).
+func (p ExplainPlan) Standing() bool { return p.Every > 0 }
 
 // Explainer executes a compiled ExplainPlan and returns the ranking as a
 // relation with the ExplainColumns schema. The facade's client implements
@@ -78,6 +89,14 @@ func CompileExplain(stmt *sp.ExplainStmt) (ExplainPlan, error) {
 				plan.From.Format(time.RFC3339), plan.To.Format(time.RFC3339))
 		}
 	}
+	if stmt.Every != nil {
+		every, err := resolveDurLit(stmt.Every)
+		if err != nil {
+			return ExplainPlan{}, err
+		}
+		plan.Every = every
+		plan.OnAnomaly = stmt.OnAnomaly
+	}
 	return plan, nil
 }
 
@@ -97,6 +116,28 @@ func resolveTimeLit(e sp.Expr, role string) (time.Time, error) {
 	return time.Time{}, planErrorf("%s is missing", role)
 }
 
+// resolveDurLit evaluates the EVERY cadence: Go-duration strings ('30s',
+// '1m30s') or bare numbers in seconds. The cadence must be positive.
+func resolveDurLit(e sp.Expr) (time.Duration, error) {
+	var d time.Duration
+	switch lit := e.(type) {
+	case *sp.StringLit:
+		parsed, err := time.ParseDuration(lit.Value)
+		if err != nil {
+			return 0, planErrorf("EVERY %q is not a Go duration", lit.Value)
+		}
+		d = parsed
+	case *sp.NumberLit:
+		d = time.Duration(lit.Value * float64(time.Second))
+	default:
+		return 0, planErrorf("EVERY cadence is missing")
+	}
+	if d <= 0 {
+		return 0, planErrorf("EVERY cadence must be positive, got %s", d)
+	}
+	return d, nil
+}
+
 // explain compiles and dispatches one EXPLAIN statement through the
 // environment's Explainer.
 func (env *execEnv) explain(stmt *sp.ExplainStmt) (*Relation, error) {
@@ -106,6 +147,9 @@ func (env *execEnv) explain(stmt *sp.ExplainStmt) (*Relation, error) {
 	plan, err := CompileExplain(stmt)
 	if err != nil {
 		return nil, err
+	}
+	if plan.Standing() {
+		return nil, planErrorf("standing query (EVERY) cannot run as a relational statement; use Watch or POST /api/v1/watch")
 	}
 	return env.ex.ExplainRelation(env.ctx, plan)
 }

@@ -157,3 +157,61 @@ func TestExplainerErrorPropagates(t *testing.T) {
 		t.Fatalf("embedded error not propagated: %v", err)
 	}
 }
+
+func TestCompileExplainEvery(t *testing.T) {
+	stmt, err := sp.ParseStatement("EXPLAIN t GIVEN a EVERY '1m30s' ON ANOMALY LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := CompileExplain(stmt.(*sp.ExplainStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Every != 90*time.Second || !plan.OnAnomaly || !plan.Standing() {
+		t.Fatalf("plan %+v", plan)
+	}
+
+	stmt, err = sp.ParseStatement("EXPLAIN t EVERY 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = CompileExplain(stmt.(*sp.ExplainStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Every != 2500*time.Millisecond || plan.OnAnomaly {
+		t.Fatalf("plan %+v", plan)
+	}
+
+	for _, q := range []string{
+		"EXPLAIN t EVERY 'not a duration'",
+		"EXPLAIN t EVERY 0",
+		"EXPLAIN t EVERY '-5s'",
+	} {
+		stmt, err := sp.ParseStatement(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		_, err = CompileExplain(stmt.(*sp.ExplainStmt))
+		var perr *PlanError
+		if !errors.As(err, &perr) {
+			t.Fatalf("%q: want PlanError, got %v", q, err)
+		}
+	}
+}
+
+func TestStandingQueryRejectedRelationally(t *testing.T) {
+	for _, q := range []string{
+		"EXPLAIN t EVERY '30s'",
+		"SELECT family FROM (EXPLAIN t EVERY '30s') r",
+	} {
+		_, err := RunStatement(context.Background(), q, nil, &fakeExplainer{})
+		var perr *PlanError
+		if !errors.As(err, &perr) {
+			t.Fatalf("%q: want PlanError, got %v", q, err)
+		}
+		if !strings.Contains(err.Error(), "standing query") {
+			t.Fatalf("%q: error %v does not mention standing query", q, err)
+		}
+	}
+}

@@ -940,6 +940,9 @@ func (e *explainIter) Open(ec *execCtx) error {
 		if err != nil {
 			return err
 		}
+		if plan.Standing() {
+			return planErrorf("standing query (EVERY) cannot run as a relational statement; use Watch or POST /api/v1/watch")
+		}
 		rel, err = ec.ex.ExplainRelation(ec.ctx, plan)
 		if err != nil {
 			return err

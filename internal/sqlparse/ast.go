@@ -349,18 +349,25 @@ func (s *SelectStmt) String() string {
 //	  [GIVEN <family>, ...]
 //	  [USING FAMILIES (<family>, ...)]
 //	  [OVER <from> TO <to>]
+//	  [EVERY <dur> [ON ANOMALY]]
 //	  [LIMIT k]
 //
 // Target names the family to explain; GIVEN lists conditioning families
 // (Algorithm 1's "control for known causes"); USING FAMILIES restricts the
 // candidate search space; OVER bounds the range-to-explain (string literals
 // parse as RFC3339, numbers as unix seconds); LIMIT bounds the ranking.
+// EVERY turns the query into a standing subscription re-evaluated at the
+// given cadence (string literals parse as Go durations, numbers as
+// seconds); ON ANOMALY further gates each re-evaluation on an anomaly
+// detection pass over the target.
 type ExplainStmt struct {
-	Target   string
-	Given    []string
-	Families []string // nil means every defined family
-	From, To Expr     // both nil when no OVER clause
-	Limit    int      // -1 means no limit
+	Target    string
+	Given     []string
+	Families  []string // nil means every defined family
+	From, To  Expr     // both nil when no OVER clause
+	Every     Expr     // nil when not a standing query
+	OnAnomaly bool     // only meaningful when Every is set
+	Limit     int      // -1 means no limit
 }
 
 func (s *ExplainStmt) stmtNode() {}
@@ -380,6 +387,12 @@ func (s *ExplainStmt) String() string {
 	}
 	if s.From != nil && s.To != nil {
 		fmt.Fprintf(&b, " OVER %s TO %s", s.From, s.To)
+	}
+	if s.Every != nil {
+		fmt.Fprintf(&b, " EVERY %s", s.Every)
+		if s.OnAnomaly {
+			b.WriteString(" ON ANOMALY")
+		}
 	}
 	if s.Limit >= 0 {
 		fmt.Fprintf(&b, " LIMIT %d", s.Limit)

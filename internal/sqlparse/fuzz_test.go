@@ -27,6 +27,11 @@ func FuzzParse(f *testing.F) {
 		"EXPLAIN 'weird name' USING FAMILIES ('a b', c)",
 		"EXPLAIN t OVER '2026-01-01T00:00:00Z' TO '2026-01-02T00:00:00Z'",
 		"EXPLAIN t GIVEN a OVER 100 TO 200.5 LIMIT 3",
+		// Standing queries (EVERY / ON ANOMALY).
+		"EXPLAIN t EVERY '30s'",
+		"EXPLAIN t GIVEN a EVERY 15 ON ANOMALY LIMIT 5",
+		"EXPLAIN t OVER 100 TO 200 EVERY '1m30s' ON ANOMALY",
+		"SELECT every, anomaly FROM t", // soft keywords stay valid identifiers
 		"SELECT family, score FROM (EXPLAIN t GIVEN c) r WHERE score > 0.5",
 		"SELECT * FROM (EXPLAIN t) a JOIN (EXPLAIN u) b ON a.family = b.family",
 		// EXPLAIN PLAN and GLOB.
@@ -39,6 +44,9 @@ func FuzzParse(f *testing.F) {
 		"EXPLAIN t USING FAMILIES (",
 		"EXPLAIN t OVER 1 TO",
 		"EXPLAIN t LIMIT",
+		"EXPLAIN t EVERY",
+		"EXPLAIN t EVERY '30s' ON",
+		"EXPLAIN t ON ANOMALY",
 		"EXPLAIN PLAN",
 		"EXPLAIN PLAN SELECT",
 	}
@@ -68,7 +76,7 @@ func TestExplainASTRoundTrip(t *testing.T) {
 	names := []string{
 		"runtime_pipeline_0", "tcp_retransmits", "a", "_x9",
 		"has space", "quote's", "UPPER", "select", "explain", "given",
-		"families", "over", "to", "limit", "0starts_with_digit", "dash-ed",
+		"families", "over", "to", "limit", "every", "anomaly", "0starts_with_digit", "dash-ed",
 		"dot.ted", "ünïcode", "tab\there", "new\nline", "",
 	}
 	rng := rand.New(rand.NewSource(11))
@@ -89,6 +97,15 @@ func TestExplainASTRoundTrip(t *testing.T) {
 			n1, n2 := rng.Intn(1000), 1000+rng.Intn(1000)
 			stmt.From = &NumberLit{Text: fmt.Sprint(n1), Value: float64(n1)}
 			stmt.To = &NumberLit{Text: fmt.Sprint(n2), Value: float64(n2)}
+		}
+		switch rng.Intn(3) {
+		case 1:
+			stmt.Every = &StringLit{Value: "30s"}
+			stmt.OnAnomaly = rng.Intn(2) == 0
+		case 2:
+			n := 1 + rng.Intn(600)
+			stmt.Every = &NumberLit{Text: fmt.Sprint(n), Value: float64(n)}
+			stmt.OnAnomaly = rng.Intn(2) == 0
 		}
 		if rng.Intn(2) == 0 {
 			stmt.Limit = rng.Intn(30)

@@ -61,7 +61,7 @@ var keywords = map[string]bool{
 // actually named like one of these is written as a string literal.
 var softKeywords = map[string]bool{
 	"EXPLAIN": true, "GIVEN": true, "USING": true, "FAMILIES": true,
-	"OVER": true, "TO": true,
+	"OVER": true, "TO": true, "EVERY": true, "ANOMALY": true,
 }
 
 // SyntaxError reports a lexing or parsing failure with its position.

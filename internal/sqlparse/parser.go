@@ -247,7 +247,7 @@ func (p *parser) parseExplainPlan() (*ExplainPlanStmt, error) {
 }
 
 // parseExplain parses EXPLAIN <target> [GIVEN ...] [USING FAMILIES (...)]
-// [OVER <from> TO <to>] [LIMIT k].
+// [OVER <from> TO <to>] [EVERY <dur> [ON ANOMALY]] [LIMIT k].
 func (p *parser) parseExplain() (*ExplainStmt, error) {
 	if err := p.expectWord("EXPLAIN"); err != nil {
 		return nil, err
@@ -287,6 +287,19 @@ func (p *parser) parseExplain() (*ExplainStmt, error) {
 		if stmt.To, err = p.parseTimeLit(); err != nil {
 			return nil, err
 		}
+	}
+	if p.acceptWord("EVERY") {
+		if stmt.Every, err = p.parseDurLit(); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("ON") {
+			if err := p.expectWord("ANOMALY"); err != nil {
+				return nil, err
+			}
+			stmt.OnAnomaly = true
+		}
+	} else if t := p.peek(); t.Kind == TokKeyword && t.Text == "ON" {
+		return nil, p.errorf("ON ANOMALY requires an EVERY clause")
 	}
 	if p.acceptKeyword("LIMIT") {
 		t := p.peek()
@@ -347,6 +360,26 @@ func (p *parser) parseTimeLit() (Expr, error) {
 		return &NumberLit{Text: t.Text, Value: v}, nil
 	}
 	return nil, p.errorf("expected a time literal (RFC3339 string or unix seconds), found %s", t)
+}
+
+// parseDurLit reads the EVERY cadence: a string literal (Go duration such
+// as '30s') or a numeric literal (seconds). Resolution to a duration
+// happens in the planner; the parser only pins the literal kinds.
+func (p *parser) parseDurLit() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokString:
+		p.pos++
+		return &StringLit{Value: t.Text}, nil
+	case TokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &NumberLit{Text: t.Text, Value: v}, nil
+	}
+	return nil, p.errorf("expected a duration literal (Go duration string or seconds), found %s", t)
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {

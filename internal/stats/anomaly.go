@@ -15,8 +15,13 @@ type AnomalyWindow struct {
 func (w AnomalyWindow) Len() int { return w.End - w.Start }
 
 // RobustZScores returns |x - median| / (1.4826 * MAD) per sample — the
-// standard outlier scale that a few extreme values cannot corrupt. A
-// zero-MAD series yields all-zero scores.
+// standard outlier scale that a few extreme values cannot corrupt. When
+// more than half the samples equal the median the MAD degenerates to zero;
+// the scale then falls back to the mean absolute deviation (times the same
+// consistency constant), so a near-constant series with a genuine spike
+// still scores it instead of silently reporting all zeros (and never
+// divides by zero into ±Inf). An exactly constant series has no outliers
+// by any scale and yields all-zero scores.
 func RobustZScores(values []float64) []float64 {
 	n := len(values)
 	out := make([]float64, n)
@@ -31,7 +36,15 @@ func RobustZScores(values []float64) []float64 {
 	mad := Median(dev)
 	scale := 1.4826 * mad
 	if scale <= 0 {
-		return out
+		// Degenerate MAD: fall back to the mean absolute deviation.
+		sum := 0.0
+		for _, d := range dev {
+			sum += d
+		}
+		scale = 1.4826 * sum / float64(n)
+	}
+	if scale <= 0 {
+		return out // exactly constant series
 	}
 	for i, v := range values {
 		out[i] = math.Abs(v-med) / scale

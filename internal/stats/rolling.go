@@ -1,0 +1,181 @@
+package stats
+
+import "math"
+
+// RollingMoments maintains first and second moments (sum, sum of squares)
+// of a fixed-capacity sliding window in O(1) per slide: pushing a sample
+// adds its contribution and subtracts the evicted sample's. Subtractive
+// updates accumulate floating-point drift, so the accumulators are rebuilt
+// from the retained window once per full capacity of evictions — amortized
+// O(1) — keeping the reported moments within ~1e-12 of a fresh summation.
+//
+// The zero value is unusable; construct with NewRollingMoments.
+type RollingMoments struct {
+	buf        []float64 // ring buffer of retained samples
+	head       int       // index of the oldest sample
+	n          int       // samples currently retained
+	sum, sumSq float64
+	evictions  int // evictions since the last rebuild
+}
+
+// NewRollingMoments returns a rolling window over the last capacity
+// samples. Capacity must be positive.
+func NewRollingMoments(capacity int) *RollingMoments {
+	if capacity <= 0 {
+		panic("stats: RollingMoments capacity must be positive")
+	}
+	return &RollingMoments{buf: make([]float64, capacity)}
+}
+
+// Push appends one sample, evicting the oldest when the window is full.
+func (r *RollingMoments) Push(v float64) {
+	if r.n == len(r.buf) {
+		old := r.buf[r.head]
+		r.sum -= old
+		r.sumSq -= old * old
+		r.buf[r.head] = v
+		r.head = (r.head + 1) % len(r.buf)
+		r.evictions++
+	} else {
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+	}
+	r.sum += v
+	r.sumSq += v * v
+	if r.evictions >= len(r.buf) {
+		r.rebuild()
+	}
+}
+
+// rebuild resummmes the retained window, zeroing accumulated drift.
+func (r *RollingMoments) rebuild() {
+	r.sum, r.sumSq, r.evictions = 0, 0, 0
+	for i := 0; i < r.n; i++ {
+		v := r.buf[(r.head+i)%len(r.buf)]
+		r.sum += v
+		r.sumSq += v * v
+	}
+}
+
+// Count returns the number of samples currently in the window.
+func (r *RollingMoments) Count() int { return r.n }
+
+// Sum returns the windowed sum.
+func (r *RollingMoments) Sum() float64 { return r.sum }
+
+// Mean returns the windowed mean (0 when empty).
+func (r *RollingMoments) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Variance returns the population variance of the window (0 when empty).
+// Cancellation in sumSq - n·mean² can go slightly negative; it is clamped.
+func (r *RollingMoments) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	m := r.Mean()
+	v := r.sumSq/float64(r.n) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Std returns the population standard deviation of the window.
+func (r *RollingMoments) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// RollingCross maintains the cross-moment (sum of products) of two aligned
+// series over a sliding window, alongside each series' own moments, in
+// O(1) per slide — enough to report windowed covariance and Pearson
+// correlation without rescanning. Drift is handled like RollingMoments:
+// a full rebuild once per capacity of evictions.
+type RollingCross struct {
+	xs, ys    []float64
+	head, n   int
+	sumX      float64
+	sumY      float64
+	sumXX     float64
+	sumYY     float64
+	sumXY     float64
+	evictions int
+}
+
+// NewRollingCross returns a rolling cross-moment window over the last
+// capacity sample pairs. Capacity must be positive.
+func NewRollingCross(capacity int) *RollingCross {
+	if capacity <= 0 {
+		panic("stats: RollingCross capacity must be positive")
+	}
+	return &RollingCross{xs: make([]float64, capacity), ys: make([]float64, capacity)}
+}
+
+// Push appends one (x, y) pair, evicting the oldest when full.
+func (r *RollingCross) Push(x, y float64) {
+	if r.n == len(r.xs) {
+		ox, oy := r.xs[r.head], r.ys[r.head]
+		r.sumX -= ox
+		r.sumY -= oy
+		r.sumXX -= ox * ox
+		r.sumYY -= oy * oy
+		r.sumXY -= ox * oy
+		r.xs[r.head], r.ys[r.head] = x, y
+		r.head = (r.head + 1) % len(r.xs)
+		r.evictions++
+	} else {
+		i := (r.head + r.n) % len(r.xs)
+		r.xs[i], r.ys[i] = x, y
+		r.n++
+	}
+	r.sumX += x
+	r.sumY += y
+	r.sumXX += x * x
+	r.sumYY += y * y
+	r.sumXY += x * y
+	if r.evictions >= len(r.xs) {
+		r.rebuild()
+	}
+}
+
+func (r *RollingCross) rebuild() {
+	r.sumX, r.sumY, r.sumXX, r.sumYY, r.sumXY, r.evictions = 0, 0, 0, 0, 0, 0
+	for i := 0; i < r.n; i++ {
+		j := (r.head + i) % len(r.xs)
+		x, y := r.xs[j], r.ys[j]
+		r.sumX += x
+		r.sumY += y
+		r.sumXX += x * x
+		r.sumYY += y * y
+		r.sumXY += x * y
+	}
+}
+
+// Count returns the number of pairs currently in the window.
+func (r *RollingCross) Count() int { return r.n }
+
+// Covariance returns the population covariance of the window.
+func (r *RollingCross) Covariance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	fn := float64(r.n)
+	return r.sumXY/fn - (r.sumX/fn)*(r.sumY/fn)
+}
+
+// Correlation returns the Pearson correlation of the window; 0 when either
+// series is constant over the window (no linear relationship resolvable).
+func (r *RollingCross) Correlation() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	fn := float64(r.n)
+	varX := r.sumXX/fn - (r.sumX/fn)*(r.sumX/fn)
+	varY := r.sumYY/fn - (r.sumY/fn)*(r.sumY/fn)
+	if varX <= 0 || varY <= 0 {
+		return 0
+	}
+	return r.Covariance() / math.Sqrt(varX*varY)
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// freshMoments recomputes window moments from scratch for comparison.
+func freshMoments(window []float64) (mean, variance float64) {
+	if len(window) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, v := range window {
+		sum += v
+	}
+	mean = sum / float64(len(window))
+	for _, v := range window {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(window))
+	return mean, variance
+}
+
+func TestRollingMomentsMatchesFreshRecompute(t *testing.T) {
+	const capacity = 64
+	rng := rand.New(rand.NewSource(7))
+	r := NewRollingMoments(capacity)
+	var series []float64
+	for i := 0; i < 10_000; i++ {
+		// Mix scales so subtractive drift would show if unchecked.
+		v := rng.NormFloat64()*1e3 + math.Sin(float64(i)/50)*1e-3
+		series = append(series, v)
+		r.Push(v)
+
+		lo := len(series) - capacity
+		if lo < 0 {
+			lo = 0
+		}
+		mean, variance := freshMoments(series[lo:])
+		if d := math.Abs(r.Mean() - mean); d > 1e-9 {
+			t.Fatalf("step %d: mean drift %g (rolling %g fresh %g)", i, d, r.Mean(), mean)
+		}
+		if d := math.Abs(r.Variance() - variance); d > 1e-6*math.Max(1, variance) {
+			t.Fatalf("step %d: variance drift %g (rolling %g fresh %g)", i, d, r.Variance(), variance)
+		}
+		if want := len(series) - lo; r.Count() != want {
+			t.Fatalf("step %d: count %d want %d", i, r.Count(), want)
+		}
+	}
+}
+
+func TestRollingCrossMatchesFreshRecompute(t *testing.T) {
+	const capacity = 48
+	rng := rand.New(rand.NewSource(3))
+	r := NewRollingCross(capacity)
+	var xs, ys []float64
+	for i := 0; i < 5_000; i++ {
+		x := rng.NormFloat64() * 10
+		y := 0.5*x + rng.NormFloat64() // correlated by construction
+		xs, ys = append(xs, x), append(ys, y)
+		r.Push(x, y)
+
+		lo := len(xs) - capacity
+		if lo < 0 {
+			lo = 0
+		}
+		wx, wy := xs[lo:], ys[lo:]
+		mx, _ := freshMoments(wx)
+		my, _ := freshMoments(wy)
+		cov := 0.0
+		for j := range wx {
+			cov += (wx[j] - mx) * (wy[j] - my)
+		}
+		cov /= float64(len(wx))
+		if d := math.Abs(r.Covariance() - cov); d > 1e-6*math.Max(1, math.Abs(cov)) {
+			t.Fatalf("step %d: covariance drift %g (rolling %g fresh %g)", i, d, r.Covariance(), cov)
+		}
+	}
+	// The constructed relationship is strongly positive.
+	if c := r.Correlation(); c < 0.9 {
+		t.Fatalf("correlation %g, want > 0.9", c)
+	}
+}
+
+func TestRollingDegenerateWindows(t *testing.T) {
+	r := NewRollingMoments(4)
+	if r.Mean() != 0 || r.Variance() != 0 || r.Count() != 0 {
+		t.Fatal("empty window must report zeros")
+	}
+	for i := 0; i < 10; i++ {
+		r.Push(5)
+	}
+	if r.Mean() != 5 || r.Variance() != 0 {
+		t.Fatalf("constant window: mean %g variance %g", r.Mean(), r.Variance())
+	}
+
+	c := NewRollingCross(4)
+	for i := 0; i < 10; i++ {
+		c.Push(1, float64(i)) // x constant: correlation unresolvable
+	}
+	if got := c.Correlation(); got != 0 {
+		t.Fatalf("constant-x correlation %g, want 0", got)
+	}
+}
+
+func TestRobustZScoresDegenerateMAD(t *testing.T) {
+	// More than half the samples sit exactly at the median, so MAD = 0.
+	// The old behavior returned all-zero scores, hiding the genuine spike;
+	// with the mean-absolute-deviation fallback the spike must dominate and
+	// no score may be Inf or NaN.
+	values := []float64{3, 3, 3, 3, 3, 3, 3, 3, 3, 100}
+	z := RobustZScores(values)
+	for i, s := range z {
+		if math.IsInf(s, 0) || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %g", i, s)
+		}
+	}
+	for i := 0; i < 9; i++ {
+		if z[i] != 0 {
+			t.Fatalf("on-median score[%d] = %g, want 0", i, z[i])
+		}
+	}
+	if z[9] <= 3 {
+		t.Fatalf("spike score %g, want > 3 (detectable)", z[9])
+	}
+
+	// The spike must now be findable by the window detector too.
+	if _, ok := DetectAnomalousWindow(values, 3, 0); !ok {
+		t.Fatal("spike in near-constant series not detected")
+	}
+
+	// Exactly constant series: no outliers by any scale; all zeros, no NaN.
+	for i, s := range RobustZScores([]float64{7, 7, 7, 7}) {
+		if s != 0 {
+			t.Fatalf("constant series score[%d] = %g", i, s)
+		}
+	}
+}

@@ -260,7 +260,9 @@ func (inv *Investigation) beginStep(ctx context.Context) (stepPlan, error) {
 	// A state computed before a same-named family was dropped, rebuilt and
 	// re-added matches by signature but not by identity: evict it rather
 	// than conditioning on stale data.
+	var stale *core.CondState
 	if state != nil && !state.Matches(inv.target, condition) {
+		stale = state
 		delete(inv.states, sig)
 		state = nil
 	}
@@ -277,6 +279,14 @@ func (inv *Investigation) beginStep(ctx context.Context) (stepPlan, error) {
 			if n := len(s.Names()); n > best {
 				prev, best = s, n
 			}
+		}
+		// No identity donor (every family was rebuilt): offer the evicted
+		// stale state instead. PrepareConditioning row-extends its design
+		// when the rebuild only appended samples (a window that grew) and
+		// verifies that bitwise, so a stale donor can never leak old data —
+		// it is either extended with the genuine tail or ignored.
+		if prev == nil {
+			prev = stale
 		}
 	}
 	inv.mu.Unlock()

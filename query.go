@@ -95,6 +95,9 @@ func (c *Client) QueryStream(ctx context.Context, query string) (<-chan RankUpda
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSQL, err)
 	}
+	if plan.Standing() {
+		return nil, fmt.Errorf("%w: standing query (EVERY) cannot stream once; use Watch", ErrBadSQL)
+	}
 	return c.explainPlanStream(ctx, plan)
 }
 
