@@ -3,10 +3,16 @@
 // trajectory is tracked across PRs as BENCH_<n>.json files at the repo
 // root. An optional baseline snapshot produces per-benchmark speedups.
 //
+// Custom benchmark metrics emitted via b.ReportMetric (the scale sweep's
+// p50-ms/p99-ms latency percentiles) are captured per benchmark under
+// "extra". The scale-sweep benchmarks run as a second pass with their own
+// -benchtime (tail percentiles need more iterations than the 3x headline
+// pass) and merge into the same snapshot.
+//
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_1.json -baseline BENCH_0.json
-//	go run ./cmd/bench -bench 'BenchmarkScorer' -benchtime 5x
+//	go run ./cmd/bench -bench 'BenchmarkScorer' -benchtime 5x -scalebench ''
 package main
 
 import (
@@ -15,7 +21,6 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
-	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -36,29 +41,36 @@ const defaultBench = "BenchmarkScorerL2$|BenchmarkScorerL2Wide$|BenchmarkScorerL
 	"BenchmarkSQLDashboard$|BenchmarkSQLDashboardUncached$|BenchmarkSQLHashJoin$|" +
 	"BenchmarkWatchTickNoChange$|BenchmarkExtendDesignRows$"
 
+// defaultScaleBench is the cardinality scale sweep: p50/p99 EXPLAIN latency
+// vs series count and vs family count (scale_bench_test.go).
+const defaultScaleBench = "BenchmarkScaleExplain"
+
 // Measurement is one benchmark's result in a snapshot.
 type Measurement struct {
 	N           int     `json:"n"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric columns keyed by unit (e.g.
+	// "p50-ms", "p99-ms", "series").
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is the on-disk format of a BENCH_<n>.json file.
 type Snapshot struct {
-	Label      string                 `json:"label"`
-	Date       string                 `json:"date"`
-	GoVersion  string                 `json:"go_version"`
-	GOOS       string                 `json:"goos"`
-	GOARCH     string                 `json:"goarch"`
-	NumCPU     int                    `json:"num_cpu"`
+	Label     string `json:"label"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
 	// GOMAXPROCS is the scheduler's value when the snapshot ran — quota-
 	// capped containers often run far below NumCPU, and parallel-path
 	// numbers (engine ranking, concurrent ingest/explain) are only
 	// comparable across snapshots taken at the same effective parallelism.
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	Benchtime  string `json:"benchtime"`
-	Count      int    `json:"count"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchtime  string                 `json:"benchtime"`
+	Count      int                    `json:"count"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 	// Baseline and Speedup are filled when -baseline is given: Speedup is
 	// baseline ns/op divided by this snapshot's ns/op (>1 means faster).
@@ -66,36 +78,18 @@ type Snapshot struct {
 	Speedup  map[string]float64     `json:"speedup_vs_baseline,omitempty"`
 }
 
-// benchLine matches "BenchmarkName-8  10  123456 ns/op  2048 B/op  12 allocs/op"
-// (the -benchmem columns are optional).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
-
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
 	pkg := flag.String("pkg", ". ./internal/regress", "space-separated packages to benchmark")
+	scaleBench := flag.String("scalebench", defaultScaleBench, "scale-sweep benchmark regex (empty disables the scale pass)")
+	scaleBenchtime := flag.String("scalebenchtime", "5x", "benchtime for the scale pass (tail percentiles need iterations)")
+	scalePkg := flag.String("scalepkg", ".", "packages for the scale pass")
 	label := flag.String("label", "", "snapshot label (defaults to the output filename)")
 	out := flag.String("out", "BENCH_1.json", "output snapshot path")
 	baseline := flag.String("baseline", "", "optional prior snapshot to compute speedups against")
 	flag.Parse()
-
-	args := []string{
-		"test", "-run", "^$",
-		"-bench", *bench,
-		"-benchtime", *benchtime,
-		"-count", strconv.Itoa(*count),
-		"-benchmem",
-	}
-	args = append(args, strings.Fields(*pkg)...)
-	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n%s", err, raw)
-		os.Exit(1)
-	}
 
 	snap := Snapshot{
 		Label:      *label,
@@ -112,27 +106,16 @@ func main() {
 	if snap.Label == "" {
 		snap.Label = strings.TrimSuffix(*out, ".json")
 	}
-	for _, line := range strings.Split(string(raw), "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
-		}
-		meas := Measurement{}
-		meas.N, _ = strconv.Atoi(m[2])
-		meas.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			meas.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			meas.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
-		}
-		// With -count > 1 keep the fastest run, the usual benchstat-free
-		// noise reduction.
-		if prev, ok := snap.Benchmarks[m[1]]; !ok || meas.NsPerOp < prev.NsPerOp {
-			snap.Benchmarks[m[1]] = meas
-		}
-	}
+
+	raw := runGoBench(*bench, *benchtime, *count, strings.Fields(*pkg))
+	mergeLines(&snap, raw)
 	if len(snap.Benchmarks) == 0 {
 		fmt.Fprintf(os.Stderr, "bench: no benchmark lines parsed from output:\n%s", raw)
 		os.Exit(1)
+	}
+	if *scaleBench != "" {
+		raw = runGoBench(*scaleBench, *scaleBenchtime, 1, strings.Fields(*scalePkg))
+		mergeLines(&snap, raw)
 	}
 
 	if *baseline != "" {
@@ -164,6 +147,90 @@ func main() {
 	for name, sp := range snap.Speedup {
 		fmt.Printf("  %-32s %.2fx vs %s\n", name, sp, prevLabel(*baseline))
 	}
+}
+
+// runGoBench invokes one go test -bench pass and returns its stdout.
+func runGoBench(bench, benchtime string, count int, pkgs []string) []byte {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", bench,
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		"-benchmem",
+	}
+	args = append(args, pkgs...)
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	return raw
+}
+
+// mergeLines parses benchmark result lines into the snapshot, keeping the
+// fastest run per benchmark when -count > 1 (the usual benchstat-free
+// noise reduction).
+func mergeLines(snap *Snapshot, raw []byte) {
+	for _, line := range strings.Split(string(raw), "\n") {
+		name, meas, ok := parseBenchLine(strings.TrimSpace(line))
+		if !ok {
+			continue
+		}
+		if prev, seen := snap.Benchmarks[name]; !seen || meas.NsPerOp < prev.NsPerOp {
+			snap.Benchmarks[name] = meas
+		}
+	}
+}
+
+// parseBenchLine parses "BenchmarkName-8 10 123 ns/op 2048 B/op 12
+// allocs/op 4.2 p50-ms ..." into a Measurement. Every trailing "<value>
+// <unit>" pair beyond the standard three lands in Extra, which is how
+// b.ReportMetric columns are captured.
+func parseBenchLine(line string) (string, Measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Measurement{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	meas := Measurement{}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return "", Measurement{}, false
+	}
+	meas.N = n
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Measurement{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			meas.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			meas.BytesPerOp = v
+		case "allocs/op":
+			meas.AllocsPerOp = v
+		default:
+			if meas.Extra == nil {
+				meas.Extra = map[string]float64{}
+			}
+			meas.Extra[unit] = v
+		}
+	}
+	if !sawNs {
+		return "", Measurement{}, false
+	}
+	return name, meas, true
 }
 
 func readSnapshot(path string) (*Snapshot, error) {

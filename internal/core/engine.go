@@ -537,6 +537,12 @@ func (e *Engine) scoreOne(ctx context.Context, scorer Scorer, x, y *Family, zMat
 	endSpan()
 	metCandidates.Inc()
 	metCandidateMs.Observe(float64(res.Elapsed) / float64(time.Millisecond))
+	if err == nil {
+		// Backstop for third-party Scorers: a non-finite score becomes a
+		// typed degenerate error, so NaN can never enter a score table or
+		// the p-value computation.
+		score, err = checkFinite(x.Name, score)
+	}
 	if err != nil {
 		res.Err = err
 		return res

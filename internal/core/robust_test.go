@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"explainit/internal/linalg"
+	ts "explainit/internal/timeseries"
+)
+
+// gapSeries builds a minute-step series over [start, start+n*step) keeping
+// only the indexes keep(i) admits.
+func gapSeries(name string, tags ts.Tags, n int, val func(i int) float64, keep func(i int) bool) *ts.Series {
+	s := &ts.Series{Name: name, Tags: tags}
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			s.Append(start.Add(time.Duration(i)*time.Minute), val(i))
+		}
+	}
+	return s
+}
+
+// TestRankRobustToGaps drives every default scorer over candidate families
+// with production-shaped holes: the engine must return a ranking whose
+// entries carry finite scores or typed errors — never a NaN, never a panic.
+func TestRankRobustToGaps(t *testing.T) {
+	const n = 120
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := ts.TimeRange{From: start, To: start.Add(n * time.Minute)}
+	wave := func(i int) float64 { return math.Sin(float64(i) / 7) }
+	all := func(int) bool { return true }
+
+	cases := []struct {
+		name string
+		keep func(i int) bool
+		val  func(i int) float64
+	}{
+		{"leading_gap", func(i int) bool { return i >= 40 }, wave},
+		{"trailing_gap", func(i int) bool { return i < 70 }, wave},
+		{"missing_window", func(i int) bool { return i < 30 || i >= 60 }, wave},
+		{"alternating_sparse", func(i int) bool { return i%3 == 0 }, wave},
+		{"periodic_outage", func(i int) bool { return i%20 >= 6 }, wave},
+		{"single_sample", func(i int) bool { return i == 50 }, wave},
+		{"constant_value", all, func(int) float64 { return 4.2 }},
+		{"two_samples", func(i int) bool { return i == 10 || i == 90 }, wave},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			series := []*ts.Series{
+				gapSeries("target", ts.Tags{"h": "a"}, n, func(i int) float64 { return wave(i) + 0.1*float64(i%5) }, all),
+				gapSeries("gappy", ts.Tags{"h": "a"}, n, tc.val, tc.keep),
+				gapSeries("gappy", ts.Tags{"h": "b"}, n, tc.val, func(i int) bool { return tc.keep(n - 1 - i) }),
+				gapSeries("clean", ts.Tags{"h": "a"}, n, wave, all),
+			}
+			fams, err := BuildFamilies(series, GroupByMetricName, rng, time.Minute)
+			if err != nil {
+				t.Fatalf("BuildFamilies: %v", err)
+			}
+			var target *Family
+			for _, f := range fams {
+				if f.Name == "target" {
+					target = f
+				}
+			}
+			if target == nil {
+				t.Fatal("target family missing")
+			}
+			for _, scorer := range DefaultScorers(1) {
+				eng := &Engine{Scorer: scorer, KeepAll: true}
+				table, err := eng.Rank(Request{Target: target, Candidates: fams})
+				if err != nil {
+					t.Fatalf("%s: Rank: %v", scorer.Name(), err)
+				}
+				for _, res := range table.Results {
+					if res.Err != nil {
+						continue // typed error is an accepted outcome
+					}
+					if math.IsNaN(res.Score) || math.IsInf(res.Score, 0) {
+						t.Fatalf("%s: %s: non-finite score %v", scorer.Name(), res.Family, res.Score)
+					}
+					if math.IsNaN(res.PValue) {
+						t.Fatalf("%s: %s: NaN p-value", scorer.Name(), res.Family)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankDegenerateTarget explains a constant target: every score is
+// defined (zero) or a typed error, and the engine completes.
+func TestRankDegenerateTarget(t *testing.T) {
+	const n = 100
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := ts.TimeRange{From: start, To: start.Add(n * time.Minute)}
+	all := func(int) bool { return true }
+	series := []*ts.Series{
+		gapSeries("flat_target", ts.Tags{}, n, func(int) float64 { return 1 }, all),
+		gapSeries("x", ts.Tags{}, n, func(i int) float64 { return math.Sin(float64(i) / 5) }, all),
+	}
+	fams, err := BuildFamilies(series, GroupByMetricName, rng, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scorer := range DefaultScorers(1) {
+		eng := &Engine{Scorer: scorer, KeepAll: true}
+		table, err := eng.Rank(Request{Target: fams[0], Candidates: fams})
+		if err != nil {
+			t.Fatalf("%s: %v", scorer.Name(), err)
+		}
+		for _, res := range table.Results {
+			if res.Err == nil && (math.IsNaN(res.Score) || math.IsInf(res.Score, 0)) {
+				t.Fatalf("%s: non-finite score on constant target", scorer.Name())
+			}
+		}
+	}
+}
+
+// TestScorerDegenerateTyped exercises the scorer boundary directly with
+// inputs the facade can't produce (it validates families): the error must
+// be ErrDegenerate-typed, not a NaN score.
+func TestScorerDegenerateTyped(t *testing.T) {
+	y, _ := linalg.FromColumns([][]float64{{1, 2, 3, 4}})
+	empty := linalg.NewMatrix(4, 0)
+	nan, _ := linalg.FromColumns([][]float64{{1, math.NaN(), 3, 4}})
+
+	for _, scorer := range DefaultScorers(1) {
+		if _, err := scorer.Score(empty, y, nil, nil); !errors.Is(err, ErrDegenerate) {
+			t.Fatalf("%s: empty X: err = %v, want ErrDegenerate", scorer.Name(), err)
+		}
+	}
+	// A NaN column reaches the correlation path only via direct calls;
+	// the result must be the typed error, never a NaN score.
+	corr := &CorrScorer{}
+	if s, err := corr.Score(nan, y, nil, nil); err == nil {
+		if math.IsNaN(s) {
+			t.Fatal("CorrMean returned NaN instead of ErrDegenerate")
+		}
+	} else if !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("CorrMean NaN input: err = %v, want ErrDegenerate", err)
+	}
+	// Engine backstop: a hostile scorer emitting NaN is converted to a
+	// typed per-candidate error.
+	f := func(name string) *Family {
+		fam, err := FamilyFromColumns(name, map[string][]float64{"c": {1, 2, 3, 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fam
+	}
+	eng := &Engine{Scorer: nanScorer{}, KeepAll: true}
+	table, err := eng.Rank(Request{Target: f("y"), Candidates: []*Family{f("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, res := range table.Results {
+		if res.Err != nil {
+			if !errors.Is(res.Err, ErrDegenerate) {
+				t.Fatalf("backstop error = %v, want ErrDegenerate", res.Err)
+			}
+			found = true
+		}
+		if math.IsNaN(res.Score) {
+			t.Fatal("NaN score escaped the engine backstop")
+		}
+	}
+	if !found {
+		t.Fatal("expected the NaN-emitting scorer to surface a typed error")
+	}
+}
+
+type nanScorer struct{}
+
+func (nanScorer) Name() string { return "nan" }
+func (nanScorer) Score(x, y, z *linalg.Matrix, rows []int) (float64, error) {
+	return math.NaN(), nil
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"explainit/internal/ctxpoll"
 	"explainit/internal/linalg"
@@ -10,6 +12,24 @@ import (
 	"explainit/internal/regress"
 	"explainit/internal/stats"
 )
+
+// ErrDegenerate marks input on which a dependence score is undefined —
+// empty or constant columns after alignment/interpolation, too few rows, a
+// zero-width design — anything that would otherwise surface as a NaN score
+// or a divide-by-zero. Callers branch with errors.Is: a degenerate
+// candidate is reported, not ranked, and never poisons a score table.
+var ErrDegenerate = errors.New("core: degenerate input, score undefined")
+
+// checkFinite converts a non-finite score into a typed degenerate error so
+// NaN can never escape a Scorer; sparse and irregular telemetry reduces to
+// constant or empty columns after alignment, and every arithmetic guard
+// downstream (zero-variance Pearson, tss<=0 r^2) is funnelled through here.
+func checkFinite(name string, score float64) (float64, error) {
+	if math.IsNaN(score) || math.IsInf(score, 0) {
+		return 0, fmt.Errorf("%s: non-finite score: %w", name, ErrDegenerate)
+	}
+	return score, nil
+}
 
 // Scorer quantifies the dependence Y ~ X | Z on dense matrices, returning a
 // value in [0, 1] — 0 means "X tells us nothing about Y beyond Z" (§3.5).
@@ -67,12 +87,15 @@ func (s *CorrScorer) Score(x, y, z *linalg.Matrix, explainRows []int) (float64, 
 			return 0, err
 		}
 	}
+	if x.Cols == 0 || y.Cols == 0 || x.Rows == 0 {
+		return 0, fmt.Errorf("core: %s: empty design: %w", s.Name(), ErrDegenerate)
+	}
 	corr := stats.CorrelationMatrix(x, y)
 	mean, max := stats.AbsMeanMax(corr)
 	if s.UseMax {
-		return max, nil
+		return checkFinite(s.Name(), max)
 	}
-	return mean, nil
+	return checkFinite(s.Name(), mean)
 }
 
 // L2Scorer implements the joint/conditional ridge scorers of §3.5: L2 (no
@@ -181,6 +204,9 @@ func (s *L2Scorer) score(ctx context.Context, x, y, z *linalg.Matrix, prep *cond
 	if z != nil && z.Rows != y.Rows {
 		return 0, fmt.Errorf("core: %s: Z has %d rows, Y has %d", s.Name(), z.Rows, y.Rows)
 	}
+	if x.Cols == 0 || y.Cols == 0 || x.Rows == 0 {
+		return 0, fmt.Errorf("core: %s: empty design: %w", s.Name(), ErrDegenerate)
+	}
 	if z != nil && z.Cols > 0 && prep == nil && s.condCacheable(y, z) {
 		var err error
 		prep, err = s.prepareCond(y, z)
@@ -215,7 +241,7 @@ func (s *L2Scorer) score(ctx context.Context, x, y, z *linalg.Matrix, prep *cond
 		}
 		total += score
 	}
-	return total / float64(samples), nil
+	return checkFinite(s.Name(), total/float64(samples))
 }
 
 func (s *L2Scorer) scoreOnce(ctx context.Context, x, y, z *linalg.Matrix, prep *condPrep, explainRows []int) (float64, error) {

@@ -35,6 +35,25 @@ func FirstCauseRank(labels []Label, k int) int {
 	return 0
 }
 
+// CauseRanks returns the 1-based ranks of every Cause label within the
+// top-k prefix — the multi-root-cause extension of FirstCauseRank: a
+// cascade is only explained when every injected fault surfaces.
+func CauseRanks(labels []Label, k int) []int {
+	if k > len(labels) {
+		k = len(labels)
+	}
+	var out []int
+	for i := 0; i < k; i++ {
+		if labels[i] == Cause {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// CausesInTopK counts Cause labels in the top-k prefix.
+func CausesInTopK(labels []Label, k int) int { return len(CauseRanks(labels, k)) }
+
 // DiscountedGain returns 1/r for the first cause at rank r within top-k,
 // and 0 when no cause appears (the paper's ranking-accuracy measure with
 // binary relevance and Zipfian discount).

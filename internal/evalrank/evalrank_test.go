@@ -79,6 +79,65 @@ func TestMeans(t *testing.T) {
 	}
 }
 
+func TestCauseRanks(t *testing.T) {
+	labels := []Label{Cause, Effect, Cause, Irrelevant, Cause}
+	got := CauseRanks(labels, 4)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ranks %v", got)
+	}
+	if n := CausesInTopK(labels, 5); n != 3 {
+		t.Fatalf("causes in top-5 = %d", n)
+	}
+	if CauseRanks(nil, 10) != nil {
+		t.Fatal("empty labels must yield no ranks")
+	}
+	if CausesInTopK([]Label{Effect, Irrelevant}, 10) != 0 {
+		t.Fatal("no-cause prefix must count zero")
+	}
+	// k beyond the slice is clamped, k <= 0 sees nothing.
+	if CausesInTopK(labels, 100) != 3 || CausesInTopK(labels, 0) != 0 {
+		t.Fatal("k clamping")
+	}
+}
+
+func TestEdgeCasesEmptyAndZero(t *testing.T) {
+	// FirstCauseRank when no cause is present, at every cutoff.
+	noCause := []Label{Effect, Irrelevant, Effect}
+	for _, k := range []int{0, 1, 3, 10} {
+		if r := FirstCauseRank(noCause, k); r != 0 {
+			t.Fatalf("no-cause rank@%d = %d", k, r)
+		}
+	}
+	// SuccessRate over empty scenario sets and over scenarios with empty
+	// label lists.
+	if SuccessRate([][]Label{}, 3) != 0 {
+		t.Fatal("empty scenario set rate")
+	}
+	if r := SuccessRate([][]Label{{}, {}}, 3); r != 0 {
+		t.Fatalf("empty-label scenarios rate = %g", r)
+	}
+	// HarmonicMean with all-zero gains substitutes FailureScore for every
+	// entry, so the mean is exactly FailureScore — finite, never NaN/Inf.
+	h := HarmonicMean([]float64{0, 0, 0})
+	if math.Abs(h-FailureScore) > 1e-15 {
+		t.Fatalf("all-failure harmonic = %g, want %g", h, FailureScore)
+	}
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		t.Fatal("harmonic mean must stay finite on zero gains")
+	}
+	// Negative gains are failures too.
+	if hn := HarmonicMean([]float64{-1, 1}); math.IsNaN(hn) || hn <= 0 {
+		t.Fatalf("negative-gain harmonic = %g", hn)
+	}
+	// Mean/Std of empty input stay 0 (no 0/0).
+	if Mean([]float64{}) != 0 || Std([]float64{}) != 0 {
+		t.Fatal("empty mean/std")
+	}
+	if DiscountedGain(nil, 5) != 0 || LogDiscountedGain(nil, 5) != 0 || Success(nil, 5) != 0 {
+		t.Fatal("empty-label gains must be 0")
+	}
+}
+
 func TestSuccessRate(t *testing.T) {
 	scen := [][]Label{
 		{Cause},

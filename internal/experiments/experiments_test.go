@@ -7,7 +7,7 @@ import (
 
 func TestAllRunnersRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 14 {
+	if len(runners) != 15 {
 		t.Fatalf("runner count %d", len(runners))
 	}
 	if _, ok := Find("table6"); !ok {

@@ -70,6 +70,7 @@ func All() []Runner {
 		{"figure12", "NULL density of r2 vs adjusted r2", Figure12},
 		{"figure13", "Ridge r2 NULL density across penalties", Figure13},
 		{"ablation", "design-choice ablations (DESIGN.md)", Ablations},
+		{"stress", "cardinality-stress floors: conditioning, cascades, dirty data", Stress},
 	}
 }
 

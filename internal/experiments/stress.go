@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"explainit/internal/core"
+	"explainit/internal/evalrank"
+	"explainit/internal/simulator"
+)
+
+// Stress regenerates the cardinality-stress quality floors at a
+// report-friendly scale: the conditioning story among hundreds of candidate
+// families, the multi-root-cause cascade, and the dirty-data SuccessRate
+// grid. The full-scale floors (5k families) are pinned by the test suite;
+// this runner keeps the same shapes inspectable from cmd/experiments.
+func Stress() (*Report, error) {
+	rep := newReport("stress", "cardinality-stress floors: conditioning at scale, cascades, dirty data")
+
+	// Conditioning at cardinality: the hidden fault's evidence family must
+	// survive a sea of load confounders and nuisance mass — but only once
+	// the ranking conditions on the observed load.
+	card := simulator.StressScenario(simulator.CardinalityStress(800, 1))
+	cause := card.PrimaryCauses()[0]
+	condRank, _, err := stressRank(card, true)
+	if err != nil {
+		return nil, err
+	}
+	uncondRank, _, err := stressRank(card, false)
+	if err != nil {
+		return nil, err
+	}
+	rep.Metrics["cardinality/cause_rank_cond"] = float64(familyRank(condRank, cause))
+	rep.Metrics["cardinality/cause_rank_uncond"] = float64(familyRank(uncondRank, cause))
+	rep.Printf("cardinality (%d families): cause %q rank %d conditioned on %s, %d unconditioned",
+		len(card.FamilyNames()), cause, familyRank(condRank, cause), simulator.StressLoad, familyRank(uncondRank, cause))
+
+	// Multi-root-cause cascade: two independent faults with overlapping
+	// effect cones — both evidence families must surface in the top-k.
+	casc := simulator.StressScenario(simulator.CascadeStress(2, 300, 2))
+	ranked, _, err := stressRank(casc, true)
+	if err != nil {
+		return nil, err
+	}
+	worst := 0
+	for i, c := range casc.PrimaryCauses() {
+		r := familyRank(ranked, c)
+		rep.Metrics[fmt.Sprintf("cascade/cause%d_rank", i)] = float64(r)
+		if r == 0 || r > worst {
+			worst = r
+			if r == 0 {
+				worst = len(ranked) + 1
+			}
+		}
+	}
+	rep.Metrics["cascade/worst_cause_rank"] = float64(worst)
+	labels := casc.LabelRanking(ranked)
+	rep.Metrics["cascade/causes_in_top10"] = float64(evalrank.CausesInTopK(labels, 10))
+	rep.Printf("cascade (2 causes, %d families): worst cause rank %d, %d causes in top-10",
+		len(casc.FamilyNames()), worst, evalrank.CausesInTopK(labels, 10))
+
+	// Dirty-data grid: SuccessRate@10 per scenario family across seeds.
+	for _, v := range stressVariants() {
+		rate, err := stressSuccessRate(v, 200, []int64{11, 12, 13}, 10)
+		if err != nil {
+			return nil, err
+		}
+		rep.Metrics["success10/"+v.name] = rate
+		rep.Printf("%-10s SuccessRate@10 = %.2f", v.name, rate)
+	}
+	return rep, nil
+}
+
+// stressVariant is one dirty-data scenario family: a named mutation of the
+// cardinality-stress config.
+type stressVariant struct {
+	name  string
+	mutil func(cfg *simulator.StressConfig)
+}
+
+func stressVariants() []stressVariant {
+	return []stressVariant{
+		{"clean", func(cfg *simulator.StressConfig) {}},
+		{"sparse", func(cfg *simulator.StressConfig) {
+			cfg.Sampling = &simulator.SamplingConfig{Seed: cfg.Seed + 100, DropRate: 0.25}
+		}},
+		{"irregular", func(cfg *simulator.StressConfig) {
+			cfg.Sampling = &simulator.SamplingConfig{
+				Seed:     cfg.Seed + 200,
+				Jitter:   20 * time.Second,
+				GapEvery: 48,
+				GapWidth: 4,
+			}
+		}},
+		{"regime", func(cfg *simulator.StressConfig) {
+			cfg.Traffic = simulator.DefaultTraffic(96)
+			cfg.Traffic.RegimeAt = 120
+			cfg.Traffic.RegimeFactor = 1.8
+		}},
+	}
+}
+
+// stressSuccessRate runs one variant across seeds and returns the fraction
+// of runs whose conditioned ranking has a Cause family in the top-k.
+func stressSuccessRate(v stressVariant, families int, seeds []int64, k int) (float64, error) {
+	var perRun [][]evalrank.Label
+	for _, seed := range seeds {
+		cfg := simulator.CardinalityStress(families, seed)
+		v.mutil(&cfg)
+		sc := simulator.StressScenario(cfg)
+		ranked, _, err := stressRank(sc, true)
+		if err != nil {
+			return 0, err
+		}
+		perRun = append(perRun, sc.LabelRanking(ranked))
+	}
+	return evalrank.SuccessRate(perRun, k), nil
+}
+
+// stressRank ranks a stress scenario with the paper's default L2 scorer,
+// optionally conditioned on the observed load family, and returns the
+// ranked family names (scoring errors excluded) plus the full table.
+func stressRank(sc *simulator.Scenario, condition bool) ([]string, *core.ScoreTable, error) {
+	target, fams, err := scenarioFamilies(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cond []*core.Family
+	if condition {
+		for _, f := range fams {
+			if f.Name == simulator.StressLoad {
+				cond = append(cond, f)
+				break
+			}
+		}
+		if cond == nil {
+			return nil, nil, fmt.Errorf("experiments: scenario %q lost its %s family", sc.Name, simulator.StressLoad)
+		}
+	}
+	eng := &core.Engine{Scorer: &core.L2Scorer{Seed: 1}, KeepAll: true}
+	table, err := eng.Rank(core.Request{Target: target, Candidates: fams, Condition: cond})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rankedNames(table), table, nil
+}
+
+// familyRank returns the 1-based position of name in the ranked list, or 0
+// when absent.
+func familyRank(ranked []string, name string) int {
+	for i, f := range ranked {
+		if f == name {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"explainit/internal/evalrank"
+	"explainit/internal/simulator"
+)
+
+// TestStressCardinalityFloor pins the headline quality floor: with 5000
+// candidate families, conditioning on the observed load still isolates the
+// hidden fault's evidence family in the top-5. This is the regression net
+// for every ranking-path change (planner, cache, engine) at a cardinality
+// the §5 case studies never reach.
+func TestStressCardinalityFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-cardinality floor skipped in -short; see the scale-suite CI job")
+	}
+	sc := simulator.StressScenario(simulator.CardinalityStress(5000, 1))
+	if got := len(sc.FamilyNames()); got < 5000 {
+		t.Fatalf("scenario has %d families, want >= 5000", got)
+	}
+	cause := sc.PrimaryCauses()[0]
+	ranked, _, err := stressRank(sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := familyRank(ranked, cause); r == 0 || r > 5 {
+		t.Fatalf("conditioned rank of %q = %d among %d families, floor is top-5", cause, r, len(ranked))
+	}
+}
+
+// TestStressCascadeFloor pins the multi-root-cause floor: two independent
+// faults with overlapping effect cones must BOTH surface in the top-10 of
+// one conditioned ranking.
+func TestStressCascadeFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cascade floor skipped in -short")
+	}
+	sc := simulator.StressScenario(simulator.CascadeStress(2, 300, 2))
+	ranked, _, err := stressRank(sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cause := range sc.PrimaryCauses() {
+		if r := familyRank(ranked, cause); r == 0 || r > 10 {
+			t.Fatalf("cascade cause %q rank = %d, floor is top-10 (ranking head: %v)", cause, r, ranked[:10])
+		}
+	}
+	labels := sc.LabelRanking(ranked)
+	if n := evalrank.CausesInTopK(labels, 10); n < 2 {
+		t.Fatalf("causes in top-10 = %d, want >= 2", n)
+	}
+}
+
+// TestStressDirtyDataFloors pins SuccessRate@10 floors per scenario family:
+// clean generation must always surface a cause, and the dirty variants
+// (sparse sampling, irregular timestamps with outage windows, a traffic
+// regime change) may not collapse below their floors.
+func TestStressDirtyDataFloors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dirty-data floors skipped in -short")
+	}
+	floors := map[string]float64{
+		"clean":     1.0,
+		"sparse":    1.0,
+		"irregular": 1.0,
+		"regime":    1.0,
+	}
+	for _, v := range stressVariants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			rate, err := stressSuccessRate(v, 200, []int64{11, 12, 13}, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rate < floors[v.name] {
+				t.Fatalf("SuccessRate@10(%s) = %.2f, floor %.2f", v.name, rate, floors[v.name])
+			}
+		})
+	}
+}
+
+// TestStressScaleSweep is the full 100k-series sweep: gated behind the
+// dedicated scale-suite CI job (EXPLAINIT_SCALE_SUITE=1) so tier-1 stays
+// fast. It checks that generation, labelling and ranking hold up at the
+// 20-series-per-family replication the scale benchmarks use.
+func TestStressScaleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep skipped in -short")
+	}
+	if os.Getenv("EXPLAINIT_SCALE_SUITE") == "" {
+		t.Skip("set EXPLAINIT_SCALE_SUITE=1 to run the full scale sweep")
+	}
+	cfg := simulator.CardinalityStress(5000, 3)
+	cfg.SeriesPerFamily = 20
+	sc := simulator.StressScenario(cfg)
+	if got := len(sc.Series); got < 100000 {
+		t.Fatalf("scale sweep generated %d series, want >= 100000", got)
+	}
+	cause := sc.PrimaryCauses()[0]
+	ranked, _, err := stressRank(sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := familyRank(ranked, cause); r == 0 || r > 5 {
+		t.Fatalf("conditioned rank of %q = %d at 100k series, floor is top-5", cause, r)
+	}
+}

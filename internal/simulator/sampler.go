@@ -1,0 +1,79 @@
+package simulator
+
+import (
+	"math/rand"
+	"time"
+
+	ts "explainit/internal/timeseries"
+)
+
+// SamplingConfig dirties generated telemetry the way production collectors
+// do: dropped points (sparse), windowed outages (missing windows), jittered
+// timestamps (irregular), and samples that arrive long after their
+// timestamp (late/out-of-order). All decisions are deterministic per
+// (Seed, series ID, sample index), so a dirtied scenario is as bitwise
+// reproducible as a clean one.
+type SamplingConfig struct {
+	Seed int64
+	// DropRate drops each sample independently with this probability.
+	DropRate float64
+	// GapEvery/GapWidth drop GapWidth consecutive samples out of every
+	// GapEvery — a periodic collector outage (0 disables).
+	GapEvery, GapWidth int
+	// Jitter displaces each kept timestamp uniformly within (-Jitter,
+	// +Jitter). Keep it under half the scenario step so per-series sample
+	// order is preserved.
+	Jitter time.Duration
+	// LateRate diverts each surviving sample to the scenario's Late batch
+	// with this probability: it keeps its original timestamp but is
+	// delivered only after the main series have been ingested.
+	LateRate float64
+}
+
+// Apply dirties every series of the scenario in place, accumulating
+// late-diverted samples on sc.Late.
+func (cfg SamplingConfig) Apply(sc *Scenario) {
+	kept := make([]*ts.Series, 0, len(sc.Series))
+	for _, s := range sc.Series {
+		k, late := cfg.splitSeries(s)
+		kept = append(kept, k)
+		if late != nil && late.Len() > 0 {
+			sc.Late = append(sc.Late, late)
+		}
+	}
+	sc.Series = kept
+}
+
+// splitSeries applies the sampler to one series, returning the kept series
+// and the late-diverted remainder (nil when nothing is late). The RNG draws
+// are consumed in a fixed per-sample order regardless of which branch
+// fires, so one knob's setting never perturbs another's decisions.
+func (cfg SamplingConfig) splitSeries(s *ts.Series) (*ts.Series, *ts.Series) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashName("sample/"+s.ID()))))
+	kept := &ts.Series{Name: s.Name, Tags: s.Tags}
+	var late *ts.Series
+	for i, smp := range s.Samples {
+		dropDraw := rng.Float64()
+		lateDraw := rng.Float64()
+		jitDraw := rng.Float64()
+		if cfg.GapEvery > 0 && cfg.GapWidth > 0 && i%cfg.GapEvery < cfg.GapWidth {
+			continue
+		}
+		if cfg.DropRate > 0 && dropDraw < cfg.DropRate {
+			continue
+		}
+		at := smp.TS
+		if cfg.Jitter > 0 {
+			at = at.Add(time.Duration((jitDraw - 0.5) * 2 * float64(cfg.Jitter)))
+		}
+		if cfg.LateRate > 0 && lateDraw < cfg.LateRate {
+			if late == nil {
+				late = &ts.Series{Name: s.Name, Tags: s.Tags}
+			}
+			late.Append(at, smp.Value)
+			continue
+		}
+		kept.Append(at, smp.Value)
+	}
+	return kept, late
+}

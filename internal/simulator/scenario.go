@@ -23,8 +23,30 @@ type Scenario struct {
 	Step   time.Duration
 	Range  ts.TimeRange
 
+	// Late holds samples a SamplingConfig carved out for delayed delivery:
+	// they carry their original timestamps but arrive after Series has been
+	// ingested (out-of-order PutBatch). Empty unless a sampler ran.
+	Late []*ts.Series
+
 	// nodeMetric maps network node IDs to their metric (family) name.
 	nodeMetric map[string]string
+	// labels, when non-nil, overrides DAG-walk labelling: stress generators
+	// know every family's label by construction, and at 100k+ series the
+	// per-node Ancestors walk in Network.LabelFor is too slow to be usable.
+	labels map[string]evalrank.Label
+	// causes lists the injected fault-evidence families (the rankings'
+	// must-surface set), in injection order.
+	causes []string
+}
+
+// PrimaryCauses returns the injected fault-evidence families a ranking is
+// expected to surface, in injection order. Scenarios built from a Network
+// (no stress metadata) fall back to the DAG-derived cause set.
+func (s *Scenario) PrimaryCauses() []string {
+	if len(s.causes) > 0 {
+		return append([]string(nil), s.causes...)
+	}
+	return s.CauseFamilies()
 }
 
 // builder accumulates nodes and their metric identities.
@@ -92,6 +114,13 @@ func (b *builder) finish(name, target string, seed int64, T int, step time.Durat
 // Cause dominates Effect dominates Irrelevant when members disagree. The
 // target family is labelled Effect (it is never a cause of itself).
 func (s *Scenario) FamilyLabels() map[string]evalrank.Label {
+	if s.labels != nil {
+		out := make(map[string]evalrank.Label, len(s.labels))
+		for fam, l := range s.labels {
+			out[fam] = l
+		}
+		return out
+	}
 	// Collect a representative target node: any node whose metric is the
 	// target family.
 	var targetNodes []string

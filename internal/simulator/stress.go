@@ -1,0 +1,255 @@
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"explainit/internal/evalrank"
+	ts "explainit/internal/timeseries"
+)
+
+// Well-known family names of the stress scenarios. The target is driven by
+// observed load (the confounder handle operators condition on) plus one or
+// more hidden faults whose only observable trace is their evidence family.
+const (
+	StressTarget = "pipeline_runtime"
+	StressLoad   = "input_load"
+)
+
+// StressCauseFamily names the evidence family of hidden fault c.
+func StressCauseFamily(c int) string { return fmt.Sprintf("fault%02d_evidence", c) }
+
+// StressConfig parameterises the cardinality-stress generator: a compact
+// hidden causal core (observed load + Causes independent fault processes)
+// replicated across Families candidate families and SeriesPerFamily hosts.
+// Unlike the Network-backed scenarios, labels are assigned by construction
+// — no DAG walk — which is what makes 100k+ series tractable.
+type StressConfig struct {
+	Name string
+	// Families is the target number of candidate metric families; nuisance
+	// families fill whatever the structural ones (target, load, evidence,
+	// effects, confounders) don't.
+	Families int
+	// SeriesPerFamily replicates each family across this many hosts.
+	SeriesPerFamily int
+	// T is the sample count per series; Step the spacing.
+	T    int
+	Step time.Duration
+	// DayPeriod is samples per simulated day (seasonality period).
+	DayPeriod int
+	Seed      int64
+	// Causes is the number of independent hidden faults; >= 2 yields a
+	// multi-root-cause cascade with overlapping effect cones.
+	Causes int
+	// EffectsPerCause adds observed families downstream of each fault;
+	// with Causes >= 2 every odd effect also draws from the next fault,
+	// overlapping the cones.
+	EffectsPerCause int
+	// Confounders adds load-driven families — the mass that swamps an
+	// unconditioned ranking and collapses once conditioned on StressLoad.
+	Confounders int
+	// Traffic shapes the observed load signal (zero value: DefaultTraffic).
+	Traffic TrafficConfig
+	// Sampling, when non-nil, dirties every generated series (drops,
+	// jitter, late arrivals) before it is emitted.
+	Sampling *SamplingConfig
+	// Sink, when non-nil, receives each series instead of accumulating it
+	// on the scenario — streaming generation for the scale benchmarks, so
+	// 100k series never live in memory twice. Late samples still collect
+	// on the scenario.
+	Sink func(*ts.Series)
+}
+
+// CardinalityStress is the conditioning-at-scale preset: one hidden fault,
+// a block of load confounders, and nuisance mass up to `families`.
+func CardinalityStress(families int, seed int64) StressConfig {
+	return StressConfig{
+		Name:            fmt.Sprintf("cardinality-%df", families),
+		Families:        families,
+		Causes:          1,
+		EffectsPerCause: 2,
+		Seed:            seed,
+	}
+}
+
+// CascadeStress is the multi-root-cause preset: `causes` independent
+// hidden faults with overlapping effect cones.
+func CascadeStress(causes, families int, seed int64) StressConfig {
+	cfg := CardinalityStress(families, seed)
+	cfg.Name = fmt.Sprintf("cascade-%dc-%df", causes, families)
+	cfg.Causes = causes
+	cfg.EffectsPerCause = 3
+	return cfg
+}
+
+func (cfg StressConfig) withDefaults() StressConfig {
+	if cfg.DayPeriod <= 0 {
+		cfg.DayPeriod = 96
+	}
+	if cfg.T <= 0 {
+		cfg.T = cfg.DayPeriod*2 + cfg.DayPeriod/2
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = time.Minute
+	}
+	if cfg.SeriesPerFamily <= 0 {
+		cfg.SeriesPerFamily = 1
+	}
+	if cfg.Causes <= 0 {
+		cfg.Causes = 1
+	}
+	if cfg.EffectsPerCause < 0 {
+		cfg.EffectsPerCause = 0
+	}
+	if cfg.Confounders <= 0 {
+		cfg.Confounders = 8
+	}
+	if cfg.Families <= 0 {
+		cfg.Families = 64
+	}
+	if cfg.Traffic == (TrafficConfig{}) {
+		cfg.Traffic = DefaultTraffic(cfg.DayPeriod)
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("stress-%df", cfg.Families)
+	}
+	return cfg
+}
+
+// StressScenario generates the configured scenario. Every series draws
+// from its own RNG seeded by Seed ^ hash(seriesID) — the same idiom as
+// Network.Generate — so regeneration is bitwise identical per seed and
+// independent of emission order.
+func StressScenario(cfg StressConfig) *Scenario {
+	cfg = cfg.withDefaults()
+	T := cfg.T
+
+	// Hidden causal core: the observed-load driver and the fault pulses.
+	// Staggered periods/offsets keep the faults independent while their
+	// effect cones overlap in time.
+	loadRng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashName("core/"+StressLoad))))
+	loadBase := cfg.Traffic.Base(cfg.Seed)
+	load := make([]float64, T)
+	for t := range load {
+		load[t] = loadBase(loadRng, t) + 0.3*loadRng.NormFloat64()
+	}
+	faults := make([][]float64, cfg.Causes)
+	for c := range faults {
+		period := cfg.DayPeriod*2/3 + 11*c
+		width := 1 + cfg.DayPeriod/8
+		offset := 5 + c*cfg.DayPeriod/4
+		pulse := PeriodicPulse(1, period, width, offset)
+		vals := make([]float64, T)
+		for t := range vals {
+			vals[t] = pulse(nil, t)
+		}
+		faults[c] = vals
+	}
+	lagged := func(vals []float64, t, lag int) float64 {
+		if t -= lag; t < 0 {
+			t = 0
+		}
+		return vals[t]
+	}
+	targetCore := make([]float64, T)
+	for t := range targetCore {
+		v := 1.5 * load[t]
+		for c := range faults {
+			v += 2.5 * lagged(faults[c], t, 2)
+		}
+		targetCore[t] = v
+	}
+
+	sc := &Scenario{
+		Name:       cfg.Name,
+		Target:     StressTarget,
+		Step:       cfg.Step,
+		Range:      ts.TimeRange{From: SimStart, To: SimStart.Add(time.Duration(T) * cfg.Step)},
+		nodeMetric: make(map[string]string),
+		labels:     make(map[string]evalrank.Label),
+	}
+	emit := func(metric string, label evalrank.Label, gen func(rng *rand.Rand, t int) float64) {
+		sc.labels[metric] = label
+		for r := 0; r < cfg.SeriesPerFamily; r++ {
+			tags := ts.Tags{"host": fmt.Sprintf("h%03d", r)}
+			id := metric + tags.String()
+			sc.nodeMetric[id] = metric
+			s := &ts.Series{Name: metric, Tags: tags}
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashName(id))))
+			for t := 0; t < T; t++ {
+				s.Append(SimStart.Add(time.Duration(t)*cfg.Step), gen(rng, t))
+			}
+			if cfg.Sampling != nil {
+				kept, late := cfg.Sampling.splitSeries(s)
+				s = kept
+				if late != nil && late.Len() > 0 {
+					sc.Late = append(sc.Late, late)
+				}
+			}
+			if cfg.Sink != nil {
+				cfg.Sink(s)
+			} else {
+				sc.Series = append(sc.Series, s)
+			}
+		}
+	}
+
+	emit(StressTarget, evalrank.Effect, func(rng *rand.Rand, t int) float64 {
+		return targetCore[t] + 0.4*rng.NormFloat64()
+	})
+	emit(StressLoad, evalrank.Cause, func(rng *rand.Rand, t int) float64 {
+		return load[t] + 0.2*rng.NormFloat64()
+	})
+	for c := 0; c < cfg.Causes; c++ {
+		fault := faults[c]
+		name := StressCauseFamily(c)
+		sc.causes = append(sc.causes, name)
+		emit(name, evalrank.Cause, func(rng *rand.Rand, t int) float64 {
+			return 3*fault[t] + 0.3*rng.NormFloat64()
+		})
+	}
+	for c := 0; c < cfg.Causes; c++ {
+		for j := 0; j < cfg.EffectsPerCause; j++ {
+			fault := faults[c]
+			var overlap []float64
+			if cfg.Causes > 1 && j%2 == 1 {
+				overlap = faults[(c+1)%cfg.Causes]
+			}
+			emit(fmt.Sprintf("effect_c%02d_%02d", c, j), evalrank.Effect, func(rng *rand.Rand, t int) float64 {
+				v := 2*lagged(fault, t, 1) + 0.4*rng.NormFloat64()
+				if overlap != nil {
+					v += 1.4 * lagged(overlap, t, 2)
+				}
+				return v
+			})
+		}
+	}
+	for f := 0; f < cfg.Confounders; f++ {
+		metric := fmt.Sprintf("infra_load_%03d", f)
+		h := hashName(metric)
+		w := 0.7 + float64(h%60)/100
+		lag := int(h % 4)
+		emit(metric, evalrank.Effect, func(rng *rand.Rand, t int) float64 {
+			return w*lagged(load, t, lag) + 0.5*rng.NormFloat64()
+		})
+	}
+	structural := 2 + cfg.Causes + cfg.Causes*cfg.EffectsPerCause + cfg.Confounders
+	for f := 0; f < cfg.Families-structural; f++ {
+		metric := fmt.Sprintf("nuisance_%05d", f)
+		h := hashName(metric)
+		var base BaseFunc
+		switch h % 3 {
+		case 0:
+			base = AR1(0.95, 1)
+		case 1:
+			base = RandomWalk(10, 0.3)
+		default:
+			base = Diurnal(5, 1+float64(h%100)/100, cfg.DayPeriod, float64(h%628)/100)
+		}
+		emit(metric, evalrank.Irrelevant, func(rng *rand.Rand, t int) float64 {
+			return base(rng, t) + 0.3*rng.NormFloat64()
+		})
+	}
+	return sc
+}

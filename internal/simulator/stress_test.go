@@ -1,0 +1,210 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"explainit/internal/evalrank"
+	ts "explainit/internal/timeseries"
+)
+
+func stressTestConfig(seed int64) StressConfig {
+	cfg := CascadeStress(2, 40, seed)
+	cfg.SeriesPerFamily = 2
+	cfg.Sampling = &SamplingConfig{
+		Seed:     seed + 1,
+		DropRate: 0.1,
+		GapEvery: 40,
+		GapWidth: 3,
+		Jitter:   20 * time.Second,
+		LateRate: 0.15,
+	}
+	return cfg
+}
+
+func sameSeries(a, b []*ts.Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() || a[i].Len() != b[i].Len() {
+			return false
+		}
+		for j := range a[i].Samples {
+			sa, sb := a[i].Samples[j], b[i].Samples[j]
+			if !sa.TS.Equal(sb.TS) || math.Float64bits(sa.Value) != math.Float64bits(sb.Value) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestStressDeterminism(t *testing.T) {
+	a := StressScenario(stressTestConfig(7))
+	b := StressScenario(stressTestConfig(7))
+	if !sameSeries(a.Series, b.Series) {
+		t.Fatal("same seed must regenerate bitwise-identical series")
+	}
+	if !sameSeries(a.Late, b.Late) {
+		t.Fatal("same seed must regenerate bitwise-identical late batches")
+	}
+	c := StressScenario(stressTestConfig(8))
+	if sameSeries(a.Series, c.Series) {
+		t.Fatal("different seeds must produce different series")
+	}
+}
+
+func TestStressSinkMatchesCollected(t *testing.T) {
+	collected := StressScenario(stressTestConfig(3))
+	var streamed []*ts.Series
+	cfg := stressTestConfig(3)
+	cfg.Sink = func(s *ts.Series) { streamed = append(streamed, s) }
+	sinkSc := StressScenario(cfg)
+	if len(sinkSc.Series) != 0 {
+		t.Fatalf("sink mode must not accumulate series, got %d", len(sinkSc.Series))
+	}
+	if !sameSeries(collected.Series, streamed) {
+		t.Fatal("sink mode must emit the same series as collected mode")
+	}
+	if !sameSeries(collected.Late, sinkSc.Late) {
+		t.Fatal("sink mode must collect the same late batch")
+	}
+}
+
+func TestStressLabelsByConstruction(t *testing.T) {
+	sc := StressScenario(CascadeStress(2, 50, 11))
+	labels := sc.FamilyLabels()
+	if got := len(sc.FamilyNames()); got != 50 {
+		t.Fatalf("family count = %d, want 50", got)
+	}
+	if labels[StressTarget] != evalrank.Effect {
+		t.Fatalf("target label = %v, want Effect", labels[StressTarget])
+	}
+	if labels[StressLoad] != evalrank.Cause {
+		t.Fatalf("load label = %v, want Cause", labels[StressLoad])
+	}
+	causes := sc.PrimaryCauses()
+	if len(causes) != 2 {
+		t.Fatalf("primary causes = %v, want 2 entries", causes)
+	}
+	for i, name := range causes {
+		if name != StressCauseFamily(i) {
+			t.Fatalf("cause %d = %q, want %q", i, name, StressCauseFamily(i))
+		}
+		if labels[name] != evalrank.Cause {
+			t.Fatalf("label[%q] = %v, want Cause", name, labels[name])
+		}
+	}
+	if labels["effect_c00_00"] != evalrank.Effect || labels["infra_load_000"] != evalrank.Effect {
+		t.Fatal("effect/confounder families must be labelled Effect")
+	}
+	if labels["nuisance_00000"] != evalrank.Irrelevant {
+		t.Fatal("nuisance families must be labelled Irrelevant")
+	}
+	// CauseFamilies must honour the by-construction override, not walk a DAG
+	// (there is none: sc.Net is nil).
+	if sc.Net != nil {
+		t.Fatal("stress scenarios must not build a Network")
+	}
+	got := sc.CauseFamilies()
+	want := map[string]bool{StressLoad: true, StressCauseFamily(0): true, StressCauseFamily(1): true}
+	if len(got) != len(want) {
+		t.Fatalf("CauseFamilies = %v, want %v", got, want)
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Fatalf("unexpected cause family %q", f)
+		}
+	}
+}
+
+func TestTrafficRegimeShift(t *testing.T) {
+	tc := DefaultTraffic(96)
+	tc.BurstLevel = 0
+	tc.RegimeAt = 240
+	tc.RegimeFactor = 2
+	base := tc.Base(5)
+	meanOf := func(from, to int) float64 {
+		var s float64
+		for i := from; i < to; i++ {
+			s += base(nil, i)
+		}
+		return s / float64(to-from)
+	}
+	before, after := meanOf(0, 240), meanOf(240, 480)
+	if after < before*1.8 {
+		t.Fatalf("regime shift missing: mean before=%.2f after=%.2f", before, after)
+	}
+}
+
+func TestTrafficBurstsDeterministic(t *testing.T) {
+	burst := RandomBursts(10, 24, 3, 42)
+	var onA, onB []int
+	for t0 := 0; t0 < 240; t0++ {
+		if burst(nil, t0) > 0 {
+			onA = append(onA, t0)
+		}
+	}
+	again := RandomBursts(10, 24, 3, 42)
+	for t0 := 0; t0 < 240; t0++ {
+		if again(nil, t0) > 0 {
+			onB = append(onB, t0)
+		}
+	}
+	if len(onA) != 10*3 {
+		t.Fatalf("expected one 3-sample burst per 24-sample window, got %d on-samples", len(onA))
+	}
+	for i := range onA {
+		if onA[i] != onB[i] {
+			t.Fatal("burst placement must be a pure function of (seed, t)")
+		}
+	}
+	other := RandomBursts(10, 24, 3, 43)
+	same := true
+	for t0 := 0; t0 < 240; t0++ {
+		if (other(nil, t0) > 0) != (burst(nil, t0) > 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should move the bursts")
+	}
+}
+
+func TestSamplerSplit(t *testing.T) {
+	s := &ts.Series{Name: "m", Tags: ts.Tags{"host": "a"}}
+	step := time.Minute
+	for i := 0; i < 1000; i++ {
+		s.Append(SimStart.Add(time.Duration(i)*step), float64(i))
+	}
+	cfg := SamplingConfig{Seed: 9, DropRate: 0.2, GapEvery: 100, GapWidth: 5, Jitter: 20 * time.Second, LateRate: 0.1}
+	kept, late := cfg.splitSeries(s)
+	if kept.Len()+late.Len() >= s.Len() {
+		t.Fatalf("sampler dropped nothing: kept=%d late=%d of %d", kept.Len(), late.Len(), s.Len())
+	}
+	// Gap windows are hard-removed: no surviving sample may originate there.
+	for _, out := range []*ts.Series{kept, late} {
+		for _, smp := range out.Samples {
+			// Recover the origin index from the value (values are the index).
+			if i := int(smp.Value); i%100 < 5 {
+				t.Fatalf("sample from gap window survived: origin index %d", i)
+			}
+			jit := smp.TS.Sub(SimStart.Add(time.Duration(int(smp.Value)) * step))
+			if jit <= -20*time.Second || jit >= 20*time.Second {
+				t.Fatalf("jitter out of bounds: %v", jit)
+			}
+		}
+	}
+	if late.Len() == 0 {
+		t.Fatal("expected a non-empty late batch at LateRate=0.1")
+	}
+	// Kept timestamps stay sorted when Jitter < step/2.
+	for i := 1; i < kept.Len(); i++ {
+		if !kept.Samples[i].TS.After(kept.Samples[i-1].TS) {
+			t.Fatalf("kept series out of order at %d", i)
+		}
+	}
+}

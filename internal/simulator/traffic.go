@@ -1,0 +1,158 @@
+package simulator
+
+import "math/rand"
+
+// BaseFunc is the base-signal shape shared by every generator: the
+// deterministic (per-RNG) value of a node at sample index t.
+type BaseFunc = func(rng *rand.Rand, t int) float64
+
+// Compose sums base shapes, so traffic profiles are built from primitives:
+// Compose(Diurnal(...), RandomBursts(...), Step(...)).
+func Compose(parts ...BaseFunc) BaseFunc {
+	return func(rng *rand.Rand, t int) float64 {
+		var v float64
+		for _, p := range parts {
+			v += p(rng, t)
+		}
+		return v
+	}
+}
+
+// Step is an additive regime change: `before` until sample `at`, `after`
+// from then on.
+func Step(before, after float64, at int) BaseFunc {
+	return func(_ *rand.Rand, t int) float64 {
+		if t < at {
+			return before
+		}
+		return after
+	}
+}
+
+// Ramp interpolates linearly from `from` at sample `start` to `to` at
+// sample `end` (clamped outside the window) — slow capacity growth or a
+// progressive rollout.
+func Ramp(from, to float64, start, end int) BaseFunc {
+	return func(_ *rand.Rand, t int) float64 {
+		switch {
+		case t <= start || end <= start:
+			return from
+		case t >= end:
+			return to
+		default:
+			frac := float64(t-start) / float64(end-start)
+			return from + frac*(to-from)
+		}
+	}
+}
+
+// RegimeShift multiplies the inner shape by `factor` from sample `at` on —
+// the "traffic doubled after the launch" shape. factor 1 is the identity.
+func RegimeShift(inner BaseFunc, at int, factor float64) BaseFunc {
+	return func(rng *rand.Rand, t int) float64 {
+		v := inner(rng, t)
+		if t >= at {
+			v *= factor
+		}
+		return v
+	}
+}
+
+// RandomBursts places one `width`-sample burst of height `level` at a
+// pseudo-random offset inside every `meanGap`-sample window. Positions are
+// a pure hash of (seed, window index), so every series sharing a seed sees
+// bursts at identical times regardless of its own RNG stream — and
+// regeneration is bitwise reproducible.
+func RandomBursts(level float64, meanGap, width int, seed int64) BaseFunc {
+	if meanGap <= 0 {
+		meanGap = 1
+	}
+	if width <= 0 {
+		width = 1
+	}
+	if width >= meanGap {
+		width = meanGap - 1
+	}
+	span := meanGap - width
+	return func(_ *rand.Rand, t int) float64 {
+		if t < 0 {
+			return 0
+		}
+		win := t / meanGap
+		off := int(mix64(uint64(seed)^uint64(win)*0x9e3779b97f4a7c15) % uint64(span))
+		phase := t % meanGap
+		if phase >= off && phase < off+width {
+			return level
+		}
+		return 0
+	}
+}
+
+// mix64 is a splitmix64 finalizer: a cheap stateless bit mixer for
+// position hashing (burst offsets, per-sample sampler decisions).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// TrafficConfig describes a realistic base-traffic profile: daily
+// seasonality plus pseudo-random bursts plus an optional regime change.
+// The zero value is flat traffic at level 0.
+type TrafficConfig struct {
+	Mean     float64
+	DailyAmp float64
+	// DayPeriod is the number of samples per simulated day.
+	DayPeriod int
+	// BurstLevel adds RandomBursts of this height (0 disables); one burst
+	// of BurstWidth samples lands in every BurstGap-sample window.
+	BurstLevel float64
+	BurstGap   int
+	BurstWidth int
+	// RegimeAt multiplies the profile by RegimeFactor from that sample on
+	// (0 disables) — the regime-change shape.
+	RegimeAt     int
+	RegimeFactor float64
+}
+
+// DefaultTraffic is a diurnal profile with hourly-ish bursts.
+func DefaultTraffic(dayPeriod int) TrafficConfig {
+	return TrafficConfig{
+		Mean:       10,
+		DailyAmp:   3,
+		DayPeriod:  dayPeriod,
+		BurstLevel: 4,
+		BurstGap:   dayPeriod / 4,
+		BurstWidth: dayPeriod / 24,
+	}
+}
+
+// Base composes the configured shapes into one BaseFunc. Burst placement
+// derives from seed only, so distinct series built from the same config
+// and seed stay phase-aligned.
+func (tc TrafficConfig) Base(seed int64) BaseFunc {
+	period := tc.DayPeriod
+	if period <= 0 {
+		period = 288
+	}
+	parts := []BaseFunc{Diurnal(tc.Mean, tc.DailyAmp, period, 0)}
+	if tc.BurstLevel != 0 {
+		gap := tc.BurstGap
+		if gap <= 0 {
+			gap = period / 4
+		}
+		width := tc.BurstWidth
+		if width <= 0 {
+			width = 1 + period/48
+		}
+		parts = append(parts, RandomBursts(tc.BurstLevel, gap, width, seed))
+	}
+	base := Compose(parts...)
+	if tc.RegimeAt > 0 && tc.RegimeFactor != 0 && tc.RegimeFactor != 1 {
+		base = RegimeShift(base, tc.RegimeAt, tc.RegimeFactor)
+	}
+	return base
+}

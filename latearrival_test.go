@@ -1,0 +1,141 @@
+package explainit
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"explainit/internal/simulator"
+)
+
+// TestLateArrivalInvalidation pins the late-data contract end to end: an
+// out-of-order PutBatch of delayed samples must bump shard watermarks,
+// miss the ranking cache (a stale cached ranking is never served after a
+// late write), and make the next standing-query tick re-evaluate.
+func TestLateArrivalInvalidation(t *testing.T) {
+	cfg := simulator.CardinalityStress(30, 9)
+	cfg.Sampling = &simulator.SamplingConfig{Seed: 10, LateRate: 0.3}
+	sc := simulator.StressScenario(cfg)
+	if len(sc.Late) == 0 {
+		t.Fatal("sampler produced no late batch")
+	}
+
+	c := New()
+	defer c.Close()
+	if err := c.PutBatch(seriesObservations(sc, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BuildFamilies("name", sc.Range.From, sc.Range.To, sc.Step); err != nil {
+		t.Fatal(err)
+	}
+	opts := ExplainOptions{Target: sc.Target, TopK: 10, Seed: 1}
+	before, err := c.Explain(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Explain(opts); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.RankingCacheStats(); st.Hits == 0 {
+		t.Fatalf("expected a warm cache before the late write: %+v", st)
+	}
+
+	// Standing query: wait for the initial ranking, then confirm a tick on
+	// the quiet store is watermark-gated (no second evaluation).
+	info, err := c.CreateWatch(fmt.Sprintf("EXPLAIN %s EVERY '1h'", sc.Target), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(time.Minute); ; {
+		wi, err := c.WatchInfo(info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wi.Emits >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never emitted its initial ranking")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w, ok := c.watchManager().Get(info.ID)
+	if !ok {
+		t.Fatal("watcher not registered")
+	}
+	ctx := context.Background()
+	w.Tick(ctx)
+	wi, err := c.WatchInfo(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wi.Evals != 1 {
+		t.Fatalf("quiet tick re-evaluated: %d evals", wi.Evals)
+	}
+
+	// The late write: delayed samples with old timestamps, ingested after
+	// everything else — strictly out of order.
+	wmBefore := c.db.Watermarks()
+	if err := c.PutBatch(seriesObservations(sc, true)); err != nil {
+		t.Fatal(err)
+	}
+	wmAfter := c.db.Watermarks()
+	moved := false
+	for i := range wmAfter {
+		if wmAfter[i] != wmBefore[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("late PutBatch did not bump any shard watermark")
+	}
+
+	// The cache may not serve the pre-write ranking: the probe at the new
+	// watermark must miss and recompute.
+	st := c.RankingCacheStats()
+	if _, err := c.Explain(opts); err != nil {
+		t.Fatal(err)
+	}
+	st2 := c.RankingCacheStats()
+	if st2.Hits != st.Hits {
+		t.Fatalf("stale ranking served from cache after late write: %+v -> %+v", st, st2)
+	}
+	if st2.Misses <= st.Misses {
+		t.Fatalf("expected a cache miss after the late write: %+v -> %+v", st, st2)
+	}
+
+	// The next tick sees the moved watermark and re-evaluates.
+	w.Tick(ctx)
+	wi, err = c.WatchInfo(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wi.Evals < 2 {
+		t.Fatalf("late write did not trigger a watch re-evaluation: %d evals", wi.Evals)
+	}
+
+	// Rebuilt families fold the late samples in: the ranking genuinely
+	// changes, so serving the stale one would have been wrong.
+	if _, err := c.BuildFamilies("name", sc.Range.From, sc.Range.To, sc.Step); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Explain(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(after.Rows) == len(before.Rows)
+	if same {
+		for i := range after.Rows {
+			if after.Rows[i].Family != before.Rows[i].Family ||
+				math.Float64bits(after.Rows[i].Score) != math.Float64bits(before.Rows[i].Score) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("ranking identical before and after folding in 30% late samples")
+	}
+}

@@ -1,0 +1,96 @@
+package explainit
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"explainit/internal/simulator"
+	ts "explainit/internal/timeseries"
+)
+
+// setupScaleBench streams a stress scenario of families x perFamily series
+// straight into a fresh client (the generator's sink mode, so 100k series
+// never exist in memory twice), builds families, and disables the ranking
+// cache so every iteration pays the full engine cost.
+func setupScaleBench(b *testing.B, families, perFamily int) (*Client, ExplainOptions, *simulator.Scenario) {
+	b.Helper()
+	c := New()
+	var batch []Observation
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := c.PutBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		batch = batch[:0]
+	}
+	cfg := simulator.CardinalityStress(families, 21)
+	cfg.SeriesPerFamily = perFamily
+	cfg.Sink = func(s *ts.Series) {
+		for _, smp := range s.Samples {
+			batch = append(batch, Observation{Metric: s.Name, Tags: Tags(s.Tags), At: smp.TS, Value: smp.Value})
+		}
+		if len(batch) >= 65536 {
+			flush()
+		}
+	}
+	sc := simulator.StressScenario(cfg)
+	flush()
+	if _, err := c.BuildFamilies("name", sc.Range.From, sc.Range.To, sc.Step); err != nil {
+		b.Fatal(err)
+	}
+	c.SetRankingCacheCapacity(0)
+	opts := ExplainOptions{
+		Target:    sc.Target,
+		Condition: []string{simulator.StressLoad},
+		TopK:      20,
+		Seed:      1,
+	}
+	// Wide replicated families lean on the paper's projection scorer, as a
+	// production deployment at that width would.
+	if perFamily > 50 {
+		opts.Scorer = L2P50
+	}
+	return c, opts, sc
+}
+
+// runScaleBench measures per-iteration EXPLAIN latency and reports the
+// p50/p99 tail alongside ns/op; cmd/bench records the extra columns into
+// the BENCH_<n>.json snapshot.
+func runScaleBench(b *testing.B, families, perFamily int) {
+	c, opts, _ := setupScaleBench(b, families, perFamily)
+	series := float64(c.NumSeries())
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := c.Explain(opts); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	b.ReportMetric(ms(lat[len(lat)/2]), "p50-ms")
+	p99 := len(lat) * 99 / 100
+	if p99 >= len(lat) {
+		p99 = len(lat) - 1
+	}
+	b.ReportMetric(ms(lat[p99]), "p99-ms")
+	b.ReportMetric(series, "series")
+}
+
+// Series-count axis: 200 families replicated across ever more hosts.
+
+func BenchmarkScaleExplainSeries1k(b *testing.B)   { runScaleBench(b, 200, 5) }
+func BenchmarkScaleExplainSeries10k(b *testing.B)  { runScaleBench(b, 200, 50) }
+func BenchmarkScaleExplainSeries100k(b *testing.B) { runScaleBench(b, 200, 500) }
+
+// Family-count axis: single-series families, growing candidate sets.
+
+func BenchmarkScaleExplainFamilies1k(b *testing.B)  { runScaleBench(b, 1000, 1) }
+func BenchmarkScaleExplainFamilies5k(b *testing.B)  { runScaleBench(b, 5000, 1) }
+func BenchmarkScaleExplainFamilies10k(b *testing.B) { runScaleBench(b, 10000, 1) }

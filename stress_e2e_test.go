@@ -1,0 +1,84 @@
+package explainit
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"explainit/internal/simulator"
+)
+
+// seriesObservations flattens one series slice into PutBatch records.
+func seriesObservations(sc *simulator.Scenario, late bool) []Observation {
+	src := sc.Series
+	if late {
+		src = sc.Late
+	}
+	var out []Observation
+	for _, s := range src {
+		for _, smp := range s.Samples {
+			out = append(out, Observation{Metric: s.Name, Tags: Tags(s.Tags), At: smp.TS, Value: smp.Value})
+		}
+	}
+	return out
+}
+
+// TestStressShardDeterminism extends the bitwise-at-any-shard-count
+// invariant to the stress generators: the same dirtied scenario ingested
+// into stores with 1, 4 and 7 shards must produce bitwise-identical
+// conditioned rankings.
+func TestStressShardDeterminism(t *testing.T) {
+	cfg := simulator.CascadeStress(2, 40, 5)
+	cfg.SeriesPerFamily = 2
+	cfg.Sampling = &simulator.SamplingConfig{
+		Seed:     6,
+		DropRate: 0.1,
+		Jitter:   20 * time.Second,
+		GapEvery: 60,
+		GapWidth: 4,
+	}
+	sc := simulator.StressScenario(cfg)
+	obs := seriesObservations(sc, false)
+
+	var want *Ranking
+	var wantShards int
+	for _, shards := range []int{1, 4, 7} {
+		c, err := OpenShards(t.TempDir(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PutBatch(obs); err != nil {
+			c.Close()
+			t.Fatal(err)
+		}
+		if _, err := c.BuildFamilies("name", sc.Range.From, sc.Range.To, sc.Step); err != nil {
+			c.Close()
+			t.Fatal(err)
+		}
+		got, err := c.Explain(ExplainOptions{
+			Target:    sc.Target,
+			Condition: []string{simulator.StressLoad},
+			TopK:      20,
+			Seed:      1,
+		})
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want, wantShards = got, shards
+			continue
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%d vs %d shards: %d vs %d rows", shards, wantShards, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			a, b := got.Rows[i], want.Rows[i]
+			if a.Family != b.Family || math.Float64bits(a.Score) != math.Float64bits(b.Score) ||
+				math.Float64bits(a.PValue) != math.Float64bits(b.PValue) {
+				t.Fatalf("%d vs %d shards: row %d differs: %q %v vs %q %v",
+					shards, wantShards, i, a.Family, a.Score, b.Family, b.Score)
+			}
+		}
+	}
+}
